@@ -1,0 +1,70 @@
+"""E2 — Blocking-quality table (per the companion Big Data 2015 study [5]).
+
+Compares the schema-agnostic blocking methods on the center and periphery
+workloads: token blocking, attribute-clustering blocking,
+prefix-infix(-suffix) blocking and its total-description variant.  Rows
+report PC, PQ, RR, block and comparison counts — the shape to check is
+token blocking's near-perfect PC at low PQ, attribute clustering trading
+a little PC for much better PQ, and URI-based keys degrading gracefully
+at the periphery (where many URIs are opaque).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    TokenBlocking,
+)
+from repro.evaluation.metrics import evaluate_blocks
+from repro.evaluation.reporting import format_table
+
+
+def blockers():
+    return [
+        TokenBlocking(),
+        AttributeClusteringBlocking(),
+        PrefixInfixSuffixBlocking(),
+        PrefixInfixSuffixBlocking(include_literals=True),
+    ]
+
+
+def run_experiment(datasets) -> list[dict[str, str]]:
+    rows = []
+    for regime, dataset in datasets.items():
+        for blocker in blockers():
+            blocks = blocker.build(dataset.kb1, dataset.kb2)
+            quality = evaluate_blocks(
+                blocks, dataset.gold, len(dataset.kb1), len(dataset.kb2)
+            )
+            row = {"workload": regime, "method": blocker.name}
+            row.update(quality.as_row())
+            rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table(center, periphery):
+    return run_experiment({"center": center, "periphery": periphery})
+
+
+def test_e2_blocking_quality(benchmark, center, table):
+    benchmark(lambda: TokenBlocking().build(center.kb1, center.kb2))
+    report(
+        "e2_blocking",
+        format_table(table, title="E2  Blocking methods: PC / PQ / RR", first_column="workload"),
+    )
+    by_key = {(r["workload"], r["method"]): r for r in table}
+    # Token blocking is the recall ceiling on both regimes.
+    assert float(by_key[("center", "token-blocking")]["PC"]) >= 0.95
+    # Attribute clustering must not produce more comparisons than token blocking.
+    assert int(by_key[("center", "attribute-clustering")]["comparisons"]) <= int(
+        by_key[("center", "token-blocking")]["comparisons"]
+    )
+    # URI-only blocking loses recall at the periphery (opaque URIs).
+    assert float(by_key[("periphery", "prefix-infix-suffix")]["PC"]) < float(
+        by_key[("center", "prefix-infix-suffix")]["PC"]
+    )

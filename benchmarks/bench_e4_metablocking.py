@@ -1,0 +1,108 @@
+"""E4 — Meta-blocking matrix (per the parallel meta-blocking paper [4]).
+
+Crosses the five weighting schemes with the four canonical pruning
+algorithms on post-processed center blocks.  Expected shape: node-centric
+pruning (WNP/CNP) retains recall far better than edge-centric pruning at
+comparable comparison counts; CEP/WEP achieve the highest PQ; ARCS and
+ECBS are the strongest weighting signals.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.evaluation.metrics import evaluate_comparisons
+from repro.evaluation.reporting import format_table
+from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+
+WEIGHTING = ("CBS", "ECBS", "JS", "EJS", "ARCS")
+PRUNING = ("WEP", "CEP", "WNP", "CNP")
+
+
+@pytest.fixture(scope="module")
+def processed_blocks(center):
+    blocks = TokenBlocking().build(center.kb1, center.kb2)
+    return BlockFiltering().process(BlockPurging().process(blocks))
+
+
+@pytest.fixture(scope="module")
+def periphery_blocks(periphery):
+    blocks = TokenBlocking().build(periphery.kb1, periphery.kb2)
+    return BlockFiltering().process(BlockPurging().process(blocks))
+
+
+def matrix_rows(dataset, blocks, workload: str) -> list[dict[str, str]]:
+    sizes = (len(dataset.kb1), len(dataset.kb2))
+    rows = []
+    for scheme_name in WEIGHTING:
+        graph = BlockingGraph(blocks, make_scheme(scheme_name))
+        for pruner_name in PRUNING:
+            edges = make_pruner(pruner_name).prune(graph)
+            quality = evaluate_comparisons(
+                {e.pair for e in edges}, dataset.gold, *sizes
+            )
+            row = {
+                "workload": workload,
+                "weighting": scheme_name,
+                "pruning": pruner_name,
+            }
+            row.update(quality.as_row())
+            row["retained"] = str(len(edges))
+            rows.append(row)
+    return rows
+
+
+def run_experiment(center, processed_blocks) -> list[dict[str, str]]:
+    return matrix_rows(center, processed_blocks, "center")
+
+
+def test_e4_metablocking_matrix(
+    benchmark, center, periphery, processed_blocks, periphery_blocks
+):
+    rows = run_experiment(center, processed_blocks)
+    rows += matrix_rows(periphery, periphery_blocks, "periphery")
+
+    def arcs_cnp():
+        graph = BlockingGraph(processed_blocks, make_scheme("ARCS"))
+        return make_pruner("CNP").prune(graph)
+
+    benchmark(arcs_cnp)
+    report(
+        "e4_metablocking",
+        format_table(
+            rows,
+            title="E4  Meta-blocking: weighting x pruning",
+            first_column="workload",
+        ),
+    )
+    # Recall sensitivity appears at the periphery: node-centric pruning
+    # preserves at least as much PC as edge-centric WEP for every scheme.
+    periphery_rows = {
+        (r["weighting"], r["pruning"]): r for r in rows if r["workload"] == "periphery"
+    }
+    for scheme_name in WEIGHTING:
+        assert float(periphery_rows[(scheme_name, "CNP")]["PC"]) >= float(
+            periphery_rows[(scheme_name, "WEP")]["PC"]
+        ) - 0.02
+    by_key = {
+        (r["weighting"], r["pruning"]): r for r in rows if r["workload"] == "center"
+    }
+    for scheme_name in WEIGHTING:
+        # Every configuration prunes the comparison space.
+        for pruner_name in PRUNING:
+            assert (
+                int(by_key[(scheme_name, pruner_name)]["comparisons"])
+                <= len(processed_blocks.distinct_comparisons())
+            )
+        # Node-centric pruning keeps recall at or above edge-centric CEP.
+        assert float(by_key[(scheme_name, "CNP")]["PC"]) >= float(
+            by_key[(scheme_name, "CEP")]["PC"]
+        ) - 0.05
+    # Every pruned set improves PQ over the unpruned blocks.
+    baseline_pq = len(center.gold.matches) / len(
+        processed_blocks.distinct_comparisons()
+    )
+    for row in rows:
+        assert float(row["PQ"]) >= baseline_pq * 0.9

@@ -1,0 +1,68 @@
+"""Shared fixtures and reporting helpers for the experiment harness.
+
+Every ``bench_e*.py`` module regenerates one of the tables/figures listed
+in DESIGN.md.  Each prints its rows/series and also writes them under
+``benchmarks/output/`` so EXPERIMENTS.md can quote exact numbers.  Run::
+
+    pytest benchmarks/ --benchmark-only
+
+(add ``-s`` to watch the tables stream by; the files are written either
+way).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import (
+    PERIPHERY_PROFILE,
+    SyntheticConfig,
+    load_movies,
+    load_restaurants,
+    synthesize_dirty,
+    synthesize_pair,
+)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: experiment-scale workloads (larger than the unit-test fixtures)
+CENTER_CONFIG = SyntheticConfig(entities=300, overlap=0.7, seed=42)
+PERIPHERY_CONFIG = SyntheticConfig(
+    entities=300, overlap=0.7, seed=42, profile=PERIPHERY_PROFILE
+)
+
+
+def report(name: str, text: str) -> None:
+    """Print an experiment artifact and persist it under benchmarks/output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def movies():
+    return load_movies()
+
+
+@pytest.fixture(scope="session")
+def restaurants():
+    return load_restaurants()
+
+
+@pytest.fixture(scope="session")
+def center():
+    return synthesize_pair(CENTER_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def periphery():
+    return synthesize_pair(PERIPHERY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def dirty():
+    return synthesize_dirty(SyntheticConfig(entities=200, seed=42), max_duplicates=3)

@@ -1,0 +1,146 @@
+"""MinoanER reproduction: progressive entity resolution in the Web of Data.
+
+A from-scratch Python implementation of the platform described in
+V. Efthymiou, K. Stefanidis, V. Christophides, *"Minoan ER: Progressive
+Entity Resolution in the Web of Data"* (EDBT 2016), together with every
+substrate the platform depends on: an RDF stack, schema-agnostic blocking
+and meta-blocking, a simulated MapReduce cluster for the parallel
+algorithms, matching, the progressive scheduling/update core with
+quality-aware benefit models, the baselines it is evaluated against, a
+LOD-cloud workload synthesizer and the evaluation harness.
+
+Quickstart::
+
+    from repro import MinoanER, load_movies, CostBudget
+
+    kb_a, kb_b, gold = load_movies()
+    platform = MinoanER(budget=CostBudget(500), benefit="entity-coverage")
+    result = platform.resolve(kb_a, kb_b, gold=gold)
+    print(result.summary())
+"""
+
+from repro.model import EntityDescription, EntityCollection, Tokenizer, infer_stop_tokens
+from repro.rdf import (
+    parse_ntriples,
+    parse_turtle,
+    serialize_turtle,
+    TripleStore,
+    load_collection,
+)
+from repro.blocking import (
+    Block,
+    BlockCollection,
+    TokenBlocking,
+    PrefixInfixSuffixBlocking,
+    AttributeClusteringBlocking,
+    BlockPurging,
+    BlockFiltering,
+    CompositeBlocking,
+    QGramsBlocking,
+)
+from repro.metablocking import BlockingGraph, make_scheme, make_pruner
+from repro.matching import (
+    SimilarityIndex,
+    ThresholdMatcher,
+    OracleMatcher,
+    EnsembleMatcher,
+    MatchGraph,
+)
+from repro.mapreduce import MapReduceEngine, parallel_token_blocking
+from repro.core import (
+    CostBudget,
+    ProgressiveER,
+    ProgressiveSession,
+    MinoanER,
+    make_benefit,
+    NeighborEvidencePropagator,
+    NeighborAwareMatcher,
+    static_strategy,
+    dynamic_strategy,
+    hybrid_strategy,
+)
+from repro.datasets import (
+    GoldStandard,
+    SyntheticConfig,
+    synthesize_pair,
+    synthesize_dirty,
+    load_restaurants,
+    load_movies,
+    CENTER_PROFILE,
+    PERIPHERY_PROFILE,
+)
+from repro.evaluation import (
+    evaluate_blocks,
+    evaluate_matches,
+    bcubed,
+    ProgressiveCurve,
+    format_table,
+    format_series,
+)
+from repro.baselines import (
+    random_order_baseline,
+    oracle_order_baseline,
+    batch_baseline,
+    AltowimProgressiveER,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntityDescription",
+    "EntityCollection",
+    "Tokenizer",
+    "parse_ntriples",
+    "parse_turtle",
+    "TripleStore",
+    "load_collection",
+    "Block",
+    "BlockCollection",
+    "TokenBlocking",
+    "PrefixInfixSuffixBlocking",
+    "AttributeClusteringBlocking",
+    "BlockPurging",
+    "BlockFiltering",
+    "BlockingGraph",
+    "make_scheme",
+    "make_pruner",
+    "SimilarityIndex",
+    "ThresholdMatcher",
+    "MatchGraph",
+    "MapReduceEngine",
+    "parallel_token_blocking",
+    "CostBudget",
+    "ProgressiveER",
+    "MinoanER",
+    "make_benefit",
+    "NeighborEvidencePropagator",
+    "static_strategy",
+    "dynamic_strategy",
+    "hybrid_strategy",
+    "GoldStandard",
+    "SyntheticConfig",
+    "synthesize_pair",
+    "synthesize_dirty",
+    "load_restaurants",
+    "load_movies",
+    "CENTER_PROFILE",
+    "PERIPHERY_PROFILE",
+    "evaluate_blocks",
+    "evaluate_matches",
+    "bcubed",
+    "ProgressiveCurve",
+    "ProgressiveSession",
+    "OracleMatcher",
+    "EnsembleMatcher",
+    "NeighborAwareMatcher",
+    "CompositeBlocking",
+    "QGramsBlocking",
+    "serialize_turtle",
+    "infer_stop_tokens",
+    "format_table",
+    "format_series",
+    "random_order_baseline",
+    "oracle_order_baseline",
+    "batch_baseline",
+    "AltowimProgressiveER",
+]

@@ -1,0 +1,26 @@
+"""Baseline resolvers MinoanER is compared against (E5, E6).
+
+* :mod:`repro.baselines.ordered` — the shared budgeted executor plus the
+  random-order and oracle-order baselines and the non-progressive batch
+  resolver;
+* :mod:`repro.baselines.altowim` — a re-implementation of the progressive
+  relational ER approach of Altowim, Kalashnikov & Mehrotra (PVLDB 2014)
+  [1], the work the poster explicitly contrasts its quality-aware benefit
+  with.
+"""
+
+from repro.baselines.ordered import (
+    run_ordered,
+    random_order_baseline,
+    oracle_order_baseline,
+    batch_baseline,
+)
+from repro.baselines.altowim import AltowimProgressiveER
+
+__all__ = [
+    "run_ordered",
+    "random_order_baseline",
+    "oracle_order_baseline",
+    "batch_baseline",
+    "AltowimProgressiveER",
+]

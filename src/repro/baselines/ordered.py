@@ -1,0 +1,129 @@
+"""Order-based baselines: a budgeted executor over a fixed comparison order.
+
+The simplest progressive strategies differ only in how they order the
+candidate comparisons before consuming the budget:
+
+* **random order** — the naive pay-as-you-go lower bound;
+* **oracle order** — all gold matches first: the (unreachable) upper
+  bound any scheduler is squeezed against;
+* **batch order** — blocking-native order (no scheduling at all): what a
+  non-progressive resolver yields if interrupted at the budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import CostBudget
+from repro.core.engine import ProgressiveResult, ResolutionContext
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.progressive import ProgressiveCurve
+from repro.matching.matcher import Matcher
+from repro.metablocking.graph import WeightedEdge
+from repro.model.collection import EntityCollection
+from repro.utils.rng import deterministic_rng
+
+
+def run_ordered(
+    pairs: list[tuple[str, str]],
+    matcher: Matcher,
+    collections: list[EntityCollection],
+    budget: CostBudget | None = None,
+    gold: GoldStandard | None = None,
+    label: str = "ordered",
+    checkpoint_every: int = 10,
+) -> ProgressiveResult:
+    """Execute *pairs* in the given order until the budget is consumed.
+
+    Duplicated pairs are executed once; *gold* instruments the recall
+    curve only.
+    """
+    context = ResolutionContext(collections)
+    matcher.bind(context)
+    budget = (budget or CostBudget()).copy()
+    curve = ProgressiveCurve(label=label)
+    result = ProgressiveResult(
+        match_graph=context.match_graph, curve=curve, budget=budget
+    )
+    gold_matches = len(gold.matches) if gold is not None else 0
+    found_gold = 0
+
+    def checkpoint() -> None:
+        values = {"benefit": result.benefit_total}
+        if gold is not None:
+            values["recall"] = found_gold / gold_matches if gold_matches else 0.0
+        curve.record(budget.comparisons_executed, **values)
+
+    checkpoint()
+    for pair in pairs:
+        if budget.exhausted:
+            break
+        if pair in context.match_graph:
+            result.skipped_decided += 1
+            continue
+        decision = matcher.decide(pair[0], pair[1])
+        budget.charge_comparison()
+        context.match_graph.record(decision)
+        if decision.is_match:
+            result.benefit_total += 1.0
+            if gold is not None and pair in gold.matches:
+                found_gold += 1
+        if budget.comparisons_executed % checkpoint_every == 0:
+            checkpoint()
+    checkpoint()
+    return result
+
+
+def random_order_baseline(
+    edges: list[WeightedEdge],
+    matcher: Matcher,
+    collections: list[EntityCollection],
+    budget: CostBudget | None = None,
+    gold: GoldStandard | None = None,
+    seed: int = 7,
+    checkpoint_every: int = 10,
+) -> ProgressiveResult:
+    """Comparisons in seeded-random order."""
+    pairs = [edge.pair for edge in sorted(edges, key=lambda e: e.pair)]
+    deterministic_rng(seed, "random-order").shuffle(pairs)
+    return run_ordered(
+        pairs, matcher, collections, budget, gold,
+        label="random", checkpoint_every=checkpoint_every,
+    )
+
+
+def oracle_order_baseline(
+    edges: list[WeightedEdge],
+    matcher: Matcher,
+    collections: list[EntityCollection],
+    gold: GoldStandard,
+    budget: CostBudget | None = None,
+    checkpoint_every: int = 10,
+) -> ProgressiveResult:
+    """Gold matches first — the upper bound on progressive recall.
+
+    Only the *ordering* consults the gold standard; decisions still come
+    from the matcher.
+    """
+    matches = [e.pair for e in edges if e.pair in gold.matches]
+    rest = [e.pair for e in edges if e.pair not in gold.matches]
+    matches.sort()
+    rest.sort()
+    return run_ordered(
+        matches + rest, matcher, collections, budget, gold,
+        label="oracle", checkpoint_every=checkpoint_every,
+    )
+
+
+def batch_baseline(
+    edges: list[WeightedEdge],
+    matcher: Matcher,
+    collections: list[EntityCollection],
+    budget: CostBudget | None = None,
+    gold: GoldStandard | None = None,
+    checkpoint_every: int = 10,
+) -> ProgressiveResult:
+    """Blocking-native pair order (sorted pairs): no scheduling signal."""
+    pairs = sorted(edge.pair for edge in edges)
+    return run_ordered(
+        pairs, matcher, collections, budget, gold,
+        label="batch", checkpoint_every=checkpoint_every,
+    )

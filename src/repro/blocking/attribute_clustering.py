@@ -1,0 +1,172 @@
+"""Attribute-clustering blocking.
+
+Plain token blocking keys on a token regardless of *where* it appears, so
+the token ``paris`` groups a person born in Paris with a film titled
+"Paris".  Attribute-clustering blocking (Papadakis et al.) restores a
+little context without assuming a schema: attributes (properties) are
+clustered by the similarity of their **value token sets** across the two
+KBs, and blocking keys are scoped by cluster — ``paris`` in a
+location-like attribute no longer collides with ``paris`` in a title-like
+attribute.  Recall dips slightly; precision improves substantially.
+
+Algorithm (as in the original):
+
+1. compute the value-token profile of every attribute in both collections;
+2. link every attribute to its most similar attribute in the *other*
+   collection, when similarity exceeds a threshold;
+3. take the connected components of the link graph as attribute clusters;
+4. attributes left unlinked fall into a single catch-all *glue* cluster;
+5. blocking key = ``cluster_id # token``.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import Blocker
+from repro.blocking.block import BlockCollection
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.text import token_split
+
+GLUE_CLUSTER = "glue"
+
+
+def _jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    if inter == 0:
+        return 0.0
+    return inter / (len(a) + len(b) - inter)
+
+
+class AttributeClusteringBlocking(Blocker):
+    """Token blocking with cluster-scoped keys.
+
+    The attribute→cluster mapping is learned from the pair of collections
+    passed to :meth:`build`; :meth:`keys_for` then uses it.  Calling
+    :meth:`keys_for` before :meth:`build` raises ``RuntimeError``.
+
+    Args:
+        min_token_length: minimum token length for both profiles and keys.
+        similarity_threshold: minimum Jaccard similarity for linking two
+            attributes across collections.
+    """
+
+    name = "attribute-clustering"
+
+    def __init__(
+        self,
+        min_token_length: int = 2,
+        similarity_threshold: float = 0.1,
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        self.min_token_length = min_token_length
+        self.similarity_threshold = similarity_threshold
+        self._clusters: dict[tuple[str, str], str] | None = None
+        self._names: tuple[str, str] = ("", "")
+
+    # -- cluster learning -------------------------------------------------
+
+    def _attribute_profiles(
+        self, collection: EntityCollection
+    ) -> dict[str, frozenset[str]]:
+        tokens: dict[str, set[str]] = {}
+        for description in collection:
+            # Profiles are built from literal values only: URI-valued
+            # attributes carry relationship structure, not value content,
+            # and would leak namespace tokens into every profile.
+            for prop, value in description.literal_pairs():
+                tokens.setdefault(prop, set()).update(
+                    token_split(value, self.min_token_length)
+                )
+        return {prop: frozenset(toks) for prop, toks in tokens.items()}
+
+    def fit(
+        self,
+        collection1: EntityCollection,
+        collection2: EntityCollection | None = None,
+    ) -> dict[tuple[str, str], str]:
+        """Learn the attribute→cluster mapping and return it.
+
+        Keys of the returned mapping are ``(collection_name, property)``;
+        values are cluster ids.
+        """
+        profiles1 = self._attribute_profiles(collection1)
+        if collection2 is None:
+            # Dirty ER: cluster attributes of the single collection among
+            # themselves using best-match linking.
+            profiles2 = profiles1
+            name1 = name2 = collection1.name
+        else:
+            profiles2 = self._attribute_profiles(collection2)
+            name1, name2 = collection1.name, collection2.name
+
+        links = DisjointSet()
+        qualified: list[tuple[str, str]] = []
+        for prop in profiles1:
+            links.add((name1, prop))
+        for prop in profiles2:
+            links.add((name2, prop))
+
+        def link_best(src_profiles, src_name, dst_profiles, dst_name):
+            for prop, profile in src_profiles.items():
+                best_prop = None
+                best_sim = 0.0
+                for other_prop, other_profile in dst_profiles.items():
+                    if dst_name == src_name and other_prop == prop:
+                        continue
+                    sim = _jaccard(profile, other_profile)
+                    if sim > best_sim or (
+                        sim == best_sim and best_prop is not None and other_prop < best_prop
+                    ):
+                        best_sim, best_prop = sim, other_prop
+                if best_prop is not None and best_sim >= self.similarity_threshold:
+                    links.union((src_name, prop), (dst_name, best_prop))
+                    qualified.append((src_name, prop))
+
+        link_best(profiles1, name1, profiles2, name2)
+        if collection2 is not None:
+            link_best(profiles2, name2, profiles1, name1)
+
+        qualified_set = set(qualified)
+        mapping: dict[tuple[str, str], str] = {}
+        cluster_names: dict[tuple[str, str], str] = {}
+        for key in sorted(links.items()):
+            root = links.find(key)
+            if links.size_of(key) < 2 and key not in qualified_set:
+                mapping[key] = GLUE_CLUSTER
+                continue
+            if root not in cluster_names:
+                cluster_names[root] = f"c{len(cluster_names)}"
+            mapping[key] = cluster_names[root]
+        self._clusters = mapping
+        self._names = (name1, name2)
+        return mapping
+
+    # -- Blocker interface ----------------------------------------------------
+
+    def build(
+        self,
+        collection1: EntityCollection,
+        collection2: EntityCollection | None = None,
+        drop_singletons: bool = True,
+    ) -> BlockCollection:
+        self.fit(collection1, collection2)
+        return super().build(collection1, collection2, drop_singletons)
+
+    def keys_for(self, description: EntityDescription) -> set[str]:
+        if self._clusters is None:
+            raise RuntimeError("call build()/fit() before keys_for()")
+        keys: set[str] = set()
+        for prop, value in description.literal_pairs():
+            cluster = (
+                self._clusters.get((description.source, prop))
+                or self._clusters.get((self._names[0], prop))
+                or self._clusters.get((self._names[1], prop))
+                or GLUE_CLUSTER
+            )
+            for token in token_split(value, self.min_token_length):
+                keys.add(f"{cluster}#{token}")
+        return keys

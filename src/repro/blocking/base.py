@@ -1,0 +1,74 @@
+"""The blocker interface.
+
+Every blocking method maps one collection (dirty ER) or two collections
+(clean-clean ER) to a :class:`~repro.blocking.block.BlockCollection`.
+Methods differ only in how they derive blocking keys per description, so
+the base class implements the grouping loop and subclasses supply
+:meth:`Blocker.keys_for`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.blocking.block import Block, BlockCollection
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+class Blocker(ABC):
+    """Base class for key-based blocking methods."""
+
+    #: human-readable name used in experiment tables
+    name = "blocker"
+
+    @abstractmethod
+    def keys_for(self, description: EntityDescription) -> set[str]:
+        """The blocking keys of one description."""
+
+    def build(
+        self,
+        collection1: EntityCollection,
+        collection2: EntityCollection | None = None,
+        drop_singletons: bool = True,
+    ) -> BlockCollection:
+        """Group descriptions by shared keys.
+
+        Args:
+            collection1: first (or only) KB.
+            collection2: second KB for clean-clean ER; when given, blocks
+                are bipartite and only cross-KB comparisons are implied.
+            drop_singletons: discard blocks that imply no comparison
+                (single-member blocks, or one-sided bipartite blocks).
+
+        Returns:
+            The block collection, with deterministic block order (sorted
+            keys) for reproducible downstream processing.
+        """
+        groups1: dict[str, list[str]] = {}
+        for description in collection1:
+            for key in self.keys_for(description):
+                groups1.setdefault(key, []).append(description.uri)
+
+        blocks = BlockCollection(name=f"{self.name}({collection1.name})")
+        if collection2 is None:
+            for key in sorted(groups1):
+                members = groups1[key]
+                if drop_singletons and len(members) < 2:
+                    continue
+                blocks.add(Block(key, members))
+            return blocks
+
+        groups2: dict[str, list[str]] = {}
+        for description in collection2:
+            for key in self.keys_for(description):
+                groups2.setdefault(key, []).append(description.uri)
+
+        blocks.name = f"{self.name}({collection1.name},{collection2.name})"
+        for key in sorted(set(groups1) | set(groups2)):
+            side1 = groups1.get(key, [])
+            side2 = groups2.get(key, [])
+            if drop_singletons and (not side1 or not side2):
+                continue
+            blocks.add(Block(key, side1, side2))
+        return blocks

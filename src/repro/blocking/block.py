@@ -1,0 +1,210 @@
+"""Blocks, block collections and comparison identities.
+
+Terminology (following the blocking literature the paper builds on):
+
+* a **block** is a set of descriptions sharing a blocking key;
+* in **dirty ER** a block holds one entity set and implies all
+  ``n·(n−1)/2`` intra-block pairs;
+* in **clean-clean ER** (two individually duplicate-free KBs) a block is
+  bipartite — ``entities1 × entities2`` — and implies only cross-KB pairs;
+* a **comparison** is an unordered description pair; the same comparison
+  may be implied by many blocks, and de-duplicating those repetitions is
+  exactly what meta-blocking is for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def comparison_pair(uri_a: str, uri_b: str) -> tuple[str, str]:
+    """Canonical unordered identity of a comparison.
+
+    Raises:
+        ValueError: when both URIs are identical (a description is never
+            compared with itself).
+    """
+    if uri_a == uri_b:
+        raise ValueError(f"self-comparison: {uri_a!r}")
+    return (uri_a, uri_b) if uri_a < uri_b else (uri_b, uri_a)
+
+
+class Block:
+    """One block: a key plus the descriptions it groups.
+
+    For clean-clean ER pass both *entities1* and *entities2*; for dirty ER
+    pass only *entities1*.
+    """
+
+    __slots__ = ("key", "entities1", "entities2")
+
+    def __init__(
+        self,
+        key: str,
+        entities1: Iterable[str],
+        entities2: Iterable[str] | None = None,
+    ) -> None:
+        self.key = key
+        self.entities1: list[str] = list(dict.fromkeys(entities1))
+        self.entities2: list[str] | None = (
+            list(dict.fromkeys(entities2)) if entities2 is not None else None
+        )
+
+    @property
+    def is_bipartite(self) -> bool:
+        """True for clean-clean (two-sided) blocks."""
+        return self.entities2 is not None
+
+    def __repr__(self) -> str:
+        if self.is_bipartite:
+            return f"Block({self.key!r}, {len(self.entities1)}x{len(self.entities2 or [])})"
+        return f"Block({self.key!r}, {len(self.entities1)})"
+
+    def __len__(self) -> int:
+        """Number of entity placements (block assignments) in this block."""
+        return len(self.entities1) + (len(self.entities2) if self.entities2 else 0)
+
+    def cardinality(self) -> int:
+        """Number of comparisons this block implies."""
+        if self.is_bipartite:
+            assert self.entities2 is not None
+            return len(self.entities1) * len(self.entities2)
+        n = len(self.entities1)
+        return n * (n - 1) // 2
+
+    def entities(self) -> list[str]:
+        """All member URIs (both sides for bipartite blocks)."""
+        if self.is_bipartite:
+            assert self.entities2 is not None
+            return self.entities1 + self.entities2
+        return list(self.entities1)
+
+    def comparisons(self) -> Iterator[tuple[str, str]]:
+        """Iterate over the implied comparisons (canonical pair order)."""
+        if self.is_bipartite:
+            assert self.entities2 is not None
+            for a in self.entities1:
+                for b in self.entities2:
+                    if a != b:
+                        yield comparison_pair(a, b)
+            return
+        ents = self.entities1
+        for i in range(len(ents)):
+            for j in range(i + 1, len(ents)):
+                yield comparison_pair(ents[i], ents[j])
+
+    def contains_pair(self, uri_a: str, uri_b: str) -> bool:
+        """True if this block implies the comparison (uri_a, uri_b)."""
+        if self.is_bipartite:
+            assert self.entities2 is not None
+            s1, s2 = set(self.entities1), set(self.entities2)
+            return (uri_a in s1 and uri_b in s2) or (uri_b in s1 and uri_a in s2)
+        members = set(self.entities1)
+        return uri_a in members and uri_b in members
+
+
+class BlockCollection:
+    """An ordered set of blocks plus the entity→blocks inverted index.
+
+    The inverted index is what meta-blocking's weighting schemes consume:
+    ``blocks_of(e)`` gives the keys of every block containing ``e``, so the
+    common-blocks count of a pair is a set intersection.
+    """
+
+    def __init__(self, blocks: Iterable[Block] = (), name: str = "blocks") -> None:
+        self.name = name
+        self._blocks: dict[str, Block] = {}
+        self._entity_index: dict[str, list[str]] | None = None
+        for block in blocks:
+            self.add(block)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+    def __getitem__(self, key: str) -> Block:
+        return self._blocks[key]
+
+    def __repr__(self) -> str:
+        return f"BlockCollection({self.name!r}, {len(self)} blocks)"
+
+    def add(self, block: Block) -> None:
+        """Insert *block*.
+
+        Raises:
+            ValueError: on duplicate block keys (keys identify blocks).
+        """
+        if block.key in self._blocks:
+            raise ValueError(f"duplicate block key {block.key!r}")
+        self._blocks[block.key] = block
+        self._entity_index = None
+
+    def remove(self, key: str) -> Block:
+        """Remove and return the block with *key*."""
+        block = self._blocks.pop(key)
+        self._entity_index = None
+        return block
+
+    def keys(self) -> list[str]:
+        """Block keys in insertion order."""
+        return list(self._blocks)
+
+    def blocks(self) -> list[Block]:
+        """Blocks in insertion order."""
+        return list(self._blocks.values())
+
+    # -- aggregate measures --------------------------------------------------
+
+    def total_comparisons(self) -> int:
+        """Sum of per-block cardinalities (with repetitions)."""
+        return sum(block.cardinality() for block in self)
+
+    def distinct_comparisons(self) -> set[tuple[str, str]]:
+        """The de-duplicated comparison set (materialized; use on small data)."""
+        out: set[tuple[str, str]] = set()
+        for block in self:
+            out.update(block.comparisons())
+        return out
+
+    def iter_comparisons_with_repetitions(self) -> Iterator[tuple[str, tuple[str, str]]]:
+        """Yield ``(block_key, pair)`` for every implied comparison."""
+        for block in self:
+            for pair in block.comparisons():
+                yield block.key, pair
+
+    def total_assignments(self) -> int:
+        """Total block assignments (the BC measure's denominator)."""
+        return sum(len(block) for block in self)
+
+    def entity_count(self) -> int:
+        """Number of distinct entities placed in at least one block."""
+        return len(self.entity_index())
+
+    # -- inverted index ------------------------------------------------------
+
+    def entity_index(self) -> dict[str, list[str]]:
+        """Entity URI → ordered list of keys of blocks containing it."""
+        if self._entity_index is None:
+            index: dict[str, list[str]] = {}
+            for block in self:
+                for uri in block.entities():
+                    index.setdefault(uri, []).append(block.key)
+            self._entity_index = index
+        return self._entity_index
+
+    def blocks_of(self, uri: str) -> list[str]:
+        """Keys of the blocks containing *uri* (empty when unindexed)."""
+        return list(self.entity_index().get(uri, ()))
+
+    def comparisons_in_common(self, uri_a: str, uri_b: str) -> int:
+        """Number of blocks containing both descriptions."""
+        index = self.entity_index()
+        blocks_a = set(index.get(uri_a, ()))
+        if not blocks_a:
+            return 0
+        return sum(1 for key in index.get(uri_b, ()) if key in blocks_a)

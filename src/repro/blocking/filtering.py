@@ -1,0 +1,57 @@
+"""Block filtering: keep each entity only in its most selective blocks.
+
+Complementary to purging (which drops whole blocks), block filtering
+(Papadakis et al.) acts per entity: an entity appearing in many blocks is
+removed from its *largest* blocks, keeping only the fraction ``ratio`` of
+its smallest (most selective) ones.  The intuition: an entity's small
+blocks carry its discriminative tokens; its large blocks are mostly noise.
+Filtering shrinks the blocking graph before meta-blocking, which both
+speeds meta-blocking up and improves its precision.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.block import Block, BlockCollection
+
+
+class BlockFiltering:
+    """Per-entity block retention.
+
+    Args:
+        ratio: fraction of each entity's blocks to keep, in (0, 1].  The
+            literature default is 0.8; E3 sweeps this.
+    """
+
+    name = "block-filtering"
+
+    def __init__(self, ratio: float = 0.8) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        """Return a new collection with entities removed from their largest blocks."""
+        cardinality: dict[str, int] = {
+            block.key: block.cardinality() for block in blocks
+        }
+        # Rank each entity's blocks by increasing cardinality; keep the
+        # ceil(ratio * count) smallest.  Ties break on block key so the
+        # result is deterministic.
+        keep: dict[str, set[str]] = {}
+        for uri, keys in blocks.entity_index().items():
+            limit = max(1, int(self.ratio * len(keys) + 0.5))
+            ranked = sorted(keys, key=lambda key: (cardinality[key], key))
+            keep[uri] = set(ranked[:limit])
+
+        filtered: list[Block] = []
+        for block in blocks:
+            entities1 = [u for u in block.entities1 if block.key in keep.get(u, ())]
+            if block.is_bipartite:
+                assert block.entities2 is not None
+                entities2 = [u for u in block.entities2 if block.key in keep.get(u, ())]
+                if entities1 and entities2:
+                    filtered.append(Block(block.key, entities1, entities2))
+            else:
+                if len(entities1) >= 2:
+                    filtered.append(Block(block.key, entities1))
+        return BlockCollection(filtered, name=f"filtered({blocks.name})")

@@ -1,0 +1,99 @@
+"""Block purging: discard oversized, low-signal blocks.
+
+Token blocking produces a heavy-tailed block-size distribution: a few stop
+-word-like tokens generate blocks containing thousands of descriptions,
+contributing the bulk of the comparison cost while carrying almost no
+matching signal (co-occurring in a huge block says little).  Block purging
+(Papadakis et al.) removes those blocks.
+
+Two policies are provided:
+
+* an explicit ``max_cardinality`` cutoff, and
+* the **adaptive** policy from the literature: scan blocks from largest to
+  smallest cardinality and purge while the marginal comparisons-per-
+  assignment ratio of the remaining collection keeps improving — i.e. find
+  the smallest cardinality threshold such that keeping larger blocks would
+  grow comparisons disproportionately to the block assignments (matching
+  evidence) they add.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.block import BlockCollection
+
+
+class BlockPurging:
+    """Remove blocks whose comparison cardinality exceeds a threshold.
+
+    Args:
+        max_cardinality: explicit cutoff; if None, the adaptive policy
+            picks the cutoff from the block-size distribution.
+        smoothing: adaptive policy's tolerance factor — the largest
+            cardinality level survives only if including it inflates the
+            collection's comparisons-per-assignment ratio by at most this
+            factor (1.1 keeps PC ≈ 1.0 while purging stop-token blocks on
+            every corpus in the evaluation; E3 sweeps it).
+    """
+
+    name = "block-purging"
+
+    def __init__(self, max_cardinality: int | None = None, smoothing: float = 1.1) -> None:
+        if max_cardinality is not None and max_cardinality < 1:
+            raise ValueError("max_cardinality must be >= 1")
+        if smoothing < 1.0:
+            raise ValueError("smoothing must be >= 1.0")
+        self.max_cardinality = max_cardinality
+        self.smoothing = smoothing
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        """Return a new collection without the purged blocks."""
+        threshold = (
+            self.max_cardinality
+            if self.max_cardinality is not None
+            else self.adaptive_threshold(blocks)
+        )
+        kept = [block for block in blocks if block.cardinality() <= threshold]
+        return BlockCollection(kept, name=f"purged({blocks.name})")
+
+    def adaptive_threshold(self, blocks: BlockCollection) -> int:
+        """Compute the adaptive cardinality cutoff for *blocks*.
+
+        Group blocks by comparison cardinality and accumulate, per level,
+        the comparisons (CC) and block assignments (BC) of all blocks at or
+        below it.  Scanning from the **largest** level downwards, a level is
+        purged while its inclusion inflates the collection-wide CC/BC ratio
+        by more than the ``smoothing`` factor relative to the collection
+        without it — the signature of stop-token blocks, which contribute
+        quadratically many comparisons but only linearly many assignments
+        (matching evidence).  The threshold is the largest surviving level.
+        """
+        if len(blocks) == 0:
+            return 1
+        by_cardinality: dict[int, tuple[int, int]] = {}
+        for block in blocks:
+            cardinality = block.cardinality()
+            comps, assigns = by_cardinality.get(cardinality, (0, 0))
+            by_cardinality[cardinality] = (
+                comps + cardinality,
+                assigns + len(block),
+            )
+        levels = sorted(by_cardinality)
+        cum_comparisons = [0] * len(levels)
+        cum_assignments = [0] * len(levels)
+        running_comps = 0
+        running_assigns = 0
+        for i, level in enumerate(levels):
+            comps, assigns = by_cardinality[level]
+            running_comps += comps
+            running_assigns += assigns
+            cum_comparisons[i] = running_comps
+            cum_assignments[i] = running_assigns
+
+        cut = len(levels) - 1
+        while cut > 0:
+            ratio_with = cum_comparisons[cut] / max(cum_assignments[cut], 1)
+            ratio_without = cum_comparisons[cut - 1] / max(cum_assignments[cut - 1], 1)
+            if ratio_with <= self.smoothing * ratio_without:
+                break
+            cut -= 1
+        return levels[cut]

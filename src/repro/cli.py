@@ -1,0 +1,364 @@
+"""Command-line interface to the MinoanER platform.
+
+Four subcommands cover the adoption path end to end::
+
+    python -m repro stats      KB.nt [KB2.nt]        # shape diagnosis
+    python -m repro block      --kb1 A.nt --kb2 B.nt [--gold G.csv]
+    python -m repro resolve    --kb1 A.nt [--kb2 B.nt] [--gold G.csv]
+                               [--budget N] [--benefit MODEL] [--out M.csv]
+    python -m repro synthesize --entities N --profile center|periphery
+                               --out-dir DIR
+
+``stats`` reports collection statistics plus the LOD-regime analysis of
+:mod:`repro.analysis`; ``block`` evaluates the blocking stage; ``resolve``
+runs the full pipeline and optionally writes the matched pairs as CSV;
+``synthesize`` materializes a synthetic workload as N-Triples + gold CSV
+for experimentation with external tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis import interlinking_density, match_regime, vocabulary_overlap
+from repro.blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    QGramsBlocking,
+    TokenBlocking,
+)
+from repro.core.budget import CostBudget
+from repro.core.benefit import BENEFITS
+from repro.core.pipeline import MinoanER
+from repro.datasets.gold import GoldStandard, load_gold_csv, save_gold_csv
+from repro.datasets.synthetic import (
+    CENTER_PROFILE,
+    PERIPHERY_PROFILE,
+    SyntheticConfig,
+    synthesize_pair,
+)
+from repro.evaluation.metrics import evaluate_blocks, evaluate_matches
+from repro.evaluation.reporting import format_table
+from repro.metablocking.pruning import PRUNERS
+from repro.metablocking.weighting import SCHEMES
+from repro.model.collection import EntityCollection
+from repro.rdf.loader import load_collection
+from repro.rdf.ntriples import Triple, serialize_ntriples
+
+_BLOCKERS = {
+    "token": TokenBlocking,
+    "attribute-clustering": AttributeClusteringBlocking,
+    "prefix-infix-suffix": PrefixInfixSuffixBlocking,
+    "qgrams": QGramsBlocking,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MinoanER: progressive entity resolution in the Web of Data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="collection statistics and LOD-regime analysis")
+    stats.add_argument("kb1", help="first KB (.nt or .ttl)")
+    stats.add_argument("kb2", nargs="?", help="optional second KB")
+    stats.add_argument("--gold", help="gold CSV (enables match-regime analysis)")
+
+    block = sub.add_parser("block", help="run and evaluate the blocking stage")
+    block.add_argument("--kb1", required=True)
+    block.add_argument("--kb2")
+    block.add_argument("--gold", help="gold CSV for PC/PQ/RR")
+    block.add_argument(
+        "--method", choices=sorted(_BLOCKERS), default="token", help="blocking method"
+    )
+
+    resolve = sub.add_parser("resolve", help="run the full MinoanER pipeline")
+    resolve.add_argument("--kb1", required=True)
+    resolve.add_argument("--kb2")
+    resolve.add_argument("--gold", help="gold CSV (evaluation only)")
+    resolve.add_argument("--budget", type=int, help="comparison budget (default unlimited)")
+    resolve.add_argument(
+        "--benefit", choices=sorted(BENEFITS), default="quantity",
+        help="benefit model targeted by scheduling",
+    )
+    resolve.add_argument(
+        "--weighting", choices=sorted(SCHEMES), default="ARCS",
+        help="meta-blocking weighting scheme",
+    )
+    resolve.add_argument(
+        "--pruning", choices=sorted(PRUNERS), default="CNP",
+        help="meta-blocking pruning scheme",
+    )
+    resolve.add_argument("--threshold", type=float, default=0.4, help="match threshold")
+    resolve.add_argument(
+        "--no-update", action="store_true", help="disable the update phase"
+    )
+    resolve.add_argument("--out", help="write matched pairs to this CSV")
+
+    workflow = sub.add_parser(
+        "workflow", help="run a canned experiment workflow on your data"
+    )
+    workflow.add_argument(
+        "name",
+        choices=("blocking", "metablocking", "progressive", "budgets"),
+        help="which workflow to run",
+    )
+    workflow.add_argument("--kb1", required=True)
+    workflow.add_argument("--kb2")
+    workflow.add_argument("--gold", required=True)
+    workflow.add_argument(
+        "--budget", type=int, default=1000,
+        help="budget for the progressive workflow",
+    )
+    workflow.add_argument(
+        "--budgets", type=int, nargs="+", default=[100, 500, 1000],
+        help="budgets for the budget-sweep workflow",
+    )
+    workflow.add_argument("--threshold", type=float, default=0.4)
+
+    synthesize = sub.add_parser("synthesize", help="generate a synthetic workload")
+    synthesize.add_argument("--entities", type=int, default=300)
+    synthesize.add_argument("--overlap", type=float, default=0.7)
+    synthesize.add_argument(
+        "--regime", choices=("center", "periphery"), default="center",
+        help="similarity regime of the generated pair",
+    )
+    synthesize.add_argument("--seed", type=int, default=42)
+    synthesize.add_argument("--out-dir", required=True)
+
+    return parser
+
+
+# -- command implementations -------------------------------------------------
+
+
+def _load(path: str) -> EntityCollection:
+    return load_collection(path)
+
+
+def _maybe_gold(path: str | None) -> GoldStandard | None:
+    return load_gold_csv(path) if path else None
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    kb1 = _load(args.kb1)
+    rows = [dict(metric=k, value=v) for k, v in kb1.statistics().as_rows()]
+    rows.append(dict(metric="interlinking density", value=f"{interlinking_density(kb1):.3f}"))
+    print(format_table(rows, title=f"Statistics: {kb1.name}", first_column="metric"))
+    if args.kb2:
+        kb2 = _load(args.kb2)
+        rows = [dict(metric=k, value=v) for k, v in kb2.statistics().as_rows()]
+        rows.append(
+            dict(metric="interlinking density", value=f"{interlinking_density(kb2):.3f}")
+        )
+        print()
+        print(format_table(rows, title=f"Statistics: {kb2.name}", first_column="metric"))
+        overlap = vocabulary_overlap(kb1, kb2)
+        print()
+        print(
+            format_table(
+                [
+                    dict(metric="shared properties", value=str(overlap.shared_properties)),
+                    dict(metric="vocabulary Jaccard", value=f"{overlap.jaccard:.3f}"),
+                    dict(
+                        metric="proprietary fraction",
+                        value=f"{overlap.proprietary_fraction:.3f}",
+                    ),
+                ],
+                title="Vocabulary overlap",
+                first_column="metric",
+            )
+        )
+        if args.gold:
+            gold = load_gold_csv(args.gold)
+            regime = match_regime(kb1, kb2, gold)
+            print()
+            print(
+                format_table(
+                    [
+                        dict(metric="gold matches", value=str(regime.pair_count)),
+                        dict(metric="mean match Jaccard", value=f"{regime.mean_jaccard:.3f}"),
+                        dict(
+                            metric="low-evidence matches",
+                            value=f"{regime.low_evidence_pairs}/{regime.pair_count}",
+                        ),
+                        dict(metric="regime", value=regime.regime),
+                    ],
+                    title="Match-similarity regime",
+                    first_column="metric",
+                )
+            )
+    return 0
+
+
+def cmd_block(args: argparse.Namespace) -> int:
+    kb1 = _load(args.kb1)
+    kb2 = _load(args.kb2) if args.kb2 else None
+    blocker = _BLOCKERS[args.method]()
+    blocks = blocker.build(kb1, kb2)
+    gold = _maybe_gold(args.gold)
+    if gold is not None:
+        quality = evaluate_blocks(
+            blocks, gold, len(kb1), len(kb2) if kb2 is not None else None
+        )
+        row = {"method": blocker.name}
+        row.update(quality.as_row())
+        print(format_table([row], title="Blocking quality", first_column="method"))
+    else:
+        print(
+            format_table(
+                [
+                    {
+                        "method": blocker.name,
+                        "blocks": str(len(blocks)),
+                        "comparisons": str(blocks.total_comparisons()),
+                        "entities": str(blocks.entity_count()),
+                    }
+                ],
+                title="Blocking summary",
+                first_column="method",
+            )
+        )
+    return 0
+
+
+def cmd_resolve(args: argparse.Namespace) -> int:
+    kb1 = _load(args.kb1)
+    kb2 = _load(args.kb2) if args.kb2 else None
+    gold = _maybe_gold(args.gold)
+    platform = MinoanER(
+        budget=CostBudget(args.budget),
+        weighting=args.weighting,
+        pruning=args.pruning,
+        benefit=args.benefit,
+        match_threshold=args.threshold,
+        update_phase=not args.no_update,
+    )
+    result = platform.resolve(kb1, kb2, gold=gold)
+    print(
+        format_table(
+            [dict(stage=k, value=v) for k, v in result.summary().items()],
+            title="Pipeline summary",
+            first_column="stage",
+        )
+    )
+    if gold is not None:
+        quality = evaluate_matches(result.matched_pairs(), gold)
+        print()
+        print(format_table([quality.as_row()], title="Matching quality"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["uri1", "uri2"])
+            for left, right in sorted(result.matched_pairs()):
+                writer.writerow([left, right])
+        print(f"\nmatches written to {args.out}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    profile = CENTER_PROFILE if args.regime == "center" else PERIPHERY_PROFILE
+    config = SyntheticConfig(
+        entities=args.entities, overlap=args.overlap, seed=args.seed, profile=profile
+    )
+    dataset = synthesize_pair(config)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    def write_kb(collection: EntityCollection, filename: str) -> str:
+        triples = [
+            Triple(d.uri, prop, value, is_literal=not value.startswith("http"))
+            for d in collection
+            for prop, value in d.pairs()
+        ]
+        path = os.path.join(args.out_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_ntriples(triples))
+        return path
+
+    paths = [
+        write_kb(dataset.kb1, "kb1.nt"),
+        write_kb(dataset.kb2, "kb2.nt"),
+    ]
+    gold_path = os.path.join(args.out_dir, "gold.csv")
+    save_gold_csv(dataset.gold, gold_path)
+    paths.append(gold_path)
+    print(
+        format_table(
+            [
+                dict(artifact=os.path.basename(p), path=p)
+                for p in paths
+            ],
+            title=(
+                f"Synthesized {args.regime} workload: "
+                f"{len(dataset.kb1)}+{len(dataset.kb2)} descriptions, "
+                f"{len(dataset.gold.matches)} matches"
+            ),
+            first_column="artifact",
+        )
+    )
+    return 0
+
+
+def cmd_workflow(args: argparse.Namespace) -> int:
+    from repro.core.evidence_matcher import NeighborAwareMatcher
+    from repro.matching.matcher import ThresholdMatcher
+    from repro.matching.similarity import SimilarityIndex
+    from repro.workflows import (
+        compare_blocking_methods,
+        compare_progressive_strategies,
+        sweep_budgets,
+        sweep_metablocking,
+    )
+
+    kb1 = _load(args.kb1)
+    kb2 = _load(args.kb2) if args.kb2 else None
+    gold = load_gold_csv(args.gold)
+    if args.name == "blocking":
+        report = compare_blocking_methods(kb1, kb2, gold)
+        first = "method"
+    elif args.name == "metablocking":
+        report = sweep_metablocking(kb1, kb2, gold)
+        first = "weighting"
+    elif args.name == "progressive":
+        collections = [kb1] if kb2 is None else [kb1, kb2]
+        index = SimilarityIndex(collections)
+        matcher = NeighborAwareMatcher(
+            ThresholdMatcher(index, threshold=args.threshold)
+        )
+        report = compare_progressive_strategies(
+            kb1, kb2, gold, matcher, budget=args.budget
+        )
+        first = "strategy"
+    else:
+        report = sweep_budgets(
+            kb1, kb2, gold, budgets=args.budgets,
+            platform=MinoanER(match_threshold=args.threshold),
+        )
+        first = "budget"
+    print(format_table(report.rows, title=report.title, first_column=first))
+    return 0
+
+
+_COMMANDS = {
+    "stats": cmd_stats,
+    "block": cmd_block,
+    "resolve": cmd_resolve,
+    "synthesize": cmd_synthesize,
+    "workflow": cmd_workflow,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The cost budget of pay-as-you-go resolution.
+
+MinoanER's iterative process "continues until the cost budget is
+consumed".  The dominant cost is executing comparisons (reading two
+descriptions and computing their similarity), but the scheduling and
+update phases are bookkeeping that a budget-honest evaluation must be able
+to charge too — E10 ablates exactly that.  The budget therefore meters two
+currencies: comparisons (weight 1) and scheduling operations (configurable
+fractional weight, 0 by default).
+"""
+
+from __future__ import annotations
+
+
+class CostBudget:
+    """A consumable resolution budget.
+
+    Args:
+        max_cost: total budget in comparison-equivalents; ``None`` means
+            unlimited (run to completion).
+        scheduling_cost_weight: cost of one scheduling/update operation,
+            as a fraction of one comparison (0.0 = scheduling is free,
+            the common assumption; E10 measures the effect of charging it).
+    """
+
+    def __init__(
+        self,
+        max_cost: int | None = None,
+        scheduling_cost_weight: float = 0.0,
+    ) -> None:
+        if max_cost is not None and max_cost < 0:
+            raise ValueError("max_cost must be non-negative")
+        if scheduling_cost_weight < 0:
+            raise ValueError("scheduling_cost_weight must be non-negative")
+        self.max_cost = max_cost
+        self.scheduling_cost_weight = scheduling_cost_weight
+        self.comparisons_executed = 0
+        self.scheduling_operations = 0
+
+    @property
+    def consumed(self) -> float:
+        """Total cost consumed, in comparison-equivalents."""
+        return (
+            self.comparisons_executed
+            + self.scheduling_operations * self.scheduling_cost_weight
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the next comparison would exceed the budget."""
+        if self.max_cost is None:
+            return False
+        return self.consumed + 1 > self.max_cost
+
+    @property
+    def remaining(self) -> float:
+        """Budget left (infinity when unlimited)."""
+        if self.max_cost is None:
+            return float("inf")
+        return max(0.0, self.max_cost - self.consumed)
+
+    def charge_comparison(self) -> None:
+        """Consume one comparison.
+
+        Raises:
+            RuntimeError: when the budget is already exhausted — callers
+                must check :attr:`exhausted` first; charging past the
+                budget is a harness bug, not a data condition.
+        """
+        if self.exhausted:
+            raise RuntimeError("cost budget exhausted")
+        self.comparisons_executed += 1
+
+    def grant(self, additional_cost: float) -> None:
+        """Enlarge the budget by *additional_cost* comparison-equivalents.
+
+        Pay-as-you-go sessions call this between instalments; granting on
+        an unlimited budget is a no-op.
+
+        Raises:
+            ValueError: for negative grants.
+        """
+        if additional_cost < 0:
+            raise ValueError("additional_cost must be non-negative")
+        if self.max_cost is not None:
+            self.max_cost += additional_cost
+
+    def charge_scheduling(self, operations: int = 1) -> None:
+        """Consume *operations* scheduling/update steps."""
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        self.scheduling_operations += operations
+
+    def copy(self) -> "CostBudget":
+        """Fresh (unconsumed) budget with the same limits."""
+        return CostBudget(self.max_cost, self.scheduling_cost_weight)
+
+    def __repr__(self) -> str:
+        limit = "∞" if self.max_cost is None else str(self.max_cost)
+        return (
+            f"CostBudget({self.consumed:.1f}/{limit}, "
+            f"{self.comparisons_executed} comparisons, "
+            f"{self.scheduling_operations} scheduling ops)"
+        )

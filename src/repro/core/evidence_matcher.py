@@ -1,0 +1,114 @@
+"""Neighbour-evidence-aware matching.
+
+The poster's update phase makes missed pairs *reachable*; this matcher
+makes them *matchable*.  Somehow-similar descriptions at the LOD periphery
+share too few tokens for any value-similarity threshold to accept them —
+which is precisely why blocking missed them in the first place.  MinoanER
+therefore treats "the partial matching results as a similarity evidence
+for their neighbor descriptions": if the entities two descriptions relate
+to have already been matched to each other, that is co-reference evidence
+in its own right.
+
+:class:`NeighborAwareMatcher` wraps any value matcher and augments its
+score::
+
+    score = value_similarity + evidence_weight × matched_neighbour_fraction
+
+where the matched-neighbour fraction is the share of the smaller
+neighbourhood whose members are (transitively) matched into the other
+description's neighbourhood.  The engine binds the live resolution context
+before execution, so the evidence grows as matching progresses — early
+decisions are value-driven, late decisions increasingly graph-driven,
+which is the pay-as-you-go behaviour the poster describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.matching.matcher import Matcher, MatchDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import ResolutionContext
+
+
+class NeighborAwareMatcher(Matcher):
+    """Combine a value matcher with neighbour co-reference evidence.
+
+    Args:
+        base: the underlying value matcher (its ``threshold`` attribute is
+            reused unless *threshold* is given).
+        evidence_weight: weight of the matched-neighbour fraction added to
+            the value score.  0 makes this matcher equivalent to *base*.
+        threshold: decision threshold on the combined score; defaults to
+            ``base.threshold`` (and to 0.5 when the base has none).
+        min_value_similarity: floor on the *value* score below which no
+            amount of neighbour evidence can produce a match.  Two spokes
+            of the same hub (a film's two different actors, say) inherit
+            full neighbour evidence from the hub match without co-referring
+            at all; demanding a sliver of value agreement (any common
+            token) filters those out.
+
+    The matcher is inert until an engine calls :meth:`bind` with a
+    resolution context; unbound, it behaves exactly like *base*.
+    """
+
+    def __init__(
+        self,
+        base: Matcher,
+        evidence_weight: float = 0.3,
+        threshold: float | None = None,
+        min_value_similarity: float = 1e-9,
+    ) -> None:
+        if evidence_weight < 0:
+            raise ValueError("evidence_weight must be non-negative")
+        if min_value_similarity < 0:
+            raise ValueError("min_value_similarity must be non-negative")
+        self.base = base
+        self.evidence_weight = evidence_weight
+        self.threshold = (
+            threshold
+            if threshold is not None
+            else getattr(base, "threshold", 0.5)
+        )
+        self.min_value_similarity = min_value_similarity
+        self._context: "ResolutionContext | None" = None
+
+    def bind(self, context: "ResolutionContext") -> None:
+        self._context = context
+        self.base.bind(context)
+
+    def neighbor_evidence(self, uri_a: str, uri_b: str) -> float:
+        """Matched-neighbour fraction in [0, 1] (0 when unbound)."""
+        context = self._context
+        if context is None or self.evidence_weight == 0:
+            return 0.0
+        neighbors_a = _neighborhood(context, uri_a)
+        neighbors_b = _neighborhood(context, uri_b)
+        if not neighbors_a or not neighbors_b:
+            return 0.0
+        graph = context.match_graph
+        matched = 0
+        for left in neighbors_a:
+            if not graph.is_resolved(left):
+                continue
+            if any(graph.are_matched(left, right) for right in neighbors_b):
+                matched += 1
+        return matched / min(len(neighbors_a), len(neighbors_b))
+
+    def similarity(self, uri_a: str, uri_b: str) -> float:
+        value = self.base.similarity(uri_a, uri_b)
+        return value + self.evidence_weight * self.neighbor_evidence(uri_a, uri_b)
+
+    def decide(self, uri_a: str, uri_b: str) -> MatchDecision:
+        value = self.base.similarity(uri_a, uri_b)
+        score = value + self.evidence_weight * self.neighbor_evidence(uri_a, uri_b)
+        is_match = score >= self.threshold and value >= self.min_value_similarity
+        return MatchDecision(uri_a, uri_b, score, is_match)
+
+
+def _neighborhood(context: "ResolutionContext", uri: str) -> list[str]:
+    seen = dict.fromkeys(context.neighbors(uri))
+    for other in context.inverse_neighbors(uri):
+        seen.setdefault(other)
+    return list(seen)

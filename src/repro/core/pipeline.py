@@ -1,0 +1,190 @@
+"""The end-to-end MinoanER facade.
+
+One object wiring the whole Figure-1 pipeline: blocking → block
+post-processing (purging, filtering) → meta-blocking (weighting + pruning)
+→ progressive matching (scheduling / matching / update on a budget).  The
+examples and most benchmarks drive the platform through this class; each
+stage remains individually accessible for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocking.base import Blocker
+from repro.blocking.block import BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.core.benefit import BenefitModel, make_benefit
+from repro.core.budget import CostBudget
+from repro.core.engine import ProgressiveER, ProgressiveResult
+from repro.core.evidence_matcher import NeighborAwareMatcher
+from repro.core.updater import NeighborEvidencePropagator
+from repro.datasets.gold import GoldStandard
+from repro.matching.matcher import Matcher, ThresholdMatcher
+from repro.matching.similarity import SimilarityIndex
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.metablocking.pruning import PruningScheme, make_pruner
+from repro.metablocking.weighting import WeightingScheme, make_scheme
+from repro.model.collection import EntityCollection
+
+
+@dataclass
+class MinoanERResult:
+    """Everything the pipeline produced, stage by stage."""
+
+    blocks: BlockCollection
+    processed_blocks: BlockCollection
+    edges: list[WeightedEdge]
+    progressive: ProgressiveResult
+
+    def matched_pairs(self) -> set[tuple[str, str]]:
+        """Final matched pairs."""
+        return self.progressive.matched_pairs()
+
+    def summary(self) -> dict[str, str]:
+        """One-line stage summary for reports."""
+        return {
+            "blocks": str(len(self.blocks)),
+            "after post-processing": str(len(self.processed_blocks)),
+            "scheduled comparisons": str(len(self.edges)),
+            "executed comparisons": str(self.progressive.comparisons_executed),
+            "matches": str(self.progressive.match_graph.match_count),
+            "discovered matches": str(self.progressive.discovered_matches),
+        }
+
+
+class MinoanER:
+    """The MinoanER platform, assembled.
+
+    Args:
+        blocker: blocking method (default: token blocking with URI tokens).
+        purging: block-purging stage, or ``None`` to skip.
+        filtering: block-filtering stage, or ``None`` to skip.
+        weighting: meta-blocking weighting scheme instance or name
+            (default ``"ARCS"``).
+        pruning: meta-blocking pruning scheme instance or name
+            (default ``"CNP"``).
+        matcher: pairwise matcher; if ``None``, a TF-IDF cosine
+            :class:`ThresholdMatcher` is built over the input collections
+            at :meth:`resolve` time.
+        match_threshold: threshold for the default matcher.
+        budget: resolution cost budget (default: unlimited).
+        benefit: benefit model instance or name (default ``"quantity"``).
+        update_phase: enable neighbour-evidence propagation.
+        boost_factor / discovery_weight: propagator knobs (see
+            :class:`~repro.core.updater.NeighborEvidencePropagator`).
+        evidence_weight: weight of matched-neighbour evidence in the match
+            decision (see :class:`~repro.core.evidence_matcher.
+            NeighborAwareMatcher`); applied to the default matcher when the
+            update phase is on — set 0 for pure value matching.
+    """
+
+    def __init__(
+        self,
+        blocker: Blocker | None = None,
+        purging: BlockPurging | None = None,
+        filtering: BlockFiltering | None = None,
+        weighting: WeightingScheme | str = "ARCS",
+        pruning: PruningScheme | str = "CNP",
+        matcher: Matcher | None = None,
+        match_threshold: float = 0.4,
+        budget: CostBudget | None = None,
+        benefit: BenefitModel | str = "quantity",
+        update_phase: bool = True,
+        boost_factor: float = 1.0,
+        discovery_weight: float = 0.5,
+        evidence_weight: float = 0.3,
+        checkpoint_every: int = 10,
+    ) -> None:
+        self.blocker = blocker or TokenBlocking()
+        self.purging = purging if purging is not None else BlockPurging()
+        self.filtering = filtering if filtering is not None else BlockFiltering()
+        self.weighting = (
+            make_scheme(weighting) if isinstance(weighting, str) else weighting
+        )
+        self.pruning = make_pruner(pruning) if isinstance(pruning, str) else pruning
+        self.matcher = matcher
+        self.match_threshold = match_threshold
+        self.budget = budget or CostBudget()
+        self.benefit = make_benefit(benefit) if isinstance(benefit, str) else benefit
+        self.updater = (
+            NeighborEvidencePropagator(
+                boost_factor=boost_factor, discovery_weight=discovery_weight
+            )
+            if update_phase
+            else None
+        )
+        self.evidence_weight = evidence_weight if update_phase else 0.0
+        self.checkpoint_every = checkpoint_every
+
+    # -- individual stages ----------------------------------------------------
+
+    def block(
+        self,
+        kb1: EntityCollection,
+        kb2: EntityCollection | None = None,
+    ) -> tuple[BlockCollection, BlockCollection]:
+        """Blocking + post-processing; returns (raw, processed) blocks."""
+        blocks = self.blocker.build(kb1, kb2)
+        processed = blocks
+        if self.purging is not None:
+            processed = self.purging.process(processed)
+        if self.filtering is not None:
+            processed = self.filtering.process(processed)
+        return blocks, processed
+
+    def meta_block(self, blocks: BlockCollection) -> list[WeightedEdge]:
+        """Weight + prune the blocking graph; returns surviving edges."""
+        graph = BlockingGraph(blocks, self.weighting)
+        return self.pruning.prune(graph)
+
+    def build_matcher(
+        self,
+        kb1: EntityCollection,
+        kb2: EntityCollection | None = None,
+    ) -> Matcher:
+        """The matcher used at resolve time (default: TF-IDF cosine)."""
+        if self.matcher is not None:
+            return self.matcher
+        collections = [kb1] if kb2 is None else [kb1, kb2]
+        index = SimilarityIndex(collections)
+        matcher: Matcher = ThresholdMatcher(
+            index, threshold=self.match_threshold, measure="cosine"
+        )
+        if self.evidence_weight > 0:
+            matcher = NeighborAwareMatcher(matcher, self.evidence_weight)
+        return matcher
+
+    # -- end to end --------------------------------------------------------------
+
+    def resolve(
+        self,
+        kb1: EntityCollection,
+        kb2: EntityCollection | None = None,
+        gold: GoldStandard | None = None,
+        label: str | None = None,
+    ) -> MinoanERResult:
+        """Run the full pipeline on one (dirty) or two (clean-clean) KBs.
+
+        *gold*, when given, only instruments the progressive curve.
+        """
+        blocks, processed = self.block(kb1, kb2)
+        edges = self.meta_block(processed)
+        matcher = self.build_matcher(kb1, kb2)
+        engine = ProgressiveER(
+            matcher=matcher,
+            budget=self.budget,
+            benefit=self.benefit,
+            updater=self.updater,
+            checkpoint_every=self.checkpoint_every,
+        )
+        collections = [kb1] if kb2 is None else [kb1, kb2]
+        progressive = engine.run(edges, collections, gold=gold, label=label)
+        return MinoanERResult(
+            blocks=blocks,
+            processed_blocks=processed,
+            edges=edges,
+            progressive=progressive,
+        )

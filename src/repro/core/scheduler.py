@@ -1,0 +1,178 @@
+"""The scheduling phase: a benefit-aware comparison priority queue.
+
+The scheduler owns the frontier of candidate comparisons.  Each queued
+pair carries a **base weight** — its meta-blocking edge weight, i.e. the
+structural match-likelihood evidence — plus any **evidence boosts** the
+update phase has granted it; the queue priority is::
+
+    priority = (base_weight + boost) × benefit_estimate(pair)
+
+so that the next comparison popped is the one most likely to increase the
+*targeted* benefit, which is exactly the poster's definition of the
+scheduling phase.  The heap is addressable: the update phase re-prioritizes
+queued pairs in O(log n) and can inject brand-new pairs that blocking never
+proposed (the "discover new candidate description pairs" capability).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.blocking.block import comparison_pair
+from repro.metablocking.graph import WeightedEdge
+from repro.utils.heap import AddressableMaxHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.benefit import BenefitModel
+    from repro.core.engine import ResolutionContext
+
+
+class ComparisonScheduler:
+    """Priority queue over candidate comparisons.
+
+    Args:
+        benefit: the benefit model whose estimates shape priorities.
+        context: resolution context handed to benefit estimation.
+    """
+
+    def __init__(self, benefit: "BenefitModel", context: "ResolutionContext") -> None:
+        self.benefit = benefit
+        self.context = context
+        self._heap: AddressableMaxHeap[tuple[str, str]] = AddressableMaxHeap()
+        self._base_weight: dict[tuple[str, str], float] = {}
+        self._boost: dict[tuple[str, str], float] = {}
+        self._by_uri: dict[str, set[tuple[str, str]]] = {}
+        #: pairs ever scheduled (so re-discovery does not re-queue decided pairs)
+        self._seen: set[tuple[str, str]] = set()
+        #: number of pairs injected by the update phase, for diagnostics
+        self.discovered_pairs = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._heap
+
+    # -- filling -------------------------------------------------------------
+
+    def add_edges(self, edges: Iterable[WeightedEdge]) -> int:
+        """Queue the comparisons surviving meta-blocking.
+
+        Returns:
+            Number of pairs queued (duplicates are merged, keeping the
+            maximum base weight).
+        """
+        added = 0
+        for edge in edges:
+            if self.schedule(edge.left, edge.right, edge.weight):
+                added += 1
+        return added
+
+    def schedule(self, uri_a: str, uri_b: str, weight: float) -> bool:
+        """Queue one pair with the given base weight.
+
+        Already-seen pairs are merged: the base weight is raised to the
+        maximum of old and new, never lowered.  Returns True if the pair
+        is newly queued.
+        """
+        pair = comparison_pair(uri_a, uri_b)
+        if pair in self._heap:
+            if weight > self._base_weight[pair]:
+                self._base_weight[pair] = weight
+                self._reprioritize(pair)
+            return False
+        if pair in self._seen:
+            return False  # already popped/decided; do not resurrect
+        self._seen.add(pair)
+        self._base_weight[pair] = weight
+        self._boost[pair] = 0.0
+        self._by_uri.setdefault(pair[0], set()).add(pair)
+        self._by_uri.setdefault(pair[1], set()).add(pair)
+        self._heap.push(pair, self._priority(pair))
+        return True
+
+    def discover(self, uri_a: str, uri_b: str, weight: float) -> bool:
+        """Inject a pair proposed by the update phase (possibly unblocked).
+
+        Returns True if the pair entered the queue.
+        """
+        pair = comparison_pair(uri_a, uri_b)
+        was_new = pair not in self._seen and pair not in self._heap
+        queued = self.schedule(uri_a, uri_b, weight)
+        if queued and was_new:
+            self.discovered_pairs += 1
+        return queued
+
+    # -- prioritization --------------------------------------------------------
+
+    def _priority(self, pair: tuple[str, str]) -> float:
+        estimate = self.benefit.estimate(pair[0], pair[1], self.context)
+        return (self._base_weight[pair] + self._boost[pair]) * max(estimate, 1e-9)
+
+    def _reprioritize(self, pair: tuple[str, str]) -> None:
+        self._heap.update(pair, self._priority(pair))
+
+    def boost(self, uri_a: str, uri_b: str, delta: float) -> bool:
+        """Add *delta* evidence weight to a queued pair.
+
+        Returns:
+            True if the pair was queued and re-prioritized.
+        """
+        pair = comparison_pair(uri_a, uri_b)
+        if pair not in self._heap:
+            return False
+        self._boost[pair] += delta
+        self._reprioritize(pair)
+        return True
+
+    def refresh(self, uri_a: str, uri_b: str) -> bool:
+        """Recompute a queued pair's priority (benefit estimates drift as
+        the match state evolves).  Returns True if the pair was queued."""
+        pair = comparison_pair(uri_a, uri_b)
+        if pair not in self._heap:
+            return False
+        self._reprioritize(pair)
+        return True
+
+    # -- consumption ---------------------------------------------------------
+
+    def refresh_involving(self, uri: str) -> int:
+        """Re-estimate every queued pair touching *uri*.
+
+        Benefit estimates depend on the evolving match state (e.g. a pair's
+        entity-coverage value drops once either endpoint is resolved); the
+        engine calls this after each confirmed match so queued priorities
+        track reality.  Returns the number of pairs re-prioritized.
+        """
+        pairs = self._by_uri.get(uri)
+        if not pairs:
+            return 0
+        for pair in pairs:
+            self._reprioritize(pair)
+        return len(pairs)
+
+    def pop(self) -> tuple[tuple[str, str], float]:
+        """Remove and return ``(pair, priority)`` of the best comparison.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        pair, priority = self._heap.pop()
+        for uri in pair:
+            bucket = self._by_uri.get(uri)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._by_uri[uri]
+        return pair, priority
+
+    def peek(self) -> tuple[tuple[str, str], float]:
+        """Best comparison without removing it."""
+        return self._heap.peek()
+
+    def base_weight(self, uri_a: str, uri_b: str) -> float:
+        """Current base weight of a pair (0.0 if never scheduled)."""
+        return self._base_weight.get(comparison_pair(uri_a, uri_b), 0.0)

@@ -1,0 +1,168 @@
+"""Resumable pay-as-you-go resolution sessions.
+
+The poster frames MinoanER as pay-as-you-go: resolution quality grows as
+more budget is invested, and the consumer decides when (and whether) to
+continue.  :class:`ProgressiveSession` makes that contract literal — it
+owns the live state of one resolution (scheduler frontier, match graph,
+consumed budget, progressive curve) and exposes :meth:`advance`, which
+consumes an *instalment* of comparisons and returns, so the caller can
+inspect intermediate quality, change their mind, or grant more budget
+later.  ``ProgressiveER.run`` is a session drained in one instalment.
+"""
+
+from __future__ import annotations
+
+from repro.core.benefit import BenefitModel, QuantityBenefit
+from repro.core.budget import CostBudget
+from repro.core.engine import ProgressiveResult, ResolutionContext
+from repro.core.scheduler import ComparisonScheduler
+from repro.core.updater import NeighborEvidencePropagator
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.progressive import ProgressiveCurve
+from repro.matching.matcher import Matcher
+from repro.metablocking.graph import WeightedEdge
+from repro.model.collection import EntityCollection
+
+
+class ProgressiveSession:
+    """Live state of one progressive resolution.
+
+    Args:
+        matcher: pairwise decider (bound to the session's context).
+        edges: candidate comparisons surviving meta-blocking.
+        collections: the input KBs.
+        benefit: targeted benefit model (default: quantity).
+        updater: neighbour-evidence propagator, or ``None`` for a static
+            schedule.
+        gold: optional ground truth — recall instrumentation only.
+        label: progressive-curve label.
+        checkpoint_every: curve sampling period, in comparisons.
+        scheduling_cost_weight: forwarded to the session budget.
+        refresh_estimates: re-estimate affected queued pairs after each
+            match (see :class:`~repro.core.engine.ProgressiveER`).
+
+    The session starts with a **zero** budget: nothing is resolved until
+    the first :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        matcher: Matcher,
+        edges: list[WeightedEdge],
+        collections: list[EntityCollection],
+        benefit: BenefitModel | None = None,
+        updater: NeighborEvidencePropagator | None = None,
+        gold: GoldStandard | None = None,
+        label: str | None = None,
+        checkpoint_every: int = 10,
+        scheduling_cost_weight: float = 0.0,
+        refresh_estimates: bool = True,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.matcher = matcher
+        self.benefit = benefit or QuantityBenefit()
+        self.updater = updater
+        self.gold = gold
+        self.checkpoint_every = checkpoint_every
+        self.refresh_estimates = refresh_estimates
+
+        self.context = ResolutionContext(collections)
+        self.matcher.bind(self.context)
+        self.scheduler = ComparisonScheduler(self.benefit, self.context)
+        self.scheduler.add_edges(edges)
+        self.budget = CostBudget(0, scheduling_cost_weight=scheduling_cost_weight)
+
+        self._blocked_pairs = {edge.pair for edge in edges}
+        self._found_gold = 0
+        self._gold_total = len(gold.matches) if gold is not None else 0
+        curve = ProgressiveCurve(label=label or self.benefit.name)
+        self.result = ProgressiveResult(
+            match_graph=self.context.match_graph, curve=curve, budget=self.budget
+        )
+        self._checkpoint()
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def pending_comparisons(self) -> int:
+        """Comparisons still queued."""
+        return len(self.scheduler)
+
+    @property
+    def finished(self) -> bool:
+        """True when the frontier is empty — no grant can make progress."""
+        return not self.scheduler
+
+    @property
+    def recall(self) -> float:
+        """Current recall against the session gold (0.0 when no gold)."""
+        if not self._gold_total:
+            return 0.0
+        return self._found_gold / self._gold_total
+
+    def matched_pairs(self) -> set[tuple[str, str]]:
+        """Pairs matched so far."""
+        return self.context.match_graph.matched_pairs()
+
+    # -- execution -------------------------------------------------------------
+
+    def advance(self, instalment: int | None = None) -> ProgressiveResult:
+        """Grant *instalment* more comparisons and resolve until consumed.
+
+        Args:
+            instalment: comparisons to add to the budget; ``None`` removes
+                the limit and drains the frontier completely.
+
+        Returns:
+            The live :class:`ProgressiveResult` (shared across instalments;
+            its curve spans the whole session).
+        """
+        if instalment is not None:
+            if instalment < 0:
+                raise ValueError("instalment must be non-negative")
+            self.budget.grant(instalment)
+        else:
+            self.budget.max_cost = None
+
+        scheduler = self.scheduler
+        budget = self.budget
+        context = self.context
+        graph = context.match_graph
+        while scheduler and not budget.exhausted:
+            pair, _priority = scheduler.pop()
+            if pair in graph:
+                self.result.skipped_decided += 1
+                continue
+            decision = self.matcher.decide(pair[0], pair[1])
+            budget.charge_comparison()
+            graph.record(decision)
+            self.result.benefit_total += self.benefit.realized(decision, context)
+            if decision.is_match:
+                if self.gold is not None and pair in self.gold.matches:
+                    self._found_gold += 1
+                if pair not in self._blocked_pairs:
+                    self.result.discovered_matches += 1
+                if self.updater is not None:
+                    operations = self.updater.on_match(decision, scheduler, context)
+                    budget.charge_scheduling(operations)
+                if self.refresh_estimates:
+                    refreshed = 0
+                    touched = set(pair)
+                    for uri in pair:
+                        touched.update(context.neighbors(uri))
+                        touched.update(context.inverse_neighbors(uri))
+                    for uri in touched:
+                        refreshed += scheduler.refresh_involving(uri)
+                    budget.charge_scheduling(refreshed)
+            if budget.comparisons_executed % self.checkpoint_every == 0:
+                self._checkpoint()
+        self._checkpoint()
+        self.result.discovered_pairs = scheduler.discovered_pairs
+        return self.result
+
+    def _checkpoint(self) -> None:
+        values = {"benefit": self.result.benefit_total}
+        if self.gold is not None:
+            values["recall"] = self.recall
+        self.result.curve.record(self.budget.comparisons_executed, **values)

@@ -1,0 +1,51 @@
+"""Datasets: synthetic LOD workloads and embedded real-shaped samples.
+
+The paper evaluates on Web-of-data corpora (DBpedia-centred "center of the
+LOD cloud" KBs and sparsely interlinked "periphery" KBs).  Without network
+access those corpora are substituted by:
+
+* :mod:`repro.datasets.synthetic` — a generator producing pairs of KBs
+  with controllable similarity profile (*center* = highly similar
+  descriptions sharing many tokens; *periphery* = somehow similar
+  descriptions sharing few), proprietary per-KB vocabularies, skewed token
+  frequencies, relationship structure (entity graphs) and exact ground
+  truth — the statistical regimes the paper's motivation quotes;
+* :mod:`repro.datasets.samples` — small hand-curated restaurant and movie
+  corpora shipped as N-Triples with gold standards, used by examples and
+  integration tests;
+* :mod:`repro.datasets.gold` — ground-truth containers and CSV I/O.
+"""
+
+from repro.datasets.gold import GoldStandard, load_gold_csv, save_gold_csv
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    SyntheticDataset,
+    synthesize_pair,
+    synthesize_dirty,
+    CENTER_PROFILE,
+    PERIPHERY_PROFILE,
+    PerturbationProfile,
+)
+from repro.datasets.samples import (
+    load_restaurants,
+    load_movies,
+    load_people,
+    sample_path,
+)
+
+__all__ = [
+    "GoldStandard",
+    "load_gold_csv",
+    "save_gold_csv",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "synthesize_pair",
+    "synthesize_dirty",
+    "CENTER_PROFILE",
+    "PERIPHERY_PROFILE",
+    "PerturbationProfile",
+    "load_restaurants",
+    "load_movies",
+    "load_people",
+    "sample_path",
+]

@@ -1,0 +1,101 @@
+"""Ground-truth containers and CSV I/O.
+
+A :class:`GoldStandard` stores the oracle co-reference information used by
+evaluation only (never by the resolution pipeline): the set of matching
+pairs and, when available, the grouping of descriptions into real-world
+entities and of real-world entities into **entity graphs** (connected
+groups of related entities — the unit of the relationship-completeness
+benefit).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.blocking.block import comparison_pair
+
+
+@dataclass
+class GoldStandard:
+    """Oracle co-reference data for one ER task.
+
+    Args:
+        matches: canonical matching pairs.
+        clusters: optional full clustering — every group of URIs that
+            describe the same real-world entity (supersedes *matches* when
+            given: matches are derived as all intra-cluster pairs).
+        entity_graphs: optional grouping of cluster ids into related
+            groups; each entry lists the clusters (by index into
+            *clusters*) forming one real-world entity graph.
+    """
+
+    matches: set[tuple[str, str]] = field(default_factory=set)
+    clusters: list[frozenset[str]] = field(default_factory=list)
+    entity_graphs: list[frozenset[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.clusters and not self.matches:
+            self.matches = set(self.pairs_from_clusters())
+
+    def __len__(self) -> int:
+        """Number of matching pairs."""
+        return len(self.matches)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self.matches
+
+    def is_match(self, uri_a: str, uri_b: str) -> bool:
+        """True if the two URIs co-refer according to the gold standard."""
+        return comparison_pair(uri_a, uri_b) in self.matches
+
+    def pairs_from_clusters(self) -> Iterable[tuple[str, str]]:
+        """All intra-cluster pairs."""
+        for cluster in self.clusters:
+            members = sorted(cluster)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    yield comparison_pair(members[i], members[j])
+
+    def cluster_index(self) -> dict[str, int]:
+        """URI → cluster id (only for URIs covered by *clusters*)."""
+        index: dict[str, int] = {}
+        for cluster_id, cluster in enumerate(self.clusters):
+            for uri in cluster:
+                index[uri] = cluster_id
+        return index
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[str, str]]) -> "GoldStandard":
+        """Build from raw (possibly unordered) pair tuples."""
+        return GoldStandard(
+            matches={comparison_pair(a, b) for a, b in pairs}
+        )
+
+
+def load_gold_csv(path: str) -> GoldStandard:
+    """Load a two-column CSV of matching URI pairs (header optional).
+
+    Lines whose first field is ``uri1``/``id1`` (case-insensitive) are
+    treated as headers and skipped.
+    """
+    pairs: set[tuple[str, str]] = set()
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) < 2:
+                continue
+            first = row[0].strip()
+            if first.lower() in ("uri1", "id1", "left"):
+                continue
+            pairs.add(comparison_pair(first, row[1].strip()))
+    return GoldStandard(matches=pairs)
+
+
+def save_gold_csv(gold: GoldStandard, path: str) -> None:
+    """Write the matching pairs as a two-column CSV with a header."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["uri1", "uri2"])
+        for left, right in sorted(gold.matches):
+            writer.writerow([left, right])

@@ -1,0 +1,46 @@
+"""An in-process MapReduce engine and the parallel ER algorithms on it.
+
+MinoanER "exploits the parallel processing power of a computer cluster via
+Hadoop MapReduce" for blocking and meta-blocking [4, 5].  With no cluster
+available, this package substitutes a faithful in-process engine that
+reproduces the MapReduce **programming model** — mappers, combiners,
+hash partitioning, sorted shuffle, reducers, counters — and simulates the
+cluster dimension (configurable worker count, per-worker task metrics,
+critical-path time model), so the parallel formulations of [4, 5] run
+unchanged and their scaling behaviour (E8) can be measured.
+
+* :mod:`repro.mapreduce.engine` — the job runner;
+* :mod:`repro.mapreduce.parallel_blocking` — MapReduce token blocking [5];
+* :mod:`repro.mapreduce.parallel_metablocking` — MapReduce meta-blocking
+  [4], edge-centric and entity-centric strategies.
+"""
+
+from repro.mapreduce.engine import (
+    MapReduceEngine,
+    MapReduceJob,
+    JobMetrics,
+    hash_partitioner,
+)
+from repro.mapreduce.parallel_blocking import parallel_token_blocking
+from repro.mapreduce.parallel_metablocking import (
+    parallel_pair_statistics,
+    parallel_metablocking,
+    parallel_node_pruning,
+)
+from repro.mapreduce.parallel_postprocessing import (
+    parallel_block_purging,
+    parallel_block_filtering,
+)
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceJob",
+    "JobMetrics",
+    "hash_partitioner",
+    "parallel_token_blocking",
+    "parallel_pair_statistics",
+    "parallel_metablocking",
+    "parallel_node_pruning",
+    "parallel_block_purging",
+    "parallel_block_filtering",
+]

@@ -1,0 +1,216 @@
+"""MapReduce meta-blocking, after Efthymiou et al. (IEEE Big Data 2015) [4].
+
+The paper parallelizes meta-blocking with two families of strategies:
+
+* **edge-centric** — materialize the blocking graph's edges in the shuffle:
+  map over blocks emitting one record per implied comparison, carrying that
+  block's evidence contribution; combine/reduce sums contributions into the
+  per-pair statistics every weighting scheme needs.  Weight computation and
+  global pruning (WEP/CEP) then run on the aggregated edge list.
+
+* **entity-centric** — route each entity's complete comparison neighbourhood
+  to one reducer: map emits ``(entity, (neighbour, contribution))`` records;
+  each reduce group reconstructs one node's weighted adjacency, applies the
+  node-local decision (WNP's neighbourhood-average threshold or CNP's
+  top-k) and emits the locally retained edges; a final de-duplication pass
+  applies the union/reciprocal semantics.
+
+Both produce the same surviving comparisons as the sequential
+:mod:`repro.metablocking` implementations (asserted in tests), while the
+engine metrics expose their very different shuffle volumes — the trade-off
+the paper's evaluation measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.blocking.block import BlockCollection
+from repro.mapreduce.engine import JobMetrics, MapReduceEngine, MapReduceJob
+from repro.metablocking.graph import WeightedEdge
+from repro.metablocking.weighting import WeightingScheme
+from repro.metablocking.pruning import PruningScheme, WEP, CEP
+
+
+def parallel_pair_statistics(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+) -> tuple[dict[tuple[str, str], tuple[int, float]], JobMetrics]:
+    """Edge-centric aggregation of per-pair (common blocks, ARCS) statistics.
+
+    Map emits ``(pair, (1, 1/‖b‖))`` per comparison implied by each block;
+    a combiner pre-sums per map task; the reducer finishes the sums.
+    """
+
+    def mapper(_key: str, block) -> Iterator[tuple[tuple[str, str], tuple[int, float]]]:
+        cardinality = block.cardinality()
+        if cardinality == 0:
+            return
+        contribution = 1.0 / cardinality
+        for pair in block.comparisons():
+            yield pair, (1, contribution)
+
+    def combine(pair, values) -> Iterator[tuple[tuple[str, str], tuple[int, float]]]:
+        total = sum(v[0] for v in values)
+        arcs = sum(v[1] for v in values)
+        yield pair, (total, arcs)
+
+    job = MapReduceJob(
+        name="pair-statistics",
+        mapper=mapper,
+        reducer=combine,
+        combiner=combine,
+    )
+    records = [(block.key, block) for block in blocks]
+    output, metrics = engine.run(job, records)
+    return dict(output), metrics
+
+
+def parallel_metablocking(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+    scheme: WeightingScheme,
+    pruner: PruningScheme,
+) -> tuple[list[WeightedEdge], list[JobMetrics]]:
+    """Edge-centric parallel meta-blocking: statistics, weighting, pruning.
+
+    Stage 1 (MapReduce) aggregates pair statistics; stage 2 computes weights
+    with *scheme* (globals prepared exactly as sequentially); stage 3 runs
+    the global pruning criterion as a second MapReduce job for WEP/CEP, or
+    falls back to the sequential pruner for node-centric schemes (use
+    :func:`parallel_node_pruning` for those).
+
+    Returns:
+        ``(surviving_edges, [job_metrics...])`` with edges in the pruner's
+        deterministic order.
+    """
+    if not isinstance(pruner, (WEP, CEP)):
+        # Node-centric schemes route neighbourhoods to reducers instead of
+        # pruning globally; they own their whole job chain.
+        return parallel_node_pruning(engine, blocks, scheme, pruner)
+
+    stats, stats_metrics = parallel_pair_statistics(engine, blocks)
+    metrics = [stats_metrics]
+
+    scheme.prepare(blocks, stats)
+    weighted = {
+        pair: scheme.weight(pair[0], pair[1], common, arcs)
+        for pair, (common, arcs) in stats.items()
+    }
+
+    if isinstance(pruner, WEP):
+        threshold = (
+            (sum(weighted.values()) / len(weighted)) if weighted else 0.0
+        ) * pruner.threshold_factor
+
+        def wep_mapper(pair, weight) -> Iterator[tuple[tuple[str, str], float]]:
+            if weight >= threshold:
+                yield pair, weight
+
+        def identity_reducer(pair, weights) -> Iterator[tuple[tuple[str, str], float]]:
+            yield pair, weights[0]
+
+        job = MapReduceJob(name="wep-pruning", mapper=wep_mapper, reducer=identity_reducer)
+        output, prune_metrics = engine.run(job, list(weighted.items()))
+        metrics.append(prune_metrics)
+        survivors = sorted(output, key=lambda kv: (-kv[1], kv[0]))
+        return [WeightedEdge(p[0], p[1], w) for p, w in survivors], metrics
+
+    if isinstance(pruner, CEP):
+        # Global top-K: each map task pre-selects its local top-K (the
+        # standard distributed top-K trick), a single reduce group merges.
+        k = pruner.k if pruner.k is not None else max(1, blocks.total_assignments() // 2)
+
+        def cep_mapper(pair, weight) -> Iterator[tuple[str, tuple[float, tuple[str, str]]]]:
+            yield "topk", (weight, pair)
+
+        def cep_combiner(key, values) -> Iterator[tuple[str, tuple[float, tuple[str, str]]]]:
+            values.sort(key=lambda wp: (-wp[0], wp[1]))
+            for value in values[:k]:
+                yield key, value
+
+        def cep_reducer(key, values) -> Iterator[tuple[tuple[str, str], float]]:
+            values.sort(key=lambda wp: (-wp[0], wp[1]))
+            for weight, pair in values[:k]:
+                yield pair, weight
+
+        job = MapReduceJob(
+            name="cep-pruning", mapper=cep_mapper, reducer=cep_reducer, combiner=cep_combiner
+        )
+        output, prune_metrics = engine.run(job, list(weighted.items()))
+        metrics.append(prune_metrics)
+        survivors = sorted(output, key=lambda kv: (-kv[1], kv[0]))
+        return [WeightedEdge(p[0], p[1], w) for p, w in survivors], metrics
+
+    raise AssertionError("unreachable: pruner dispatched above")
+
+
+def parallel_node_pruning(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+    scheme: WeightingScheme,
+    pruner: PruningScheme,
+) -> tuple[list[WeightedEdge], list[JobMetrics]]:
+    """Entity-centric parallel meta-blocking for WNP/CNP-style pruning.
+
+    Map routes every weighted edge to **both** endpoints; each reduce group
+    sees one node's full weighted neighbourhood and applies the node-local
+    retention rule; a final reduce merges the two endpoints' votes with the
+    pruner's union (1 vote) or reciprocal (2 votes) semantics.
+
+    Raises:
+        TypeError: if *pruner* has no node-local semantics (not WNP/CNP
+            family).
+    """
+    from repro.metablocking.pruning import WNP, CNP
+
+    if not isinstance(pruner, (WNP, CNP)):
+        raise TypeError(f"{pruner.name} is not a node-centric pruning scheme")
+
+    stats, stats_metrics = parallel_pair_statistics(engine, blocks)
+    scheme.prepare(blocks, stats)
+    weighted = [
+        (pair, scheme.weight(pair[0], pair[1], common, arcs))
+        for pair, (common, arcs) in stats.items()
+    ]
+
+    if isinstance(pruner, CNP):
+        k = pruner.node_budget_from_blocks(blocks)
+    else:
+        k = 0  # unused for WNP
+
+    def route_mapper(pair, weight) -> Iterator[tuple[str, tuple[str, float]]]:
+        left, right = pair
+        yield left, (right, weight)
+        yield right, (left, weight)
+
+    def node_reducer(node, neighbors) -> Iterator[tuple[tuple[str, str], float]]:
+        if isinstance(pruner, CNP):
+            ranked = sorted(neighbors, key=lambda nw: (-nw[1], nw[0]))
+            retained = ranked[:k]
+        else:
+            threshold = sum(w for _, w in neighbors) / len(neighbors)
+            retained = [(other, w) for other, w in neighbors if w >= threshold]
+        for other, weight in retained:
+            pair = (node, other) if node < other else (other, node)
+            yield pair, weight
+
+    def vote_mapper(pair, weight) -> Iterator[tuple[tuple[str, str], float]]:
+        yield pair, weight
+
+    required = pruner.required_votes
+
+    def vote_reducer(pair, weights) -> Iterator[tuple[tuple[str, str], float]]:
+        if len(weights) >= required:
+            yield pair, weights[0]
+
+    node_job = MapReduceJob(name="node-retention", mapper=route_mapper, reducer=node_reducer)
+    node_output, node_metrics = engine.run(node_job, weighted)
+
+    vote_job = MapReduceJob(name="vote-merge", mapper=vote_mapper, reducer=vote_reducer)
+    vote_output, vote_metrics = engine.run(vote_job, node_output)
+
+    survivors = sorted(vote_output, key=lambda kv: (-kv[1], kv[0]))
+    edges = [WeightedEdge(p[0], p[1], w) for p, w in survivors]
+    return edges, [stats_metrics, node_metrics, vote_metrics]

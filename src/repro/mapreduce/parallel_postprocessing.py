@@ -1,0 +1,165 @@
+"""MapReduce block post-processing: parallel purging and filtering.
+
+On a cluster, block purging and filtering run as MapReduce jobs between
+blocking and meta-blocking [5].  Both are reproduced here:
+
+* **parallel purging** — a statistics job aggregates the per-cardinality
+  (comparisons, assignments) histogram; the driver computes the adaptive
+  threshold exactly as the sequential :class:`~repro.blocking.purging.
+  BlockPurging` does (the histogram is tiny, so this mirrors Hadoop
+  practice of finishing scalar decisions driver-side); a second job drops
+  oversized blocks.
+* **parallel filtering** — entity-centric: map emits ``(entity,
+  (block_key, cardinality))`` for every assignment, each reduce group
+  ranks one entity's blocks and keeps its smallest share, and a final job
+  regroups the surviving assignments into blocks.
+
+Outputs are identical to the sequential implementations (asserted in
+tests), with the engine metrics exposing the extra shuffle rounds a
+cluster pays for post-processing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.mapreduce.engine import JobMetrics, MapReduceEngine, MapReduceJob
+
+
+def parallel_block_purging(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+    purging: BlockPurging | None = None,
+) -> tuple[BlockCollection, list[JobMetrics]]:
+    """Run block purging as MapReduce jobs on *engine*.
+
+    Returns:
+        ``(purged_blocks, [stats_metrics, drop_metrics])``.
+    """
+    purging = purging or BlockPurging()
+
+    def stats_mapper(_key, block) -> Iterator[tuple[int, tuple[int, int]]]:
+        yield block.cardinality(), (block.cardinality(), len(block))
+
+    def stats_reducer(cardinality, values) -> Iterator[tuple[int, tuple[int, int]]]:
+        yield cardinality, (
+            sum(v[0] for v in values),
+            sum(v[1] for v in values),
+        )
+
+    stats_job = MapReduceJob(
+        name="purging-statistics", mapper=stats_mapper, reducer=stats_reducer,
+        combiner=stats_reducer,
+    )
+    records = [(block.key, block) for block in blocks]
+    histogram, stats_metrics = engine.run(stats_job, records)
+
+    threshold = (
+        purging.max_cardinality
+        if purging.max_cardinality is not None
+        else _threshold_from_histogram(dict(histogram), purging.smoothing)
+    )
+
+    def drop_mapper(key, block) -> Iterator[tuple[str, Block]]:
+        if block.cardinality() <= threshold:
+            yield key, block
+
+    def identity_reducer(key, values) -> Iterator[tuple[str, Block]]:
+        yield key, values[0]
+
+    drop_job = MapReduceJob(
+        name="purging-drop", mapper=drop_mapper, reducer=identity_reducer
+    )
+    output, drop_metrics = engine.run(drop_job, records)
+    purged = BlockCollection(name=f"purged({blocks.name})")
+    for _key, block in sorted(output, key=lambda kv: kv[0]):
+        purged.add(block)
+    return purged, [stats_metrics, drop_metrics]
+
+
+def _threshold_from_histogram(
+    histogram: dict[int, tuple[int, int]], smoothing: float
+) -> int:
+    """The sequential adaptive-threshold scan over an aggregated histogram."""
+    if not histogram:
+        return 1
+    levels = sorted(histogram)
+    cum_comparisons: list[int] = []
+    cum_assignments: list[int] = []
+    running_comps = 0
+    running_assigns = 0
+    for level in levels:
+        comps, assigns = histogram[level]
+        running_comps += comps
+        running_assigns += assigns
+        cum_comparisons.append(running_comps)
+        cum_assignments.append(running_assigns)
+    cut = len(levels) - 1
+    while cut > 0:
+        ratio_with = cum_comparisons[cut] / max(cum_assignments[cut], 1)
+        ratio_without = cum_comparisons[cut - 1] / max(cum_assignments[cut - 1], 1)
+        if ratio_with <= smoothing * ratio_without:
+            break
+        cut -= 1
+    return levels[cut]
+
+
+def parallel_block_filtering(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+    filtering: BlockFiltering | None = None,
+) -> tuple[BlockCollection, list[JobMetrics]]:
+    """Run entity-centric block filtering as MapReduce jobs on *engine*.
+
+    Returns:
+        ``(filtered_blocks, [retention_metrics, regroup_metrics])``.
+    """
+    filtering = filtering or BlockFiltering()
+    ratio = filtering.ratio
+    bipartite = any(block.is_bipartite for block in blocks)
+
+    def assignment_mapper(key, block) -> Iterator[tuple[str, tuple[str, int, int]]]:
+        # Ship each assignment with the block's cardinality and the
+        # entity's side, so the reducer needs no driver-side state.
+        cardinality = block.cardinality()
+        for uri in block.entities1:
+            yield uri, (key, cardinality, 1)
+        if block.entities2 is not None:
+            for uri in block.entities2:
+                yield uri, (key, cardinality, 2)
+
+    def retention_reducer(uri, assignments) -> Iterator[tuple[str, tuple[str, int]]]:
+        limit = max(1, int(ratio * len(assignments) + 0.5))
+        ranked = sorted(assignments, key=lambda a: (a[1], a[0]))
+        for key, _cardinality, side in ranked[:limit]:
+            yield key, (uri, side)
+
+    retention_job = MapReduceJob(
+        name="filtering-retention", mapper=assignment_mapper, reducer=retention_reducer
+    )
+    records = [(block.key, block) for block in blocks]
+    retained, retention_metrics = engine.run(retention_job, records)
+
+    def regroup_mapper(key, member) -> Iterator[tuple[str, tuple[str, int]]]:
+        yield key, member
+
+    def regroup_reducer(key, members) -> Iterator[tuple[str, Block]]:
+        side1 = sorted(uri for uri, side in members if side == 1)
+        side2 = sorted(uri for uri, side in members if side == 2)
+        if bipartite:
+            if side1 and side2:
+                yield key, Block(key, side1, side2)
+        elif len(side1) >= 2:
+            yield key, Block(key, side1)
+
+    regroup_job = MapReduceJob(
+        name="filtering-regroup", mapper=regroup_mapper, reducer=regroup_reducer
+    )
+    output, regroup_metrics = engine.run(regroup_job, retained)
+    filtered = BlockCollection(name=f"filtered({blocks.name})")
+    for _key, block in sorted(output, key=lambda kv: kv[0]):
+        filtered.add(block)
+    return filtered, [retention_metrics, regroup_metrics]

@@ -1,0 +1,245 @@
+"""Similarity functions and the corpus-aware similarity index.
+
+Schema-agnostic ER compares descriptions as bags of tokens: set-based
+measures (Jaccard, dice, overlap) capture "highly similar" descriptions
+with many common tokens, while TF-IDF cosine keeps rare, discriminative
+tokens informative for "somehow similar" descriptions that share only a
+few.  Character-level measures (Levenshtein, Jaro-Winkler) serve the
+value-level comparisons used by some baselines and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from repro.model.collection import EntityCollection
+from repro.model.tokenizer import Tokenizer
+
+
+# -- set-based token measures ---------------------------------------------------
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard coefficient of two token collections (as sets)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 0.0
+    union = len(set_a | set_b)
+    return len(set_a & set_b) / union if union else 0.0
+
+
+def dice(a: Iterable[str], b: Iterable[str]) -> float:
+    """Sørensen–Dice coefficient of two token collections."""
+    set_a, set_b = set(a), set(b)
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 0.0
+    return 2 * len(set_a & set_b) / total
+
+
+def overlap_coefficient(a: Iterable[str], b: Iterable[str]) -> float:
+    """Overlap coefficient: intersection over the smaller set."""
+    set_a, set_b = set(a), set(b)
+    smaller = min(len(set_a), len(set_b))
+    if smaller == 0:
+        return 0.0
+    return len(set_a & set_b) / smaller
+
+
+def weighted_jaccard(a: Counter, b: Counter) -> float:
+    """Weighted (multiset) Jaccard: Σ min / Σ max over token counts."""
+    if not a and not b:
+        return 0.0
+    keys = set(a) | set(b)
+    minimum = sum(min(a.get(k, 0), b.get(k, 0)) for k in keys)
+    maximum = sum(max(a.get(k, 0), b.get(k, 0)) for k in keys)
+    return minimum / maximum if maximum else 0.0
+
+
+def cosine_tfidf(a: Counter, b: Counter, idf: dict[str, float] | None = None) -> float:
+    """Cosine similarity of TF(-IDF) vectors built from token counts.
+
+    Args:
+        idf: token → inverse document frequency; if None, raw term counts
+            are used (plain cosine).
+    """
+    if not a or not b:
+        return 0.0
+
+    def vector(counts: Counter) -> dict[str, float]:
+        if idf is None:
+            return {t: float(c) for t, c in counts.items()}
+        return {t: c * idf.get(t, 0.0) for t, c in counts.items()}
+
+    va, vb = vector(a), vector(b)
+    dot = sum(w * vb.get(t, 0.0) for t, w in va.items())
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(w * w for w in va.values()))
+    norm_b = math.sqrt(sum(w * w for w in vb.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+# -- character-based measures ------------------------------------------------------
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance between two strings (iterative two-row DP)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity: ``1 − distance / max(len)``."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity of two strings."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len_b)
+        for j in range(start, end):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[k]:
+                k += 1
+            if a[i] != b[k]:
+                transpositions += 1
+            k += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity (common-prefix boost up to 4 characters)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+# -- corpus-aware index ----------------------------------------------------------------
+
+
+class SimilarityIndex:
+    """Caches token profiles and IDF weights over entity collections.
+
+    Matching runs millions of pairwise similarity calls over the same
+    descriptions; tokenizing on every call would dominate the cost.  The
+    index tokenizes each description once, precomputes IDF over the indexed
+    corpus and exposes pairwise measures by URI.
+
+    Args:
+        collections: the collections whose descriptions will be compared.
+        tokenizer: shared tokenizer (defaults to the blocking tokenizer so
+            "similarity" and "common blocking token" agree).
+    """
+
+    def __init__(
+        self,
+        collections: Iterable[EntityCollection],
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer(include_uri_infix=True)
+        self._counts: dict[str, Counter] = {}
+        self._sets: dict[str, frozenset[str]] = {}
+        document_frequency: Counter = Counter()
+        for collection in collections:
+            for description in collection:
+                counts = self.tokenizer.token_counts(description)
+                self._counts[description.uri] = counts
+                tokens = frozenset(counts)
+                self._sets[description.uri] = tokens
+                document_frequency.update(tokens)
+        corpus_size = max(len(self._counts), 1)
+        # Smoothed IDF (log((1+N)/(1+df)) + 1): a token present in every
+        # description keeps a small positive weight instead of zeroing the
+        # whole vector — essential on small or homogeneous corpora.
+        self._idf = {
+            token: math.log((1 + corpus_size) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def tokens_of(self, uri: str) -> frozenset[str]:
+        """Distinct tokens of the description with *uri*.
+
+        Raises:
+            KeyError: for unindexed URIs.
+        """
+        return self._sets[uri]
+
+    def idf(self, token: str) -> float:
+        """IDF of *token* over the indexed corpus (0.0 if unseen)."""
+        return self._idf.get(token, 0.0)
+
+    def jaccard(self, uri_a: str, uri_b: str) -> float:
+        """Jaccard similarity of two indexed descriptions."""
+        return jaccard(self._sets[uri_a], self._sets[uri_b])
+
+    def weighted_jaccard(self, uri_a: str, uri_b: str) -> float:
+        """Multiset Jaccard of two indexed descriptions."""
+        return weighted_jaccard(self._counts[uri_a], self._counts[uri_b])
+
+    def cosine(self, uri_a: str, uri_b: str) -> float:
+        """TF-IDF cosine of two indexed descriptions."""
+        return cosine_tfidf(self._counts[uri_a], self._counts[uri_b], self._idf)
+
+    def common_tokens(self, uri_a: str, uri_b: str) -> frozenset[str]:
+        """Tokens the two descriptions share."""
+        return self._sets[uri_a] & self._sets[uri_b]

@@ -1,0 +1,140 @@
+"""The blocking graph.
+
+Nodes are description URIs; an (undirected) edge connects every pair
+co-occurring in at least one block; the edge weight is computed by a
+:class:`~repro.metablocking.weighting.WeightingScheme` from the pair's
+co-occurrence statistics.  The graph is materialized lazily from a
+:class:`~repro.blocking.block.BlockCollection`: for corpora of the size
+this reproduction targets the explicit edge list is affordable and keeps
+the pruning schemes straightforward, while the MapReduce implementation in
+:mod:`repro.mapreduce.parallel_metablocking` shows the scalable
+formulation used on a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TYPE_CHECKING
+
+from repro.blocking.block import BlockCollection, comparison_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metablocking.weighting import WeightingScheme
+
+
+@dataclass(frozen=True)
+class WeightedEdge:
+    """A weighted comparison: canonical pair plus its evidence weight."""
+
+    left: str
+    right: str
+    weight: float
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """Canonical (sorted) URI pair."""
+        return (self.left, self.right)
+
+
+class BlockingGraph:
+    """Weighted co-occurrence graph over a block collection.
+
+    Args:
+        blocks: the (post-processed) block collection.
+        scheme: edge-weighting scheme; see
+            :mod:`repro.metablocking.weighting`.
+
+    The graph computes, per distinct pair:
+
+    * the set of common blocks (for CBS/ECBS/JS/EJS),
+    * the sum over common blocks of ``1 / cardinality(block)`` (for ARCS).
+    """
+
+    def __init__(self, blocks: BlockCollection, scheme: "WeightingScheme") -> None:
+        self.blocks = blocks
+        self.scheme = scheme
+        self._edges: dict[tuple[str, str], float] | None = None
+        self._adjacency: dict[str, list[tuple[str, float]]] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def _pair_statistics(self) -> dict[tuple[str, str], tuple[int, float]]:
+        """Per-pair (common_blocks, arcs_sum) over the whole collection."""
+        stats: dict[tuple[str, str], tuple[int, float]] = {}
+        for block in self.blocks:
+            cardinality = block.cardinality()
+            if cardinality == 0:
+                continue
+            arcs_contribution = 1.0 / cardinality
+            for pair in block.comparisons():
+                common, arcs = stats.get(pair, (0, 0.0))
+                stats[pair] = (common + 1, arcs + arcs_contribution)
+        return stats
+
+    def materialize(self) -> dict[tuple[str, str], float]:
+        """Compute (once) and return the pair → weight map."""
+        if self._edges is not None:
+            return self._edges
+        stats = self._pair_statistics()
+        self.scheme.prepare(self.blocks, stats)
+        edges = {
+            pair: self.scheme.weight(pair[0], pair[1], common, arcs)
+            for pair, (common, arcs) in stats.items()
+        }
+        self._edges = edges
+        return edges
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct edges (comparisons)."""
+        return len(self.materialize())
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over weighted edges in deterministic (pair-sorted) order."""
+        edges = self.materialize()
+        for pair in sorted(edges):
+            yield WeightedEdge(pair[0], pair[1], edges[pair])
+
+    def weight_of(self, uri_a: str, uri_b: str) -> float:
+        """Weight of the edge between the two URIs (0.0 when absent)."""
+        return self.materialize().get(comparison_pair(uri_a, uri_b), 0.0)
+
+    def nodes(self) -> list[str]:
+        """All node URIs, sorted."""
+        seen: set[str] = set()
+        for left, right in self.materialize():
+            seen.add(left)
+            seen.add(right)
+        return sorted(seen)
+
+    def adjacency(self) -> dict[str, list[tuple[str, float]]]:
+        """Node → list of (neighbour, weight), each edge listed on both ends."""
+        if self._adjacency is None:
+            adjacency: dict[str, list[tuple[str, float]]] = {}
+            for (left, right), weight in self.materialize().items():
+                adjacency.setdefault(left, []).append((right, weight))
+                adjacency.setdefault(right, []).append((left, weight))
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def neighbors(self, uri: str) -> list[tuple[str, float]]:
+        """Weighted neighbours of *uri* (empty when isolated/unknown)."""
+        return list(self.adjacency().get(uri, ()))
+
+    def average_weight(self) -> float:
+        """Mean edge weight (0.0 for an empty graph)."""
+        edges = self.materialize()
+        if not edges:
+            return 0.0
+        return sum(edges.values()) / len(edges)
+
+    def total_weight(self) -> float:
+        """Sum of edge weights."""
+        return sum(self.materialize().values())
+
+    def top_edges(self, count: int) -> list[WeightedEdge]:
+        """The *count* highest-weight edges (weight desc, pair asc)."""
+        edges = self.materialize()
+        ranked = sorted(edges.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [WeightedEdge(p[0], p[1], w) for p, w in ranked[:count]]

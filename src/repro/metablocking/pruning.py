@@ -1,0 +1,200 @@
+"""Pruning schemes over the weighted blocking graph.
+
+Given the weighted graph, a pruning scheme decides which edges survive as
+the comparison set handed to matching/scheduling.  The four canonical
+algorithms (plus reciprocal node-centric variants):
+
+==========  =================================================================
+``WEP``     Weighted Edge Pruning — keep edges above the **global** mean
+            weight.
+``CEP``     Cardinality Edge Pruning — keep the globally top-``K`` edges,
+            ``K = Σ_b ‖b‖ / 2`` block assignments halved (budget-shaped).
+``WNP``     Weighted Node Pruning — per node, keep edges above the node
+            neighbourhood's mean weight; an edge survives if **either**
+            endpoint keeps it.
+``CNP``     Cardinality Node Pruning — per node, keep the top-``k`` edges
+            with ``k = ⌈Σ_b ‖b‖ / |E|⌉ − 1`` (average blocks per entity);
+            an edge survives if either endpoint keeps it.
+``ReciprocalWNP/CNP``  — as WNP/CNP but an edge survives only if **both**
+            endpoints keep it (higher precision, lower recall).
+==========  =================================================================
+
+All schemes return deterministic, weight-then-pair ordered edge lists so
+experiment tables are stable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+
+
+def _ranked(edges: list[WeightedEdge]) -> list[WeightedEdge]:
+    """Weight-descending, pair-ascending deterministic order."""
+    return sorted(edges, key=lambda e: (-e.weight, e.pair))
+
+
+class PruningScheme(ABC):
+    """Base class for blocking-graph pruning algorithms."""
+
+    #: short name used in experiment tables
+    name = "pruning"
+
+    @abstractmethod
+    def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        """Return the surviving edges of *graph*, deterministically ordered."""
+
+
+class WEP(PruningScheme):
+    """Weighted Edge Pruning: global mean-weight threshold.
+
+    Args:
+        threshold_factor: multiple of the mean used as the cut (1.0 = the
+            classic algorithm).
+    """
+
+    name = "WEP"
+
+    def __init__(self, threshold_factor: float = 1.0) -> None:
+        if threshold_factor <= 0:
+            raise ValueError("threshold_factor must be positive")
+        self.threshold_factor = threshold_factor
+
+    def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        threshold = graph.average_weight() * self.threshold_factor
+        survivors = [edge for edge in graph.edges() if edge.weight >= threshold]
+        return _ranked(survivors)
+
+
+class CEP(PruningScheme):
+    """Cardinality Edge Pruning: keep the globally top-K edges.
+
+    ``K`` defaults to half the total block assignments — the evidence
+    budget the literature derives from the blocking collection itself —
+    but can be fixed explicitly for budget experiments.
+    """
+
+    name = "CEP"
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def budget(self, graph: BlockingGraph) -> int:
+        """The K used for *graph*."""
+        if self.k is not None:
+            return self.k
+        return max(1, graph.blocks.total_assignments() // 2)
+
+    def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        return graph.top_edges(self.budget(graph))
+
+
+class WNP(PruningScheme):
+    """Weighted Node Pruning: per-neighbourhood mean threshold (redefined
+    per node); union semantics across endpoints."""
+
+    name = "WNP"
+
+    #: an edge survives when this many endpoints keep it (1=union, 2=both)
+    required_votes = 1
+
+    def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        adjacency = graph.adjacency()
+        thresholds: dict[str, float] = {}
+        for node, neighbors in adjacency.items():
+            if neighbors:
+                thresholds[node] = sum(w for _, w in neighbors) / len(neighbors)
+        survivors: list[WeightedEdge] = []
+        for edge in graph.edges():
+            votes = 0
+            if edge.weight >= thresholds.get(edge.left, math.inf):
+                votes += 1
+            if edge.weight >= thresholds.get(edge.right, math.inf):
+                votes += 1
+            if votes >= self.required_votes:
+                survivors.append(edge)
+        return _ranked(survivors)
+
+
+class ReciprocalWNP(WNP):
+    """WNP requiring both endpoints to retain the edge."""
+
+    name = "ReciprocalWNP"
+    required_votes = 2
+
+
+class CNP(PruningScheme):
+    """Cardinality Node Pruning: per-node top-k retention; union semantics.
+
+    ``k`` defaults to the average number of block assignments per entity
+    (rounded up) minus one, floored at 1 — the standard derivation.
+    """
+
+    name = "CNP"
+
+    #: votes needed for an edge to survive (1=union, 2=both endpoints)
+    required_votes = 1
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def node_budget(self, graph: BlockingGraph) -> int:
+        """The per-node k used for *graph*."""
+        return self.node_budget_from_blocks(graph.blocks)
+
+    def node_budget_from_blocks(self, blocks) -> int:
+        """The per-node k derived from a block collection's statistics."""
+        if self.k is not None:
+            return self.k
+        entities = max(blocks.entity_count(), 1)
+        avg_assignments = blocks.total_assignments() / entities
+        return max(1, math.ceil(avg_assignments) - 1)
+
+    def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        k = self.node_budget(graph)
+        adjacency = graph.adjacency()
+        kept_by_node: dict[str, set[str]] = {}
+        for node, neighbors in adjacency.items():
+            ranked = sorted(neighbors, key=lambda nw: (-nw[1], nw[0]))
+            kept_by_node[node] = {other for other, _ in ranked[:k]}
+        survivors: list[WeightedEdge] = []
+        for edge in graph.edges():
+            votes = 0
+            if edge.right in kept_by_node.get(edge.left, ()):
+                votes += 1
+            if edge.left in kept_by_node.get(edge.right, ()):
+                votes += 1
+            if votes >= self.required_votes:
+                survivors.append(edge)
+        return _ranked(survivors)
+
+
+class ReciprocalCNP(CNP):
+    """CNP requiring both endpoints to retain the edge."""
+
+    name = "ReciprocalCNP"
+    required_votes = 2
+
+
+#: registry used by experiment sweeps
+PRUNERS: dict[str, type[PruningScheme]] = {
+    cls.name: cls for cls in (WEP, CEP, WNP, CNP, ReciprocalWNP, ReciprocalCNP)
+}
+
+
+def make_pruner(name: str) -> PruningScheme:
+    """Instantiate a pruning scheme by table name (e.g. ``"WNP"``).
+
+    Raises:
+        KeyError: for unknown scheme names.
+    """
+    for key, cls in PRUNERS.items():
+        if key.lower() == name.lower():
+            return cls()
+    raise KeyError(f"unknown pruning scheme {name!r}; choose from {sorted(PRUNERS)}")

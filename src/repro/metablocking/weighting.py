@@ -1,0 +1,230 @@
+"""Edge-weighting schemes for the blocking graph.
+
+Each scheme turns a pair's co-occurrence statistics into a scalar weight —
+a proxy for match likelihood computed *without* reading the descriptions'
+values (that is the point: weights are nearly free, comparisons are not).
+The five canonical schemes of the meta-blocking literature (and of the
+parallel meta-blocking paper [4]) are implemented:
+
+==========  ==================================================================
+``CBS``     Common Blocks Scheme — raw number of shared blocks.
+``ECBS``    Enhanced CBS — CBS discounted by how many blocks each entity
+            appears in: ``CBS · log(B/|B_i|) · log(B/|B_j|)``.
+``JS``      Jaccard Scheme — shared blocks over the union of both entities'
+            blocks.
+``EJS``     Enhanced JS — JS boosted by the (inverse) degrees:
+            ``JS · log(E/deg_i) · log(E/deg_j)`` with E the edge count.
+``ARCS``    Aggregate Reciprocal Comparisons — ``Σ 1/‖b‖`` over common
+            blocks b: small (selective) blocks count more.
+==========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.blocking.block import BlockCollection
+
+
+class WeightingScheme(ABC):
+    """Base class: per-pair weight from co-occurrence statistics.
+
+    :meth:`prepare` is called once with the full statistics so schemes can
+    compute global quantities (block counts, node degrees); :meth:`weight`
+    is then called per pair.
+    """
+
+    #: short name used in experiment tables (overridden per scheme)
+    name = "scheme"
+
+    def prepare(
+        self,
+        blocks: BlockCollection,
+        pair_stats: dict[tuple[str, str], tuple[int, float]],
+    ) -> None:
+        """Hook for global precomputation (default: none)."""
+
+    @abstractmethod
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        """Weight of the edge (uri_a, uri_b).
+
+        Args:
+            common_blocks: number of blocks containing both descriptions.
+            arcs: sum of reciprocal block cardinalities over those blocks.
+        """
+
+
+class CBS(WeightingScheme):
+    """Common Blocks Scheme: ``w = |common blocks|``."""
+
+    name = "CBS"
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        return float(common_blocks)
+
+
+class ECBS(WeightingScheme):
+    """Enhanced Common Blocks Scheme.
+
+    ``w = CBS · log(B / |B_a|) · log(B / |B_b|)`` where ``B`` is the total
+    block count and ``|B_x|`` the number of blocks containing ``x`` — an
+    IDF-style discount for promiscuous entities.
+    """
+
+    name = "ECBS"
+
+    def __init__(self) -> None:
+        self._total_blocks = 1
+        self._blocks_per_entity: dict[str, int] = {}
+
+    def prepare(self, blocks, pair_stats) -> None:
+        self._total_blocks = max(len(blocks), 1)
+        self._blocks_per_entity = {
+            uri: len(keys) for uri, keys in blocks.entity_index().items()
+        }
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        blocks_a = self._blocks_per_entity.get(uri_a, 1)
+        blocks_b = self._blocks_per_entity.get(uri_b, 1)
+        # +1 smoothing keeps entities present in *every* block from zeroing
+        # the weight outright while preserving the discount's ordering.
+        idf_a = math.log((self._total_blocks + 1) / blocks_a)
+        idf_b = math.log((self._total_blocks + 1) / blocks_b)
+        return common_blocks * idf_a * idf_b
+
+
+class JS(WeightingScheme):
+    """Jaccard Scheme: shared blocks over union of blocks."""
+
+    name = "JS"
+
+    def __init__(self) -> None:
+        self._blocks_per_entity: dict[str, int] = {}
+
+    def prepare(self, blocks, pair_stats) -> None:
+        self._blocks_per_entity = {
+            uri: len(keys) for uri, keys in blocks.entity_index().items()
+        }
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        union = (
+            self._blocks_per_entity.get(uri_a, 0)
+            + self._blocks_per_entity.get(uri_b, 0)
+            - common_blocks
+        )
+        if union <= 0:
+            return 0.0
+        return common_blocks / union
+
+
+class EJS(WeightingScheme):
+    """Enhanced Jaccard Scheme.
+
+    ``w = JS · log(E / deg_a) · log(E / deg_b)`` with ``E`` the number of
+    distinct edges in the blocking graph and ``deg_x`` the number of
+    distinct comparisons entity ``x`` participates in.
+    """
+
+    name = "EJS"
+
+    def __init__(self) -> None:
+        self._js = JS()
+        self._edge_count = 1
+        self._degrees: dict[str, int] = {}
+
+    def prepare(self, blocks, pair_stats) -> None:
+        self._js.prepare(blocks, pair_stats)
+        self._edge_count = max(len(pair_stats), 1)
+        degrees: dict[str, int] = {}
+        for left, right in pair_stats:
+            degrees[left] = degrees.get(left, 0) + 1
+            degrees[right] = degrees.get(right, 0) + 1
+        self._degrees = degrees
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        js = self._js.weight(uri_a, uri_b, common_blocks, arcs)
+        deg_a = self._degrees.get(uri_a, 1)
+        deg_b = self._degrees.get(uri_b, 1)
+        idf_a = math.log((self._edge_count + 1) / deg_a)
+        idf_b = math.log((self._edge_count + 1) / deg_b)
+        return js * idf_a * idf_b
+
+
+class ARCS(WeightingScheme):
+    """Aggregate Reciprocal Comparisons Scheme: ``w = Σ_b 1/‖b‖``.
+
+    Membership in a two-description block is maximal evidence (weight 1
+    from that block); membership in a thousand-pair block adds almost
+    nothing.  ARCS is MinoanER's default scheduler signal (ablated in E4).
+    """
+
+    name = "ARCS"
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        return arcs
+
+
+class ChiSquare(WeightingScheme):
+    """Pearson's χ² scheme (the BLAST signal of Simonini et al.).
+
+    Tests how far the observed co-occurrence count of a pair deviates from
+    what independence of the two entities' block memberships would
+    predict.  With ``B`` total blocks, ``|B_a|``/``|B_b|`` per-entity
+    block counts and ``O`` observed common blocks, the expectation under
+    independence is ``E = |B_a|·|B_b|/B`` and the statistic aggregates the
+    (O−E)²/E terms of the 2×2 contingency table.  Strongly co-occurring
+    pairs score orders of magnitude above chance-level ones, making χ² a
+    sharp pruning signal on skewed corpora.
+    """
+
+    name = "X2"
+
+    def __init__(self) -> None:
+        self._total_blocks = 1
+        self._blocks_per_entity: dict[str, int] = {}
+
+    def prepare(self, blocks, pair_stats) -> None:
+        self._total_blocks = max(len(blocks), 1)
+        self._blocks_per_entity = {
+            uri: len(keys) for uri, keys in blocks.entity_index().items()
+        }
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+        total = self._total_blocks
+        in_a = self._blocks_per_entity.get(uri_a, 0)
+        in_b = self._blocks_per_entity.get(uri_b, 0)
+        observed = [
+            [common_blocks, in_a - common_blocks],
+            [in_b - common_blocks, total - in_a - in_b + common_blocks],
+        ]
+        row_sums = [in_a, total - in_a]
+        col_sums = [in_b, total - in_b]
+        statistic = 0.0
+        for i in range(2):
+            for j in range(2):
+                expected = row_sums[i] * col_sums[j] / total
+                if expected > 0:
+                    deviation = observed[i][j] - expected
+                    statistic += deviation * deviation / expected
+        return statistic
+
+
+#: registry used by experiment sweeps
+SCHEMES: dict[str, type[WeightingScheme]] = {
+    cls.name: cls for cls in (CBS, ECBS, JS, EJS, ARCS, ChiSquare)
+}
+
+
+def make_scheme(name: str) -> WeightingScheme:
+    """Instantiate a weighting scheme by table name (e.g. ``"ARCS"``).
+
+    Raises:
+        KeyError: for unknown scheme names.
+    """
+    try:
+        return SCHEMES[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown weighting scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None

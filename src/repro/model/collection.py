@@ -1,0 +1,214 @@
+"""Entity collections (knowledge bases) and their derived indexes.
+
+An :class:`EntityCollection` holds the descriptions of one KB (or of a union
+of KBs for dirty ER) and materializes the two structures the rest of the
+platform needs:
+
+* the **relationship graph** — which descriptions reference which (the
+  neighbourhood the progressive *update* phase propagates evidence along);
+* per-collection **statistics** — the LOD-cloud shape measurements the
+  paper's motivation section quotes (property diversity, vocabulary reuse,
+  linkage density).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.model.description import EntityDescription
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Shape statistics of a collection (see paper §1's LOD measurements)."""
+
+    description_count: int
+    triple_count: int
+    property_count: int
+    avg_properties_per_description: float
+    avg_values_per_description: float
+    relationship_count: int
+    avg_out_degree: float
+    source_count: int
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Human-readable rows for reporting."""
+        return [
+            ("descriptions", str(self.description_count)),
+            ("attribute-value pairs", str(self.triple_count)),
+            ("distinct properties", str(self.property_count)),
+            ("avg properties/description", f"{self.avg_properties_per_description:.2f}"),
+            ("avg values/description", f"{self.avg_values_per_description:.2f}"),
+            ("relationships", str(self.relationship_count)),
+            ("avg out-degree", f"{self.avg_out_degree:.2f}"),
+            ("sources", str(self.source_count)),
+        ]
+
+
+class EntityCollection:
+    """A set of entity descriptions with lazy relationship/stat indexes.
+
+    Args:
+        descriptions: initial content.
+        name: label used in reports (e.g. ``"dbpedia-sample"``).
+
+    The collection preserves insertion order, so iteration and the integer
+    ids assigned by :meth:`index_of` are deterministic.
+    """
+
+    def __init__(
+        self,
+        descriptions: Iterable[EntityDescription] = (),
+        name: str = "collection",
+    ) -> None:
+        self.name = name
+        self._by_uri: dict[str, EntityDescription] = {}
+        self._order: list[str] = []
+        self._rank: dict[str, int] = {}
+        self._neighbors: dict[str, list[str]] | None = None
+        self._inverse_neighbors: dict[str, list[str]] | None = None
+        for description in descriptions:
+            self.add(description)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[EntityDescription]:
+        for uri in self._order:
+            yield self._by_uri[uri]
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._by_uri
+
+    def __getitem__(self, uri: str) -> EntityDescription:
+        return self._by_uri[uri]
+
+    def __repr__(self) -> str:
+        return f"EntityCollection({self.name!r}, {len(self)} descriptions)"
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, description: EntityDescription) -> None:
+        """Insert *description*; merges attributes if the URI already exists."""
+        existing = self._by_uri.get(description.uri)
+        if existing is None:
+            self._by_uri[description.uri] = description
+            self._rank[description.uri] = len(self._order)
+            self._order.append(description.uri)
+        else:
+            for prop, value in description.pairs():
+                existing.add(prop, value)
+        self._invalidate()
+
+    def get(self, uri: str) -> EntityDescription | None:
+        """Description with *uri*, or None."""
+        return self._by_uri.get(uri)
+
+    def uris(self) -> list[str]:
+        """URIs in insertion order."""
+        return list(self._order)
+
+    def index_of(self, uri: str) -> int:
+        """Stable integer id of *uri* (insertion rank).
+
+        Raises:
+            KeyError: if the URI is not in the collection.
+        """
+        return self._rank[uri]
+
+    def union(self, other: "EntityCollection", name: str | None = None) -> "EntityCollection":
+        """New collection containing both inputs' descriptions (dirty ER)."""
+        merged = EntityCollection(name=name or f"{self.name}+{other.name}")
+        for description in self:
+            merged.add(description.copy())
+        for description in other:
+            merged.add(description.copy())
+        return merged
+
+    def _invalidate(self) -> None:
+        self._neighbors = None
+        self._inverse_neighbors = None
+
+    # -- relationship graph -----------------------------------------------------
+
+    def neighbors(self, uri: str) -> list[str]:
+        """Out-neighbours of *uri*: descriptions it references.
+
+        Only references that resolve to a description inside this
+        collection count — dangling URIs are external and carry no
+        resolvable evidence.
+        """
+        self._ensure_graph()
+        assert self._neighbors is not None
+        return list(self._neighbors.get(uri, ()))
+
+    def inverse_neighbors(self, uri: str) -> list[str]:
+        """In-neighbours of *uri*: descriptions that reference it."""
+        self._ensure_graph()
+        assert self._inverse_neighbors is not None
+        return list(self._inverse_neighbors.get(uri, ()))
+
+    def all_neighbors(self, uri: str) -> list[str]:
+        """Union of in- and out-neighbours, deduplicated, order-stable."""
+        seen: dict[str, None] = {}
+        for other in self.neighbors(uri):
+            seen.setdefault(other)
+        for other in self.inverse_neighbors(uri):
+            seen.setdefault(other)
+        return list(seen)
+
+    def relationship_edges(self) -> Iterator[tuple[str, str]]:
+        """Iterate over directed (subject, object) relationship edges."""
+        self._ensure_graph()
+        assert self._neighbors is not None
+        for subject, objects in self._neighbors.items():
+            for obj in objects:
+                yield subject, obj
+
+    def _ensure_graph(self) -> None:
+        if self._neighbors is not None:
+            return
+        neighbors: dict[str, list[str]] = {}
+        inverse: dict[str, list[str]] = {}
+        for description in self:
+            targets: list[str] = []
+            for ref in description.object_references():
+                if ref in self._by_uri and ref != description.uri:
+                    targets.append(ref)
+                    inverse.setdefault(ref, []).append(description.uri)
+            if targets:
+                neighbors[description.uri] = targets
+        self._neighbors = neighbors
+        self._inverse_neighbors = inverse
+
+    # -- statistics ----------------------------------------------------------------
+
+    def statistics(self) -> CollectionStatistics:
+        """Compute shape statistics (see :class:`CollectionStatistics`)."""
+        self._ensure_graph()
+        assert self._neighbors is not None
+        properties: set[str] = set()
+        triple_count = 0
+        prop_occurrences = 0
+        sources: set[str] = set()
+        for description in self:
+            props = description.properties()
+            properties.update(props)
+            prop_occurrences += len(props)
+            triple_count += len(description)
+            sources.add(description.source)
+        n = len(self) or 1
+        relationship_count = sum(len(v) for v in self._neighbors.values())
+        return CollectionStatistics(
+            description_count=len(self),
+            triple_count=triple_count,
+            property_count=len(properties),
+            avg_properties_per_description=prop_occurrences / n,
+            avg_values_per_description=triple_count / n,
+            relationship_count=relationship_count,
+            avg_out_degree=relationship_count / n,
+            source_count=len(sources),
+        )

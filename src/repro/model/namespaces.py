@@ -1,0 +1,74 @@
+"""URI decomposition utilities.
+
+MinoanER's blocking matches entities "when they feature a common token in
+their descriptions **or URIs**".  Following the prefix-infix(-suffix)
+technique of Papadakis et al. (used by the companion Big Data 2015 paper),
+a URI is decomposed into:
+
+* **prefix** — the domain / namespace part, common to a whole KB and thus
+  useless as matching evidence;
+* **infix** — the local, entity-specific part, which frequently carries the
+  entity name (e.g. ``.../resource/Berlin``);
+* **suffix** — a trailing technical qualifier (e.g. ``.html``, a version
+  tag), again useless for matching.
+
+Only the infix contributes blocking keys.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:(//)?")
+_SUFFIX_RE = re.compile(
+    r"(\.(html?|php|aspx?|jsp|rdf|xml|json|nt|ttl)|/)$", re.IGNORECASE
+)
+
+
+def split_uri(uri: str) -> tuple[str, str, str]:
+    """Split *uri* into ``(prefix, infix, suffix)``.
+
+    The prefix covers the scheme, authority and all path segments but the
+    last; the infix is the last meaningful path segment (or fragment); the
+    suffix is a recognized technical extension.
+
+    >>> split_uri("http://dbpedia.org/resource/Berlin")
+    ('http://dbpedia.org/resource/', 'Berlin', '')
+    >>> split_uri("http://ex.org/page/Berlin.html")
+    ('http://ex.org/page/', 'Berlin', '.html')
+    """
+    if not uri:
+        return "", "", ""
+    working = uri
+    suffix = ""
+    match = _SUFFIX_RE.search(working)
+    if match:
+        suffix = match.group(0)
+        working = working[: match.start()]
+    # Fragments identify the entity more specifically than the path.
+    if "#" in working:
+        prefix, _, infix = working.rpartition("#")
+        return prefix + "#", infix, suffix
+    if "/" in working:
+        scheme = _SCHEME_RE.match(working)
+        body_start = scheme.end() if scheme else 0
+        body = working[body_start:]
+        if "/" in body:
+            prefix_body, _, infix = body.rpartition("/")
+            return working[:body_start] + prefix_body + "/", infix, suffix
+        return working[:body_start], body, suffix
+    return "", working, suffix
+
+
+def uri_infix(uri: str) -> str:
+    """The entity-specific part of *uri* (see :func:`split_uri`)."""
+    return split_uri(uri)[1]
+
+
+def uri_local_name(uri: str) -> str:
+    """Human-readable local name: infix with separators turned to spaces.
+
+    >>> uri_local_name("http://dbpedia.org/resource/New_York_City")
+    'New York City'
+    """
+    return re.sub(r"[_\-+]+", " ", uri_infix(uri)).strip()

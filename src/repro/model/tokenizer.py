@@ -1,0 +1,118 @@
+"""The tokenizer shared by blocking and token-based similarity.
+
+Token blocking and the schema-agnostic similarity functions both view a
+description as a bag of normalized tokens drawn from its literal values and
+(optionally) its URI infix.  Centralizing tokenization here guarantees the
+two stages agree on what a "common token" is — the invariant the
+meta-blocking weighting schemes rely on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Iterable
+
+from repro.model.description import EntityDescription
+from repro.model.namespaces import uri_infix
+from repro.utils.text import token_split
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.collection import EntityCollection
+
+
+class Tokenizer:
+    """Configurable description → token-bag mapper.
+
+    Args:
+        min_token_length: drop tokens shorter than this many characters.
+        include_uri_infix: also emit tokens from the description URI's
+            infix (MinoanER: "a common token in their descriptions or
+            URIs").
+        include_reference_infixes: also emit tokens from the infixes of
+            URI-valued attributes — neighbour names often leak entity
+            evidence (e.g. ``dbpedia:Stanley_Kubrick`` as director).
+        stop_tokens: tokens to suppress entirely (high-frequency noise).
+    """
+
+    def __init__(
+        self,
+        min_token_length: int = 2,
+        include_uri_infix: bool = True,
+        include_reference_infixes: bool = False,
+        stop_tokens: frozenset[str] = frozenset(),
+    ) -> None:
+        if min_token_length < 1:
+            raise ValueError("min_token_length must be >= 1")
+        self.min_token_length = min_token_length
+        self.include_uri_infix = include_uri_infix
+        self.include_reference_infixes = include_reference_infixes
+        self.stop_tokens = frozenset(stop_tokens)
+
+    def tokens(self, description: EntityDescription) -> list[str]:
+        """All tokens of *description*, duplicates preserved."""
+        out: list[str] = []
+        for value in description.literal_values():
+            out.extend(token_split(value, self.min_token_length))
+        if self.include_uri_infix:
+            out.extend(token_split(uri_infix(description.uri), self.min_token_length))
+        if self.include_reference_infixes:
+            for ref in description.object_references():
+                out.extend(token_split(uri_infix(ref), self.min_token_length))
+        if self.stop_tokens:
+            out = [t for t in out if t not in self.stop_tokens]
+        return out
+
+    def token_set(self, description: EntityDescription) -> frozenset[str]:
+        """Distinct tokens of *description* (blocking keys)."""
+        return frozenset(self.tokens(description))
+
+    def token_counts(self, description: EntityDescription) -> Counter:
+        """Token multiplicities (for TF-IDF style similarity)."""
+        return Counter(self.tokens(description))
+
+    def with_stop_tokens(self, stop_tokens: Iterable[str]) -> "Tokenizer":
+        """A copy of this tokenizer with *stop_tokens* added."""
+        return Tokenizer(
+            min_token_length=self.min_token_length,
+            include_uri_infix=self.include_uri_infix,
+            include_reference_infixes=self.include_reference_infixes,
+            stop_tokens=self.stop_tokens | frozenset(stop_tokens),
+        )
+
+
+def infer_stop_tokens(
+    collections: Iterable["EntityCollection"],
+    tokenizer: Tokenizer | None = None,
+    max_document_fraction: float = 0.25,
+) -> frozenset[str]:
+    """Corpus-driven stop tokens: tokens present in too many descriptions.
+
+    A token appearing in more than ``max_document_fraction`` of all
+    descriptions discriminates nothing — its block is pure cost.  Purging
+    removes such blocks *after* they are built; suppressing the tokens at
+    the tokenizer keeps them from being built at all, which also keeps
+    them out of similarity vectors.
+
+    Args:
+        collections: the corpora to profile.
+        tokenizer: token extractor (defaults to the blocking tokenizer).
+        max_document_fraction: document-frequency cut-off in (0, 1].
+
+    Raises:
+        ValueError: for an out-of-range fraction.
+    """
+    if not 0.0 < max_document_fraction <= 1.0:
+        raise ValueError("max_document_fraction must be in (0, 1]")
+    tokenizer = tokenizer or Tokenizer()
+    document_frequency: Counter = Counter()
+    total = 0
+    for collection in collections:
+        for description in collection:
+            total += 1
+            document_frequency.update(tokenizer.token_set(description))
+    if total == 0:
+        return frozenset()
+    limit = max_document_fraction * total
+    return frozenset(
+        token for token, df in document_frequency.items() if df > limit
+    )

@@ -1,0 +1,39 @@
+"""RDF substrate: parsing, storage and loading of Linked Data.
+
+MinoanER resolves entities "described by linked data in the Web (e.g., in
+RDF)".  With no network and no third-party RDF stack available, this package
+implements the substrate from scratch:
+
+* :mod:`repro.rdf.ntriples` — a line-oriented N-Triples parser/serializer
+  (the format LOD dumps such as BTC are published in);
+* :mod:`repro.rdf.turtle` — a reader for the commonly used Turtle subset
+  (prefixes, ``a``, predicate/object lists);
+* :mod:`repro.rdf.graph` — an in-memory triple store with SPO/POS/OSP
+  indexes and simple pattern matching;
+* :mod:`repro.rdf.loader` — grouping triples by subject into
+  :class:`~repro.model.EntityCollection` instances.
+"""
+
+from repro.rdf.ntriples import (
+    Triple,
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.rdf.graph import TripleStore
+from repro.rdf.loader import collection_from_triples, load_collection
+
+__all__ = [
+    "Triple",
+    "NTriplesParseError",
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "serialize_ntriples",
+    "parse_turtle",
+    "serialize_turtle",
+    "TripleStore",
+    "collection_from_triples",
+    "load_collection",
+]

@@ -1,0 +1,112 @@
+"""An in-memory triple store with SPO/POS/OSP indexes.
+
+The loader and the dataset tooling need efficient "all triples of subject
+X" and "all subjects with predicate P" access; a classic three-index design
+(as used by every main-memory RDF engine) provides both in O(result).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.rdf.ntriples import Triple, serialize_ntriples
+
+
+class TripleStore:
+    """Indexed set of :class:`~repro.rdf.ntriples.Triple` records.
+
+    Duplicate statements (same s/p/o/qualifiers) are stored once.
+
+    >>> store = TripleStore()
+    >>> _ = store.add(Triple("s", "p", "o"))
+    >>> len(store)
+    1
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: list[Triple] = []
+        self._seen: set[Triple] = set()
+        self._spo: dict[str, dict[str, list[Triple]]] = {}
+        self._pos: dict[str, dict[str, list[Triple]]] = {}
+        self._osp: dict[str, dict[str, list[Triple]]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._seen
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; returns False if it was already present."""
+        if triple in self._seen:
+            return False
+        self._seen.add(triple)
+        self._triples.append(triple)
+        self._spo.setdefault(triple.subject, {}).setdefault(triple.predicate, []).append(triple)
+        self._pos.setdefault(triple.predicate, {}).setdefault(triple.object, []).append(triple)
+        self._osp.setdefault(triple.object, {}).setdefault(triple.subject, []).append(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def subjects(self) -> list[str]:
+        """Distinct subjects, in first-seen order."""
+        return list(self._spo)
+
+    def predicates(self) -> list[str]:
+        """Distinct predicates, in first-seen order."""
+        return list(self._pos)
+
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: str | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching the given pattern (None = wildcard).
+
+        Chooses the most selective index available for the bound terms.
+        """
+        if subject is not None:
+            by_pred = self._spo.get(subject, {})
+            if predicate is not None:
+                candidates: Iterable[Triple] = by_pred.get(predicate, ())
+            else:
+                candidates = (t for ts in by_pred.values() for t in ts)
+            if obj is not None:
+                candidates = (t for t in candidates if t.object == obj)
+            yield from candidates
+            return
+        if predicate is not None:
+            by_obj = self._pos.get(predicate, {})
+            if obj is not None:
+                yield from by_obj.get(obj, ())
+            else:
+                for ts in by_obj.values():
+                    yield from ts
+            return
+        if obj is not None:
+            by_subj = self._osp.get(obj, {})
+            for ts in by_subj.values():
+                yield from ts
+            return
+        yield from self._triples
+
+    def triples_of(self, subject: str) -> list[Triple]:
+        """All triples with the given subject."""
+        return list(self.match(subject=subject))
+
+    def objects(self, subject: str, predicate: str) -> list[str]:
+        """Object values of (subject, predicate)."""
+        return [t.object for t in self.match(subject=subject, predicate=predicate)]
+
+    def to_ntriples(self) -> str:
+        """Serialize the whole store to N-Triples text."""
+        return serialize_ntriples(self._triples)

@@ -1,0 +1,287 @@
+"""N-Triples parsing and serialization.
+
+N-Triples (https://www.w3.org/TR/n-triples/) is the line-oriented RDF
+syntax that Web-of-data dumps (BTC, DBpedia exports) ship in.  The parser
+here supports the full core grammar needed for entity resolution corpora:
+
+* IRIs in angle brackets with ``\\u``/``\\U`` escapes,
+* blank nodes (``_:label``),
+* literals with escapes, language tags and datatype IRIs,
+* comments and blank lines.
+
+Datatypes and language tags are preserved on the :class:`Triple` but the
+``object_value`` convenience accessor exposes the plain lexical form, which
+is what blocking tokenizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+_ESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input, with line diagnostics."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = "") -> None:
+        detail = message
+        if line_number:
+            detail = f"line {line_number}: {message}"
+        if line:
+            detail = f"{detail}: {line.strip()!r}"
+        super().__init__(detail)
+        self.line_number = line_number
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement.
+
+    ``subject`` is an IRI or blank-node label, ``predicate`` an IRI,
+    ``object`` an IRI, blank-node label or literal lexical form.  For
+    literal objects, ``is_literal`` is True and ``language``/``datatype``
+    carry the qualifiers (empty string when absent).
+    """
+
+    subject: str
+    predicate: str
+    object: str
+    is_literal: bool = False
+    language: str = ""
+    datatype: str = ""
+
+    @property
+    def object_value(self) -> str:
+        """The object's lexical form (same as ``object``; symmetry helper)."""
+        return self.object
+
+
+def parse_ntriples(text: str | Iterable[str]) -> Iterator[Triple]:
+    """Parse N-Triples *text* (a string or iterable of lines) lazily.
+
+    Raises:
+        NTriplesParseError: on the first malformed statement.
+    """
+    # Split on '\n' only: str.splitlines() also breaks on U+0085/U+2028/…,
+    # which are legal *inside* literals and must not terminate statements.
+    lines = text.split("\n") if isinstance(text, str) else text
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_ntriples_line(stripped, line_number=number)
+
+
+def parse_ntriples_line(line: str, line_number: int = 0) -> Triple:
+    """Parse a single N-Triples statement.
+
+    Raises:
+        NTriplesParseError: if the statement is malformed.
+    """
+    cursor = _Cursor(line, line_number)
+    subject = cursor.read_subject()
+    cursor.skip_ws(required=True)
+    predicate = cursor.read_iri()
+    cursor.skip_ws(required=True)
+    obj, is_literal, language, datatype = cursor.read_object()
+    cursor.skip_ws()
+    cursor.expect(".")
+    cursor.skip_ws()
+    if not cursor.at_end():
+        cursor.fail("trailing content after '.'")
+    return Triple(subject, predicate, obj, is_literal, language, datatype)
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize *triples* back to canonical N-Triples text."""
+    return "".join(serialize_triple(t) + "\n" for t in triples)
+
+
+def serialize_triple(triple: Triple) -> str:
+    """One statement, terminated by `` .`` (no newline)."""
+    subject = _term(triple.subject)
+    predicate = f"<{triple.predicate}>"
+    if triple.is_literal:
+        obj = '"' + _escape_literal(triple.object) + '"'
+        if triple.language:
+            obj += f"@{triple.language}"
+        elif triple.datatype:
+            obj += f"^^<{triple.datatype}>"
+    else:
+        obj = _term(triple.object)
+    return f"{subject} {predicate} {obj} ."
+
+
+def _term(value: str) -> str:
+    if value.startswith("_:"):
+        return value
+    return f"<{value}>"
+
+
+def _escape_literal(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "\t":
+            out.append("\\t")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class _Cursor:
+    """Character-level scanner over one statement line."""
+
+    def __init__(self, line: str, line_number: int) -> None:
+        self.line = line
+        self.line_number = line_number
+        self.pos = 0
+
+    def fail(self, message: str) -> None:
+        raise NTriplesParseError(message, self.line_number, self.line)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        return self.line[self.pos] if self.pos < len(self.line) else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            self.fail(f"expected {ch!r}")
+        self.pos += 1
+
+    def skip_ws(self, required: bool = False) -> None:
+        start = self.pos
+        while self.peek() in (" ", "\t"):
+            self.pos += 1
+        if required and self.pos == start:
+            self.fail("expected whitespace")
+
+    def read_subject(self) -> str:
+        if self.peek() == "<":
+            return self.read_iri()
+        if self.line.startswith("_:", self.pos):
+            return self.read_bnode()
+        self.fail("subject must be an IRI or blank node")
+        raise AssertionError("unreachable")
+
+    def read_bnode(self) -> str:
+        start = self.pos
+        self.pos += 2  # consume '_:'
+        while not self.at_end() and (self.peek().isalnum() or self.peek() in "._-"):
+            self.pos += 1
+        label = self.line[start : self.pos]
+        if label == "_:":
+            self.fail("empty blank node label")
+        return label
+
+    def read_iri(self) -> str:
+        self.expect("<")
+        out: list[str] = []
+        while True:
+            if self.at_end():
+                self.fail("unterminated IRI")
+            ch = self.line[self.pos]
+            self.pos += 1
+            if ch == ">":
+                break
+            if ch == "\\":
+                out.append(self._read_escape(unicode_only=True))
+            elif ch in ' "{}|^`':
+                self.fail(f"character {ch!r} must be escaped inside an IRI")
+            else:
+                out.append(ch)
+        iri = "".join(out)
+        if not iri:
+            self.fail("empty IRI")
+        return iri
+
+    def read_object(self) -> tuple[str, bool, str, str]:
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri(), False, "", ""
+        if self.line.startswith("_:", self.pos):
+            return self.read_bnode(), False, "", ""
+        if ch == '"':
+            return self.read_literal()
+        self.fail("object must be an IRI, blank node or literal")
+        raise AssertionError("unreachable")
+
+    def read_literal(self) -> tuple[str, bool, str, str]:
+        self.expect('"')
+        out: list[str] = []
+        while True:
+            if self.at_end():
+                self.fail("unterminated literal")
+            ch = self.line[self.pos]
+            self.pos += 1
+            if ch == '"':
+                break
+            if ch == "\\":
+                out.append(self._read_escape(unicode_only=False))
+            else:
+                out.append(ch)
+        value = "".join(out)
+        language = ""
+        datatype = ""
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while not self.at_end() and (self.peek().isalnum() or self.peek() == "-"):
+                self.pos += 1
+            language = self.line[start : self.pos]
+            if not language:
+                self.fail("empty language tag")
+        elif self.line.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+        return value, True, language, datatype
+
+    def _read_escape(self, unicode_only: bool) -> str:
+        if self.at_end():
+            self.fail("dangling escape")
+        ch = self.line[self.pos]
+        self.pos += 1
+        if ch == "u":
+            return self._read_hex(4)
+        if ch == "U":
+            return self._read_hex(8)
+        if not unicode_only and ch in _ESCAPES:
+            return _ESCAPES[ch]
+        self.fail(f"invalid escape \\{ch}")
+        raise AssertionError("unreachable")
+
+    def _read_hex(self, width: int) -> str:
+        digits = self.line[self.pos : self.pos + width]
+        if len(digits) != width:
+            self.fail("truncated unicode escape")
+        try:
+            code = int(digits, 16)
+        except ValueError:
+            self.fail(f"invalid unicode escape digits {digits!r}")
+            raise AssertionError("unreachable")
+        self.pos += width
+        try:
+            return chr(code)
+        except ValueError:
+            self.fail(f"code point out of range: {digits}")
+            raise AssertionError("unreachable")

@@ -1,0 +1,327 @@
+"""A reader for the commonly used Turtle subset.
+
+Turtle is the syntax hand-authored LOD samples usually come in.  The full
+grammar is large; corpora for entity resolution exercise a stable subset,
+which is what this reader supports:
+
+* ``@prefix`` / ``@base`` directives (and SPARQL-style ``PREFIX``/``BASE``),
+* prefixed names and IRIs,
+* the ``a`` keyword for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* literals with language tags / datatypes, including long ``\"\"\"`` strings,
+* integer/decimal/boolean shorthand literals,
+* blank nodes (``_:x``) — but not anonymous ``[...]`` property lists,
+  which the loader's corpora do not use (a clear error is raised).
+
+The reader emits the same :class:`~repro.rdf.ntriples.Triple` records as
+the N-Triples parser so downstream code is syntax-agnostic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.rdf.ntriples import NTriplesParseError, Triple
+
+_RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<iri><[^>]*>)
+  | (?P<long_literal>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<literal>"(?:[^"\\\n]|\\.)*")
+  | (?P<langtag>@[a-zA-Z][a-zA-Z0-9-]*)
+  | (?P<dtype>\^\^)
+  | (?P<punct>[.;,\[\]\(\)])
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][\w.-]*)?:(?P<local>[\w.%-]*)
+  | (?P<keyword>@?[A-Za-z_][\w-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r"\\(.)|\\u([0-9a-fA-F]{4})|\\U([0-9a-fA-F]{8})")
+_ESCAPES = {"t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f", '"': '"', "\\": "\\", "'": "'"}
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Parse Turtle *text*, yielding triples in document order.
+
+    Raises:
+        NTriplesParseError: on unsupported or malformed syntax.
+    """
+    return _TurtleReader(text).triples()
+
+
+def serialize_turtle(
+    triples: "Iterable[Triple]",
+    prefixes: dict[str, str] | None = None,
+) -> str:
+    """Serialize *triples* as Turtle, grouped by subject.
+
+    Args:
+        triples: statements to write (grouped by subject, predicate lists
+            joined with ``;``, object lists with ``,``).
+        prefixes: prefix → namespace declarations; matching IRIs are
+            compacted to prefixed names.
+
+    The output round-trips through :func:`parse_turtle`.
+    """
+    prefixes = prefixes or {}
+
+    def compact(iri: str) -> str:
+        if iri.startswith("_:"):
+            return iri
+        for prefix, namespace in prefixes.items():
+            if iri.startswith(namespace):
+                local = iri[len(namespace):]
+                if local and all(ch.isalnum() or ch in "._-" for ch in local):
+                    return f"{prefix}:{local}"
+        return f"<{iri}>"
+
+    def term(triple: Triple) -> str:
+        if not triple.is_literal:
+            return compact(triple.object)
+        escaped = (
+            triple.object.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        rendered = f'"{escaped}"'
+        if triple.language:
+            rendered += f"@{triple.language}"
+        elif triple.datatype:
+            rendered += f"^^{compact(triple.datatype)}"
+        return rendered
+
+    by_subject: dict[str, dict[str, list[Triple]]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, []
+        ).append(triple)
+
+    lines: list[str] = []
+    for prefix, namespace in prefixes.items():
+        lines.append(f"@prefix {prefix}: <{namespace}> .")
+    if prefixes:
+        lines.append("")
+    for subject, by_predicate in by_subject.items():
+        subject_term = subject if subject.startswith("_:") else compact(subject)
+        predicate_lines = []
+        for predicate, group in by_predicate.items():
+            predicate_term = (
+                "a" if predicate == _RDF_TYPE else compact(predicate)
+            )
+            objects = ", ".join(term(t) for t in group)
+            predicate_lines.append(f"    {predicate_term} {objects}")
+        lines.append(f"{subject_term}\n" + " ;\n".join(predicate_lines) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            raise NTriplesParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        if match.group("local") is not None and kind in ("local", "name"):
+            prefix = match.group("name") or ""
+            tokens.append(_Token("pname", f"{prefix}:{match.group('local')}"))
+            continue
+        assert kind is not None
+        value = match.group(kind)
+        # '@prefix'/'@base' lexes as a language tag; reclassify directives.
+        if kind == "langtag" and value.lower() in ("@prefix", "@base"):
+            kind = "keyword"
+        tokens.append(_Token(kind, value))
+    return tokens
+
+
+def _unescape(raw: str) -> str:
+    def replace(match: re.Match) -> str:
+        simple, u4, u8 = match.groups()
+        if u4:
+            return chr(int(u4, 16))
+        if u8:
+            return chr(int(u8, 16))
+        if simple in _ESCAPES:
+            return _ESCAPES[simple]
+        raise NTriplesParseError(f"invalid escape \\{simple}")
+
+    return _ESCAPE_RE.sub(replace, raw)
+
+
+class _TurtleReader:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._pos = 0
+        self._prefixes: dict[str, str] = {}
+        self._base = ""
+
+    # -- token stream ----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise NTriplesParseError("unexpected end of Turtle document")
+        self._pos += 1
+        return token
+
+    def _expect_punct(self, value: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != value:
+            raise NTriplesParseError(f"expected {value!r}, got {token.value!r}")
+
+    # -- grammar ------------------------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        while self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            if token.kind == "keyword" and token.value.lower() in ("@prefix", "prefix"):
+                self._read_prefix()
+            elif token.kind == "keyword" and token.value.lower() in ("@base", "base"):
+                self._read_base()
+            else:
+                yield from self._read_statement()
+
+    def _read_prefix(self) -> None:
+        directive = self._next()
+        pname = self._next()
+        if pname.kind != "pname" or not pname.value.endswith(":"):
+            raise NTriplesParseError(f"malformed prefix declaration near {pname.value!r}")
+        iri = self._next()
+        if iri.kind != "iri":
+            raise NTriplesParseError("prefix declaration requires an IRI")
+        self._prefixes[pname.value[:-1]] = self._resolve_iri(iri.value)
+        if directive.value.startswith("@"):
+            self._expect_punct(".")
+
+    def _read_base(self) -> None:
+        directive = self._next()
+        iri = self._next()
+        if iri.kind != "iri":
+            raise NTriplesParseError("base declaration requires an IRI")
+        self._base = iri.value[1:-1]
+        if directive.value.startswith("@"):
+            self._expect_punct(".")
+
+    def _read_statement(self) -> Iterator[Triple]:
+        subject = self._read_term(position="subject")
+        while True:
+            predicate = self._read_predicate()
+            while True:
+                yield self._make_triple(subject, predicate)
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.value == ",":
+                    self._next()
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.value == ";":
+                self._next()
+                # Turtle allows trailing ';' before '.'
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.value == ".":
+                    break
+                continue
+            break
+        self._expect_punct(".")
+
+    def _read_predicate(self) -> str:
+        token = self._next()
+        if token.kind == "keyword" and token.value == "a":
+            return _RDF_TYPE
+        if token.kind == "iri":
+            return self._resolve_iri(token.value)
+        if token.kind == "pname":
+            return self._expand_pname(token.value)
+        raise NTriplesParseError(f"expected predicate, got {token.value!r}")
+
+    def _read_term(self, position: str) -> str:
+        token = self._next()
+        if token.kind == "iri":
+            return self._resolve_iri(token.value)
+        if token.kind == "pname":
+            if token.value.startswith("_:"):
+                return token.value
+            return self._expand_pname(token.value)
+        if token.kind == "keyword" and token.value.startswith("_"):
+            return token.value
+        if token.kind == "punct" and token.value == "[":
+            raise NTriplesParseError(
+                "anonymous blank-node property lists are outside the supported subset"
+            )
+        raise NTriplesParseError(f"expected {position}, got {token.value!r}")
+
+    def _make_triple(self, subject: str, predicate: str) -> Triple:
+        token = self._next()
+        if token.kind in ("iri",):
+            return Triple(subject, predicate, self._resolve_iri(token.value))
+        if token.kind == "pname":
+            if token.value.startswith("_:"):
+                return Triple(subject, predicate, token.value)
+            return Triple(subject, predicate, self._expand_pname(token.value))
+        if token.kind in ("literal", "long_literal"):
+            raw = token.value[3:-3] if token.kind == "long_literal" else token.value[1:-1]
+            value = _unescape(raw)
+            language = ""
+            datatype = ""
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                language = self._next().value[1:]
+            elif nxt is not None and nxt.kind == "dtype":
+                self._next()
+                dt = self._next()
+                if dt.kind == "iri":
+                    datatype = self._resolve_iri(dt.value)
+                elif dt.kind == "pname":
+                    datatype = self._expand_pname(dt.value)
+                else:
+                    raise NTriplesParseError("datatype must be an IRI")
+            return Triple(subject, predicate, value, True, language, datatype)
+        if token.kind == "number":
+            datatype = _XSD + ("decimal" if "." in token.value or "e" in token.value.lower() else "integer")
+            return Triple(subject, predicate, token.value, True, "", datatype)
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            return Triple(subject, predicate, token.value, True, "", _XSD + "boolean")
+        raise NTriplesParseError(f"expected object, got {token.value!r}")
+
+    # -- IRI resolution -----------------------------------------------------
+
+    def _resolve_iri(self, bracketed: str) -> str:
+        iri = bracketed[1:-1]
+        if self._base and "://" not in iri and not iri.startswith(("urn:", "_:")):
+            return self._base + iri
+        return iri
+
+    def _expand_pname(self, pname: str) -> str:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self._prefixes:
+            raise NTriplesParseError(f"undeclared prefix {prefix!r}")
+        return self._prefixes[prefix] + local

@@ -1,0 +1,23 @@
+"""Shared utility data structures and text helpers.
+
+This package hosts the low-level building blocks used across the MinoanER
+reproduction: an addressable max-heap used by the comparison scheduler, a
+disjoint-set forest used by clustering and the relationship-completeness
+benefit model, text normalization used by the tokenizer, and deterministic
+random-number helpers used by the dataset synthesizer.
+"""
+
+from repro.utils.heap import AddressableMaxHeap
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.text import normalize, strip_accents, token_split
+from repro.utils.rng import deterministic_rng, stable_hash
+
+__all__ = [
+    "AddressableMaxHeap",
+    "DisjointSet",
+    "normalize",
+    "strip_accents",
+    "token_split",
+    "deterministic_rng",
+    "stable_hash",
+]

@@ -1,0 +1,48 @@
+"""Text normalization helpers used by the tokenizer and similarity functions.
+
+Entity descriptions in the Web of Data mix scripts, punctuation conventions
+and casing.  Token blocking (and the token-based similarity functions) must
+see a canonical form, otherwise trivially-matching descriptions land in
+disjoint blocks.  These helpers implement the normalization pipeline used
+throughout the reproduction: Unicode accent folding, lower-casing, and
+splitting on every non-alphanumeric boundary.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+# Unicode letters and digits (underscore excluded): Web-of-data values mix
+# scripts, and an ASCII-only pattern would make non-Latin descriptions
+# invisible to blocking.
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+_WS_RE = re.compile(r"\s+")
+
+
+def strip_accents(text: str) -> str:
+    """Fold accented characters to their base form (``é`` → ``e``)."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def normalize(text: str) -> str:
+    """Lower-case, accent-fold and collapse whitespace."""
+    return _WS_RE.sub(" ", strip_accents(text).lower()).strip()
+
+
+def token_split(text: str, min_length: int = 1) -> list[str]:
+    """Split *text* into normalized alphanumeric tokens.
+
+    Args:
+        text: raw attribute value or URI fragment.
+        min_length: drop tokens shorter than this (blocking typically uses
+            ``min_length=2`` or ``3`` to avoid huge stop-token blocks).
+
+    Returns:
+        Tokens in order of appearance, possibly with duplicates.
+    """
+    tokens = _TOKEN_RE.findall(normalize(text))
+    if min_length > 1:
+        tokens = [t for t in tokens if len(t) >= min_length]
+    return tokens

@@ -1,0 +1,186 @@
+"""Canned experiment workflows.
+
+The benchmark harness (E2, E4, E5, …) is useful beyond this repository's
+own tables: a user evaluating MinoanER on *their* data wants the same
+sweeps without re-writing the loops.  This module packages them as plain
+functions over ``(kb1, kb2, gold)`` returning report-ready row dicts
+(render with :func:`repro.evaluation.reporting.format_table`) plus the
+raw objects for further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.altowim import AltowimProgressiveER
+from repro.baselines.ordered import (
+    batch_baseline,
+    oracle_order_baseline,
+    random_order_baseline,
+)
+from repro.blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    TokenBlocking,
+)
+from repro.blocking.base import Blocker
+from repro.core.budget import CostBudget
+from repro.core.pipeline import MinoanER
+from repro.core.strategies import dynamic_strategy, static_strategy
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.metrics import BlockingQuality, evaluate_blocks, evaluate_comparisons
+from repro.evaluation.progressive import ProgressiveCurve
+from repro.matching.matcher import Matcher
+from repro.metablocking.graph import BlockingGraph
+from repro.metablocking.pruning import PRUNERS, make_pruner
+from repro.metablocking.weighting import SCHEMES, make_scheme
+from repro.model.collection import EntityCollection
+
+
+@dataclass
+class WorkflowReport:
+    """Rows ready for :func:`format_table` plus the raw measurements."""
+
+    title: str
+    rows: list[dict[str, str]] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+
+def compare_blocking_methods(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None,
+    gold: GoldStandard,
+    blockers: list[Blocker] | None = None,
+) -> WorkflowReport:
+    """PC/PQ/RR of several blocking methods on one task (the E2 sweep)."""
+    blockers = blockers or [
+        TokenBlocking(),
+        AttributeClusteringBlocking(),
+        PrefixInfixSuffixBlocking(),
+    ]
+    report = WorkflowReport(title="Blocking methods: PC / PQ / RR")
+    sizes = (len(kb1), len(kb2) if kb2 is not None else None)
+    for blocker in blockers:
+        blocks = blocker.build(kb1, kb2)
+        quality = evaluate_blocks(blocks, gold, *sizes)
+        row = {"method": blocker.name}
+        row.update(quality.as_row())
+        report.rows.append(row)
+        report.raw[blocker.name] = (blocks, quality)
+    return report
+
+
+def sweep_metablocking(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None,
+    gold: GoldStandard,
+    weighting: list[str] | None = None,
+    pruning: list[str] | None = None,
+    platform: MinoanER | None = None,
+) -> WorkflowReport:
+    """The weighting × pruning matrix on post-processed blocks (E4)."""
+    platform = platform or MinoanER()
+    weighting = weighting or sorted(SCHEMES)
+    pruning = pruning or ["WEP", "CEP", "WNP", "CNP"]
+    _, processed = platform.block(kb1, kb2)
+    sizes = (len(kb1), len(kb2) if kb2 is not None else None)
+    report = WorkflowReport(title="Meta-blocking: weighting x pruning")
+    for scheme_name in weighting:
+        graph = BlockingGraph(processed, make_scheme(scheme_name))
+        for pruner_name in pruning:
+            edges = make_pruner(pruner_name).prune(graph)
+            quality = evaluate_comparisons({e.pair for e in edges}, gold, *sizes)
+            row = {"weighting": scheme_name, "pruning": pruner_name}
+            row.update(quality.as_row())
+            report.rows.append(row)
+            report.raw[(scheme_name, pruner_name)] = edges
+    return report
+
+
+def compare_progressive_strategies(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None,
+    gold: GoldStandard,
+    matcher: Matcher,
+    budget: int,
+    platform: MinoanER | None = None,
+    include_oracle: bool = True,
+    altowim_window: int = 20,
+    seed: int = 7,
+) -> WorkflowReport:
+    """Progressive-recall comparison across strategies (E5) on one task.
+
+    Note: the matcher instance is shared across strategies; each run
+    re-binds it to a fresh resolution context.
+    """
+    platform = platform or MinoanER()
+    _, processed = platform.block(kb1, kb2)
+    edges = platform.meta_block(processed)
+    collections = [kb1] if kb2 is None else [kb1, kb2]
+    cost = CostBudget(budget)
+
+    results = {
+        "minoan-dynamic": dynamic_strategy(matcher, budget=cost).run(
+            edges, collections, gold=gold, label="minoan-dynamic"
+        ),
+        "minoan-static": static_strategy(matcher, budget=cost).run(
+            edges, collections, gold=gold, label="minoan-static"
+        ),
+        "altowim": AltowimProgressiveER(window_size=altowim_window).run(
+            processed, matcher, collections, cost, gold
+        ),
+        "random": random_order_baseline(edges, matcher, collections, cost, gold, seed=seed),
+        "batch": batch_baseline(edges, matcher, collections, cost, gold),
+    }
+    if include_oracle:
+        results["oracle"] = oracle_order_baseline(edges, matcher, collections, gold, cost)
+
+    report = WorkflowReport(title=f"Progressive strategies (budget={budget})")
+    for name, result in results.items():
+        report.rows.append(
+            {
+                "strategy": name,
+                "AUC": f"{result.curve.auc('recall', budget):.3f}",
+                "final recall": f"{result.curve.final('recall'):.3f}",
+                "comparisons": str(result.comparisons_executed),
+            }
+        )
+        report.raw[name] = result
+    return report
+
+
+def sweep_budgets(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None,
+    gold: GoldStandard,
+    budgets: list[int],
+    platform: MinoanER | None = None,
+) -> WorkflowReport:
+    """Final recall/F1 of the full pipeline at several budgets.
+
+    Uses a fresh pipeline per budget so runs are independent.
+    """
+    from repro.evaluation.metrics import evaluate_matches
+
+    base = platform or MinoanER()
+    report = WorkflowReport(title="Budget sweep")
+    for budget in budgets:
+        run_platform = MinoanER(
+            blocker=base.blocker,
+            purging=base.purging,
+            filtering=base.filtering,
+            weighting=base.weighting,
+            pruning=base.pruning,
+            match_threshold=base.match_threshold,
+            budget=CostBudget(budget),
+            benefit=base.benefit,
+            update_phase=base.updater is not None,
+        )
+        result = run_platform.resolve(kb1, kb2, gold=gold)
+        quality = evaluate_matches(result.matched_pairs(), gold)
+        row = {"budget": str(budget)}
+        row.update(quality.as_row())
+        row["comparisons"] = str(result.progressive.comparisons_executed)
+        report.rows.append(row)
+        report.raw[budget] = result
+    return report

@@ -1,0 +1,116 @@
+"""Tests for the order-based baselines."""
+
+from __future__ import annotations
+
+from repro.baselines.ordered import (
+    batch_baseline,
+    oracle_order_baseline,
+    random_order_baseline,
+    run_ordered,
+)
+from repro.core.budget import CostBudget
+from repro.datasets.gold import GoldStandard
+from repro.matching.matcher import OracleMatcher
+from repro.metablocking.graph import WeightedEdge
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+def world(n: int = 10):
+    kb1 = EntityCollection(
+        [EntityDescription(f"http://a/{i}", {"p": [f"v{i}"]}, source="kb1") for i in range(n)],
+        name="kb1",
+    )
+    kb2 = EntityCollection(
+        [EntityDescription(f"http://b/{i}", {"q": [f"v{i}"]}, source="kb2") for i in range(n)],
+        name="kb2",
+    )
+    gold = GoldStandard.from_pairs([(f"http://a/{i}", f"http://b/{i}") for i in range(n)])
+    edges = [WeightedEdge(f"http://a/{i}", f"http://b/{j}", 1.0) for i in range(n) for j in range(n)]
+    return kb1, kb2, gold, edges
+
+
+class TestRunOrdered:
+    def test_executes_in_order(self):
+        kb1, kb2, gold, _ = world(3)
+        pairs = sorted(gold.matches)
+        result = run_ordered(pairs, OracleMatcher(gold.matches), [kb1, kb2], gold=gold)
+        assert result.comparisons_executed == 3
+        assert result.curve.final("recall") == 1.0
+
+    def test_budget_respected(self):
+        kb1, kb2, gold, _ = world(5)
+        pairs = sorted(gold.matches)
+        result = run_ordered(
+            pairs, OracleMatcher(gold.matches), [kb1, kb2],
+            budget=CostBudget(2), gold=gold,
+        )
+        assert result.comparisons_executed == 2
+
+    def test_duplicates_skipped(self):
+        kb1, kb2, gold, _ = world(2)
+        pairs = sorted(gold.matches) * 3
+        result = run_ordered(pairs, OracleMatcher(gold.matches), [kb1, kb2])
+        assert result.comparisons_executed == 2
+        assert result.skipped_decided == 4
+
+    def test_benefit_counts_matches(self):
+        kb1, kb2, gold, edges = world(4)
+        pairs = [e.pair for e in edges]
+        result = run_ordered(pairs, OracleMatcher(gold.matches), [kb1, kb2])
+        assert result.benefit_total == 4.0
+
+
+class TestRandomOrder:
+    def test_deterministic_given_seed(self):
+        kb1, kb2, gold, edges = world(5)
+        a = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], gold=gold, seed=3)
+        b = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], gold=gold, seed=3)
+        assert a.curve.comparisons == b.curve.comparisons
+        assert a.curve.series["recall"] == b.curve.series["recall"]
+
+    def test_different_seeds_differ(self):
+        kb1, kb2, gold, edges = world(6)
+        budget = CostBudget(12)
+        a = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], budget, gold, seed=1)
+        b = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], budget, gold, seed=2)
+        assert (
+            a.match_graph.matched_pairs() != b.match_graph.matched_pairs()
+            or a.curve.series["recall"] != b.curve.series["recall"]
+        )
+
+    def test_label(self):
+        kb1, kb2, gold, edges = world(3)
+        result = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2])
+        assert result.curve.label == "random"
+
+
+class TestOracleOrder:
+    def test_matches_found_first(self):
+        kb1, kb2, gold, edges = world(6)
+        budget = CostBudget(6)  # exactly the number of gold matches
+        result = oracle_order_baseline(
+            edges, OracleMatcher(gold.matches), [kb1, kb2], gold, budget
+        )
+        assert result.match_graph.match_count == 6
+        assert result.curve.final("recall") == 1.0
+
+    def test_upper_bounds_random(self):
+        kb1, kb2, gold, edges = world(8)
+        budget = CostBudget(20)
+        oracle = oracle_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], gold, budget)
+        random_ = random_order_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], budget, gold)
+        assert oracle.curve.auc("recall") >= random_.curve.auc("recall")
+
+
+class TestBatch:
+    def test_blocking_order(self):
+        kb1, kb2, gold, edges = world(4)
+        result = batch_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2], gold=gold)
+        assert result.comparisons_executed == 16
+        assert result.curve.final("recall") == 1.0
+
+    def test_label(self):
+        kb1, kb2, gold, edges = world(2)
+        result = batch_baseline(edges, OracleMatcher(gold.matches), [kb1, kb2])
+        assert result.curve.label == "batch"

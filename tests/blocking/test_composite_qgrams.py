@@ -1,0 +1,123 @@
+"""Tests for composite and q-grams blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.composite import CompositeBlocking
+from repro.blocking.prefix_infix_suffix import PrefixInfixSuffixBlocking
+from repro.blocking.qgrams import QGramsBlocking, qgrams
+from repro.blocking.token_blocking import TokenBlocking
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+from repro.model.tokenizer import Tokenizer
+
+
+def description(uri: str, **attrs) -> EntityDescription:
+    return EntityDescription(uri, {k: [v] for k, v in attrs.items()})
+
+
+class TestQgramsFunction:
+    def test_basic(self):
+        assert qgrams("abcd", 3) == {"abc", "bcd"}
+
+    def test_short_token_kept_whole(self):
+        assert qgrams("ab", 3) == {"ab"}
+
+    def test_exact_length(self):
+        assert qgrams("abc", 3) == {"abc"}
+
+    def test_count(self):
+        assert len(qgrams("abcdef", 2)) == 5
+
+
+class TestQGramsBlocking:
+    def test_typo_robustness(self):
+        # 'kubrick' vs 'kubrik' share no token but share q-grams.
+        kb1 = EntityCollection(
+            [description("http://a/1", name="kubrick")], name="kb1"
+        )
+        kb2 = EntityCollection(
+            [description("http://b/1", name="kubrik")], name="kb2"
+        )
+        token_blocks = TokenBlocking(Tokenizer(include_uri_infix=False)).build(kb1, kb2)
+        qgram_blocks = QGramsBlocking(
+            q=3, tokenizer=Tokenizer(include_uri_infix=False)
+        ).build(kb1, kb2)
+        assert len(token_blocks.distinct_comparisons()) == 0
+        assert ("http://a/1", "http://b/1") in qgram_blocks.distinct_comparisons()
+
+    def test_superset_of_token_recall(self, movies):
+        kb_a, kb_b, gold = movies
+        tokenizer = Tokenizer(include_uri_infix=True)
+        token_pairs = TokenBlocking(tokenizer).build(kb_a, kb_b).distinct_comparisons()
+        qgram_pairs = QGramsBlocking(3, tokenizer).build(kb_a, kb_b).distinct_comparisons()
+        # Every token implies its own q-grams: q-gram candidates are a superset.
+        assert token_pairs <= qgram_pairs
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramsBlocking(q=1)
+
+    def test_name_reflects_q(self):
+        assert QGramsBlocking(q=4).name == "4grams-blocking"
+
+
+class TestCompositeBlocking:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            CompositeBlocking([])
+
+    def test_union_semantics(self):
+        blocker = CompositeBlocking(
+            [
+                TokenBlocking(Tokenizer(include_uri_infix=False)),
+                PrefixInfixSuffixBlocking(include_reference_infixes=False),
+            ]
+        )
+        desc = description("http://kb.org/resource/Berlin_City", name="hauptstadt")
+        keys = blocker.keys_for(desc)
+        assert "hauptstadt" in keys   # from token blocking
+        assert "berlin" in keys       # from the URI infix
+
+    def test_namespaced_keys(self):
+        blocker = CompositeBlocking(
+            [TokenBlocking(Tokenizer(include_uri_infix=False))], namespaced=True
+        )
+        keys = blocker.keys_for(description("http://a/1", name="alpha"))
+        assert keys == {"token-blocking:alpha"}
+
+    def test_merged_keys_reproduce_paper_stage1(self):
+        """Token OR URI-token semantics: same block for a value token and
+        an identical URI-infix token."""
+        kb1 = EntityCollection(
+            [description("http://a/resource/arnie", note="something")], name="kb1"
+        )
+        kb2 = EntityCollection(
+            [description("http://b/venue/v1", title="arnie diner")], name="kb2"
+        )
+        blocker = CompositeBlocking(
+            [
+                TokenBlocking(Tokenizer(include_uri_infix=False)),
+                PrefixInfixSuffixBlocking(include_reference_infixes=False),
+            ]
+        )
+        blocks = blocker.build(kb1, kb2)
+        assert "arnie" in blocks
+        assert blocks["arnie"].cardinality() == 1
+
+    def test_composite_name(self):
+        blocker = CompositeBlocking(
+            [TokenBlocking(), PrefixInfixSuffixBlocking()]
+        )
+        assert blocker.name == "composite(token-blocking+prefix-infix-suffix)"
+
+    def test_recall_at_least_best_member(self, movies):
+        kb_a, kb_b, gold = movies
+        token = TokenBlocking()
+        pis = PrefixInfixSuffixBlocking()
+        composite = CompositeBlocking([token, pis])
+        composite_pairs = composite.build(kb_a, kb_b).distinct_comparisons()
+        for member in (token, pis):
+            member_pairs = member.build(kb_a, kb_b).distinct_comparisons()
+            assert member_pairs <= composite_pairs

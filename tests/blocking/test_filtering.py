@@ -1,0 +1,79 @@
+"""Tests for block filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+
+
+def blocks_for_entity_x() -> BlockCollection:
+    """Entity x appears in blocks of very different sizes."""
+    return BlockCollection(
+        [
+            Block("tiny", ["x", "a"]),
+            Block("mid", ["x", "a", "b", "c"]),
+            Block("huge", ["x"] + [f"n{i}" for i in range(30)]),
+        ]
+    )
+
+
+class TestFiltering:
+    def test_entity_leaves_largest_blocks(self):
+        filtered = BlockFiltering(ratio=0.67).process(blocks_for_entity_x())
+        # x keeps ceil(0.67*3)=2 smallest blocks: tiny and mid.
+        assert "x" in filtered["tiny"].entities1
+        assert "x" in filtered["mid"].entities1
+        assert "huge" not in filtered or "x" not in filtered["huge"].entities1
+
+    def test_ratio_one_keeps_everything(self):
+        original = blocks_for_entity_x()
+        filtered = BlockFiltering(ratio=1.0).process(original)
+        assert filtered.total_assignments() == original.total_assignments()
+
+    def test_every_entity_keeps_at_least_one_block(self):
+        filtered = BlockFiltering(ratio=0.1).process(blocks_for_entity_x())
+        index = filtered.entity_index()
+        # x survives somewhere (its smallest block).
+        assert index.get("x") == ["tiny"]
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio=0.0)
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio=1.2)
+
+    def test_bipartite_sides_filtered_independently(self):
+        blocks = BlockCollection(
+            [
+                Block("small", ["x"], ["y"]),
+                Block("large", ["x", "a", "b"], ["y", "c", "d"]),
+            ]
+        )
+        filtered = BlockFiltering(ratio=0.5).process(blocks)
+        assert "small" in filtered
+        # x and y keep only their smallest block.
+        if "large" in filtered:
+            assert "x" not in filtered["large"].entities1
+            assert "y" not in (filtered["large"].entities2 or [])
+
+    def test_degenerate_blocks_dropped(self):
+        blocks = BlockCollection([Block("k", ["x", "y"]), Block("big", ["x", "y", "z"])])
+        filtered = BlockFiltering(ratio=0.5).process(blocks)
+        for block in filtered:
+            assert block.cardinality() >= 1
+
+    def test_filtering_shrinks_comparison_count(self, center_dataset):
+        from repro.blocking.token_blocking import TokenBlocking
+
+        blocks = TokenBlocking().build(center_dataset.kb1, center_dataset.kb2)
+        filtered = BlockFiltering(ratio=0.5).process(blocks)
+        assert filtered.total_comparisons() < blocks.total_comparisons()
+
+    def test_determinism(self):
+        a = BlockFiltering(ratio=0.5).process(blocks_for_entity_x())
+        b = BlockFiltering(ratio=0.5).process(blocks_for_entity_x())
+        assert a.keys() == b.keys()
+        for key in a.keys():
+            assert a[key].entities1 == b[key].entities1

@@ -1,0 +1,78 @@
+"""Tests for prefix-infix(-suffix) URI blocking."""
+
+from __future__ import annotations
+
+from repro.blocking.prefix_infix_suffix import PrefixInfixSuffixBlocking
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+def description(uri: str, **attrs) -> EntityDescription:
+    return EntityDescription(uri, {k: [v] for k, v in attrs.items()})
+
+
+class TestKeys:
+    def test_infix_tokens_are_keys(self):
+        blocker = PrefixInfixSuffixBlocking()
+        keys = blocker.keys_for(description("http://dbpedia.org/resource/New_York"))
+        assert {"new", "york"} <= keys
+
+    def test_prefix_not_a_key(self):
+        blocker = PrefixInfixSuffixBlocking()
+        keys = blocker.keys_for(description("http://dbpedia.org/resource/Berlin"))
+        assert "dbpedia" not in keys
+        assert "resource" not in keys
+
+    def test_reference_infixes_included_by_default(self):
+        blocker = PrefixInfixSuffixBlocking()
+        keys = blocker.keys_for(
+            description(
+                "http://kb.org/film/f123",
+                director="http://kb.org/person/Stanley_Kubrick",
+            )
+        )
+        assert {"stanley", "kubrick"} <= keys
+
+    def test_reference_infixes_can_be_disabled(self):
+        blocker = PrefixInfixSuffixBlocking(include_reference_infixes=False)
+        keys = blocker.keys_for(
+            description(
+                "http://kb.org/film/f123",
+                director="http://kb.org/person/Stanley_Kubrick",
+            )
+        )
+        assert "kubrick" not in keys
+
+    def test_literal_tokens_excluded_by_default(self):
+        blocker = PrefixInfixSuffixBlocking()
+        keys = blocker.keys_for(description("http://kb.org/x1", name="Some Label"))
+        assert "label" not in keys
+
+    def test_total_description_variant(self):
+        blocker = PrefixInfixSuffixBlocking(include_literals=True)
+        assert blocker.name == "total-description"
+        keys = blocker.keys_for(description("http://kb.org/x1", name="Some Label"))
+        assert {"some", "label", "x1"} <= keys
+
+
+class TestBuild:
+    def test_name_bearing_uris_block_together(self):
+        kb1 = EntityCollection(
+            [description("http://kb1.org/resource/Miranda_Velasquez")], name="kb1"
+        )
+        kb2 = EntityCollection(
+            [description("http://kb2.org/people/miranda-velasquez.html")], name="kb2"
+        )
+        blocks = PrefixInfixSuffixBlocking().build(kb1, kb2)
+        assert "miranda" in blocks
+        assert blocks["miranda"].cardinality() == 1
+
+    def test_periphery_recall_beats_nothing(self, movies):
+        kb_a, kb_b, gold = movies
+        blocks = PrefixInfixSuffixBlocking().build(kb_a, kb_b)
+        covered = blocks.distinct_comparisons()
+        hit = sum(1 for pair in gold.matches if pair in covered)
+        # KB-B URIs are opaque (/m/0f1a2) so URI-only blocking catches few
+        # movie matches — but it must still produce some candidates via
+        # reference infixes without exploding the comparison count.
+        assert len(covered) < len(kb_a) * len(kb_b)

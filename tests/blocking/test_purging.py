@@ -1,0 +1,71 @@
+"""Tests for block purging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.purging import BlockPurging
+
+
+def skewed_blocks() -> BlockCollection:
+    """Many small blocks plus one stop-token block."""
+    blocks = [Block(f"small{i}", [f"a{i}", f"b{i}"]) for i in range(20)]
+    blocks.append(Block("stopword", [f"e{i}" for i in range(60)]))
+    return BlockCollection(blocks)
+
+
+class TestExplicitThreshold:
+    def test_oversized_blocks_removed(self):
+        purged = BlockPurging(max_cardinality=10).process(skewed_blocks())
+        assert "stopword" not in purged
+        assert len(purged) == 20
+
+    def test_small_blocks_survive(self):
+        purged = BlockPurging(max_cardinality=1).process(skewed_blocks())
+        assert all(block.cardinality() <= 1 for block in purged)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            BlockPurging(max_cardinality=0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            BlockPurging(smoothing=0.5)
+
+
+class TestAdaptiveThreshold:
+    def test_adaptive_removes_stop_token_block(self):
+        blocks = skewed_blocks()
+        purging = BlockPurging()
+        threshold = purging.adaptive_threshold(blocks)
+        assert threshold < Block("stopword", [f"e{i}" for i in range(60)]).cardinality()
+        purged = purging.process(blocks)
+        assert "stopword" not in purged
+
+    def test_uniform_blocks_untouched(self):
+        blocks = BlockCollection(
+            [Block(f"k{i}", [f"a{i}", f"b{i}", f"c{i}"]) for i in range(10)]
+        )
+        purged = BlockPurging().process(blocks)
+        assert len(purged) == 10
+
+    def test_empty_collection(self):
+        assert len(BlockPurging().process(BlockCollection())) == 0
+
+    def test_purging_preserves_block_contents(self):
+        blocks = skewed_blocks()
+        purged = BlockPurging(max_cardinality=10).process(blocks)
+        assert set(purged["small0"].entities1) == {"a0", "b0"}
+
+    def test_original_collection_untouched(self):
+        blocks = skewed_blocks()
+        BlockPurging(max_cardinality=10).process(blocks)
+        assert "stopword" in blocks
+
+    def test_reduces_comparisons_on_synthetic(self, center_dataset):
+        from repro.blocking.token_blocking import TokenBlocking
+
+        blocks = TokenBlocking().build(center_dataset.kb1, center_dataset.kb2)
+        purged = BlockPurging().process(blocks)
+        assert purged.total_comparisons() < blocks.total_comparisons()

@@ -1,0 +1,86 @@
+"""Tests for the cost budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import CostBudget
+
+
+class TestBasics:
+    def test_unlimited_by_default(self):
+        budget = CostBudget()
+        assert not budget.exhausted
+        assert budget.remaining == float("inf")
+
+    def test_charging_comparisons(self):
+        budget = CostBudget(max_cost=3)
+        budget.charge_comparison()
+        budget.charge_comparison()
+        assert budget.comparisons_executed == 2
+        assert budget.consumed == 2
+
+    def test_exhaustion(self):
+        budget = CostBudget(max_cost=2)
+        budget.charge_comparison()
+        assert not budget.exhausted
+        budget.charge_comparison()
+        assert budget.exhausted
+
+    def test_charging_past_budget_raises(self):
+        budget = CostBudget(max_cost=1)
+        budget.charge_comparison()
+        with pytest.raises(RuntimeError):
+            budget.charge_comparison()
+
+    def test_remaining(self):
+        budget = CostBudget(max_cost=5)
+        budget.charge_comparison()
+        assert budget.remaining == 4.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CostBudget(max_cost=-1)
+
+    def test_zero_budget_immediately_exhausted(self):
+        assert CostBudget(max_cost=0).exhausted
+
+
+class TestSchedulingCost:
+    def test_free_by_default(self):
+        budget = CostBudget(max_cost=10)
+        budget.charge_scheduling(1000)
+        assert budget.consumed == 0.0
+        assert not budget.exhausted
+
+    def test_weighted_scheduling_consumes(self):
+        budget = CostBudget(max_cost=10, scheduling_cost_weight=0.1)
+        budget.charge_scheduling(50)
+        assert budget.consumed == pytest.approx(5.0)
+
+    def test_scheduling_can_exhaust(self):
+        budget = CostBudget(max_cost=2, scheduling_cost_weight=1.0)
+        budget.charge_scheduling(2)
+        assert budget.exhausted
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ValueError):
+            CostBudget().charge_scheduling(-1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CostBudget(scheduling_cost_weight=-0.5)
+
+
+class TestCopy:
+    def test_copy_is_fresh(self):
+        budget = CostBudget(max_cost=5, scheduling_cost_weight=0.2)
+        budget.charge_comparison()
+        clone = budget.copy()
+        assert clone.max_cost == 5
+        assert clone.scheduling_cost_weight == 0.2
+        assert clone.comparisons_executed == 0
+
+    def test_repr_readable(self):
+        assert "comparisons" in repr(CostBudget(max_cost=5))
+        assert "∞" in repr(CostBudget())

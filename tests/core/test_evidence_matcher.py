@@ -1,0 +1,148 @@
+"""Tests for the neighbour-evidence-aware matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ResolutionContext
+from repro.core.evidence_matcher import NeighborAwareMatcher
+from repro.matching.matcher import MatchDecision, Matcher
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+class StubMatcher(Matcher):
+    """Fixed value-similarity matrix for testing."""
+
+    def __init__(self, scores: dict[tuple[str, str], float], threshold: float = 0.5):
+        self.scores = scores
+        self.threshold = threshold
+        self.bound_context = None
+
+    def bind(self, context) -> None:
+        self.bound_context = context
+
+    def similarity(self, uri_a: str, uri_b: str) -> float:
+        key = (uri_a, uri_b) if (uri_a, uri_b) in self.scores else (uri_b, uri_a)
+        return self.scores.get(key, 0.0)
+
+    def decide(self, uri_a: str, uri_b: str) -> MatchDecision:
+        score = self.similarity(uri_a, uri_b)
+        return MatchDecision(uri_a, uri_b, score, score >= self.threshold)
+
+
+def film_context() -> ResolutionContext:
+    kb1 = EntityCollection(
+        [
+            EntityDescription("a_film", {"director": ["http://x/a_dir"]}, source="kb1"),
+            EntityDescription("http://x/a_dir", {"n": ["d"]}, source="kb1"),
+        ],
+        name="kb1",
+    )
+    kb2 = EntityCollection(
+        [
+            EntityDescription("b_film", {"maker": ["http://y/b_dir"]}, source="kb2"),
+            EntityDescription("http://y/b_dir", {"n": ["d"]}, source="kb2"),
+        ],
+        name="kb2",
+    )
+    return ResolutionContext([kb1, kb2])
+
+
+class TestUnbound:
+    def test_behaves_like_base(self):
+        base = StubMatcher({("a", "b"): 0.6})
+        matcher = NeighborAwareMatcher(base, evidence_weight=0.5)
+        assert matcher.similarity("a", "b") == 0.6
+        assert matcher.decide("a", "b").is_match
+
+    def test_threshold_inherited(self):
+        base = StubMatcher({}, threshold=0.7)
+        assert NeighborAwareMatcher(base).threshold == 0.7
+
+    def test_threshold_override(self):
+        base = StubMatcher({}, threshold=0.7)
+        assert NeighborAwareMatcher(base, threshold=0.2).threshold == 0.2
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            NeighborAwareMatcher(StubMatcher({}), evidence_weight=-1)
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            NeighborAwareMatcher(StubMatcher({}), min_value_similarity=-0.1)
+
+
+class TestEvidence:
+    def test_bind_propagates_to_base(self):
+        base = StubMatcher({})
+        matcher = NeighborAwareMatcher(base)
+        context = film_context()
+        matcher.bind(context)
+        assert base.bound_context is context
+
+    def test_no_evidence_before_any_match(self):
+        matcher = NeighborAwareMatcher(StubMatcher({}))
+        matcher.bind(film_context())
+        assert matcher.neighbor_evidence("a_film", "b_film") == 0.0
+
+    def test_matched_neighbors_raise_score(self):
+        context = film_context()
+        base = StubMatcher({("a_film", "b_film"): 0.1}, threshold=0.3)
+        matcher = NeighborAwareMatcher(base, evidence_weight=0.3)
+        matcher.bind(context)
+        # The films fail on value alone.
+        assert not matcher.decide("a_film", "b_film").is_match
+        # Their directors get matched...
+        context.match_graph.record(
+            MatchDecision("http://x/a_dir", "http://y/b_dir", 1.0, True)
+        )
+        # ...and now the films pass: 0.1 + 0.3 * 1.0 = 0.4 >= 0.3.
+        decision = matcher.decide("a_film", "b_film")
+        assert decision.is_match
+        assert decision.similarity == pytest.approx(0.4)
+
+    def test_zero_value_similarity_never_matches(self):
+        context = film_context()
+        base = StubMatcher({}, threshold=0.2)  # all value scores 0
+        matcher = NeighborAwareMatcher(base, evidence_weight=1.0)
+        matcher.bind(context)
+        context.match_graph.record(
+            MatchDecision("http://x/a_dir", "http://y/b_dir", 1.0, True)
+        )
+        # Full neighbour evidence, but no value support: rejected.
+        decision = matcher.decide("a_film", "b_film")
+        assert decision.similarity >= 0.2
+        assert not decision.is_match
+
+    def test_transitive_neighbor_matches_count(self):
+        context = film_context()
+        base = StubMatcher({("a_film", "b_film"): 0.1}, threshold=0.3)
+        matcher = NeighborAwareMatcher(base, evidence_weight=0.3)
+        matcher.bind(context)
+        # Directors matched transitively through a third description.
+        context.match_graph.record(MatchDecision("http://x/a_dir", "z", 1.0, True))
+        context.match_graph.record(MatchDecision("z", "http://y/b_dir", 1.0, True))
+        assert matcher.neighbor_evidence("a_film", "b_film") == 1.0
+
+    def test_zero_weight_disables_evidence(self):
+        context = film_context()
+        base = StubMatcher({("a_film", "b_film"): 0.1}, threshold=0.3)
+        matcher = NeighborAwareMatcher(base, evidence_weight=0.0)
+        matcher.bind(context)
+        context.match_graph.record(
+            MatchDecision("http://x/a_dir", "http://y/b_dir", 1.0, True)
+        )
+        assert not matcher.decide("a_film", "b_film").is_match
+
+    def test_inverse_neighbors_contribute(self):
+        context = film_context()
+        base = StubMatcher(
+            {("http://x/a_dir", "http://y/b_dir"): 0.1}, threshold=0.3
+        )
+        matcher = NeighborAwareMatcher(base, evidence_weight=0.3)
+        matcher.bind(context)
+        # The films (which *reference* the directors) are matched.
+        context.match_graph.record(MatchDecision("a_film", "b_film", 1.0, True))
+        decision = matcher.decide("http://x/a_dir", "http://y/b_dir")
+        assert decision.is_match

@@ -1,0 +1,124 @@
+"""Tests for the MinoanER facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.core.budget import CostBudget
+from repro.core.pipeline import MinoanER
+from repro.evaluation.metrics import evaluate_matches
+from repro.matching.matcher import OracleMatcher
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        platform = MinoanER()
+        assert platform.weighting.name == "ARCS"
+        assert platform.pruning.name == "CNP"
+        assert platform.updater is not None
+
+    def test_scheme_names_resolved(self):
+        platform = MinoanER(weighting="js", pruning="wep", benefit="entity-coverage")
+        assert platform.weighting.name == "JS"
+        assert platform.pruning.name == "WEP"
+        assert platform.benefit.name == "entity-coverage"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            MinoanER(weighting="nope")
+        with pytest.raises(KeyError):
+            MinoanER(pruning="nope")
+        with pytest.raises(KeyError):
+            MinoanER(benefit="nope")
+
+    def test_update_phase_toggle(self):
+        assert MinoanER(update_phase=False).updater is None
+
+
+class TestStages:
+    def test_block_stage(self, movies):
+        kb_a, kb_b, _ = movies
+        platform = MinoanER()
+        raw, processed = platform.block(kb_a, kb_b)
+        assert len(raw) > 0
+        assert processed.total_comparisons() <= raw.total_comparisons()
+
+    def test_block_stage_without_postprocessing(self, movies):
+        kb_a, kb_b, _ = movies
+        platform = MinoanER()
+        platform.purging = None
+        platform.filtering = None
+        raw, processed = platform.block(kb_a, kb_b)
+        assert raw is processed
+
+    def test_meta_block_stage(self, movies):
+        kb_a, kb_b, _ = movies
+        platform = MinoanER()
+        _, processed = platform.block(kb_a, kb_b)
+        edges = platform.meta_block(processed)
+        assert edges
+        assert len(edges) <= len(processed.distinct_comparisons())
+
+    def test_default_matcher_built(self, movies):
+        from repro.core.evidence_matcher import NeighborAwareMatcher
+
+        kb_a, kb_b, _ = movies
+        matcher = MinoanER().build_matcher(kb_a, kb_b)
+        # Update phase on -> evidence-aware wrapper around the cosine matcher.
+        assert isinstance(matcher, NeighborAwareMatcher)
+        assert matcher.base.measure_name == "cosine"
+
+    def test_default_matcher_without_update_phase(self, movies):
+        kb_a, kb_b, _ = movies
+        matcher = MinoanER(update_phase=False).build_matcher(kb_a, kb_b)
+        assert matcher.measure_name == "cosine"
+
+    def test_custom_matcher_respected(self, movies):
+        kb_a, kb_b, gold = movies
+        oracle = OracleMatcher(gold.matches)
+        assert MinoanER(matcher=oracle).build_matcher(kb_a, kb_b) is oracle
+
+
+class TestResolve:
+    def test_end_to_end_movies(self, movies):
+        kb_a, kb_b, gold = movies
+        platform = MinoanER(budget=CostBudget(500))
+        result = platform.resolve(kb_a, kb_b, gold=gold)
+        quality = evaluate_matches(result.matched_pairs(), gold)
+        assert quality.f1 >= 0.85
+        assert result.progressive.comparisons_executed <= 500
+
+    def test_summary_keys(self, movies):
+        kb_a, kb_b, gold = movies
+        result = MinoanER(budget=CostBudget(200)).resolve(kb_a, kb_b, gold=gold)
+        summary = result.summary()
+        assert set(summary) == {
+            "blocks",
+            "after post-processing",
+            "scheduled comparisons",
+            "executed comparisons",
+            "matches",
+            "discovered matches",
+        }
+
+    def test_custom_stages(self, restaurants):
+        kb_a, kb_b, gold = restaurants
+        platform = MinoanER(
+            purging=BlockPurging(max_cardinality=50),
+            filtering=BlockFiltering(ratio=0.9),
+            weighting="ECBS",
+            pruning="WNP",
+            match_threshold=0.3,
+        )
+        result = platform.resolve(kb_a, kb_b, gold=gold)
+        quality = evaluate_matches(result.matched_pairs(), gold)
+        assert quality.recall >= 0.7
+
+    def test_dirty_er(self, dirty_dataset):
+        collection, gold = dirty_dataset
+        platform = MinoanER(budget=CostBudget(3000), match_threshold=0.55)
+        result = platform.resolve(collection, gold=gold)
+        quality = evaluate_matches(result.matched_pairs(), gold)
+        assert quality.recall > 0.4

@@ -1,0 +1,100 @@
+"""Stateful test of the comparison scheduler against a naive model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.blocking.block import comparison_pair
+from repro.core.benefit import QuantityBenefit
+from repro.core.engine import ResolutionContext
+from repro.core.scheduler import ComparisonScheduler
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+uris = st.integers(0, 12).map(lambda i: f"http://e/{i}")
+weights = st.floats(0.01, 100, allow_nan=False)
+
+
+def make_context() -> ResolutionContext:
+    collection = EntityCollection(
+        [EntityDescription(f"http://e/{i}", {"p": [f"v{i}"]}) for i in range(13)],
+        name="kb",
+    )
+    return ResolutionContext([collection])
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    """With the quantity benefit, priority == base weight + boosts; the
+    model tracks exactly that and checks pop order and bookkeeping."""
+
+    def __init__(self):
+        super().__init__()
+        self.scheduler = ComparisonScheduler(QuantityBenefit(), make_context())
+        self.queued: dict[tuple[str, str], float] = {}
+        self.popped: set[tuple[str, str]] = set()
+
+    @rule(a=uris, b=uris, weight=weights)
+    def schedule(self, a, b, weight):
+        if a == b:
+            return
+        pair = comparison_pair(a, b)
+        result = self.scheduler.schedule(a, b, weight)
+        if pair in self.popped:
+            assert result is False
+        elif pair in self.queued:
+            assert result is False
+            # Base weight merges to the max; boosts are preserved, so the
+            # model priority only changes when the new base is larger.
+            current_base = self.scheduler.base_weight(a, b)
+            assert current_base >= weight or current_base >= self.queued[pair]
+            self.queued[pair] = self.scheduler._priority(pair)
+        else:
+            assert result is True
+            self.queued[pair] = weight
+
+    @precondition(lambda self: self.queued)
+    @rule(delta=st.floats(0.01, 20), data=st.data())
+    def boost(self, delta, data):
+        pair = data.draw(st.sampled_from(sorted(self.queued)))
+        assert self.scheduler.boost(pair[0], pair[1], delta) is True
+        self.queued[pair] += delta
+
+    @rule(a=uris, b=uris, delta=weights)
+    def boost_unqueued_is_noop(self, a, b, delta):
+        if a == b:
+            return
+        pair = comparison_pair(a, b)
+        if pair not in self.queued:
+            assert self.scheduler.boost(a, b, delta) is False
+
+    @precondition(lambda self: self.queued)
+    @rule()
+    def pop_is_maximal(self):
+        pair, priority = self.scheduler.pop()
+        best = max(self.queued.values())
+        # Tolerances: model and scheduler accumulate boosts in different
+        # float orders.
+        assert priority == pytest.approx(self.queued[pair], rel=1e-9, abs=1e-9)
+        assert priority >= best - max(1e-9 * abs(best), 1e-9)
+        del self.queued[pair]
+        self.popped.add(pair)
+
+    @precondition(lambda self: self.popped)
+    @rule(data=st.data(), weight=weights)
+    def popped_pairs_never_resurrect(self, data, weight):
+        pair = data.draw(st.sampled_from(sorted(self.popped)))
+        assert self.scheduler.schedule(pair[0], pair[1], weight) is False
+        assert pair not in self.scheduler
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.scheduler) == len(self.queued)
+
+
+TestSchedulerMachine = SchedulerMachine.TestCase
+TestSchedulerMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,88 @@
+"""Tests for the static/dynamic/hybrid strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import dynamic_strategy, hybrid_strategy, static_strategy
+from repro.datasets.gold import GoldStandard
+from repro.matching.matcher import OracleMatcher
+from repro.metablocking.graph import WeightedEdge
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+def chain_world(n: int = 6):
+    """A chain of related entities where only the first pair is blocked.
+
+    a_i references a_{i+1} (same for b): each confirmed match unlocks the
+    next pair through neighbour evidence, so only iterative strategies can
+    walk the chain.
+    """
+    kb1_descriptions = []
+    kb2_descriptions = []
+    for i in range(n):
+        attrs1 = {"p": [f"value{i}"]}
+        attrs2 = {"q": [f"value{i}"]}
+        if i + 1 < n:
+            attrs1["r"] = [f"http://a/{i + 1}"]
+            attrs2["s"] = [f"http://b/{i + 1}"]
+        kb1_descriptions.append(EntityDescription(f"http://a/{i}", attrs1, source="kb1"))
+        kb2_descriptions.append(EntityDescription(f"http://b/{i}", attrs2, source="kb2"))
+    kb1 = EntityCollection(kb1_descriptions, name="kb1")
+    kb2 = EntityCollection(kb2_descriptions, name="kb2")
+    gold = GoldStandard.from_pairs([(f"http://a/{i}", f"http://b/{i}") for i in range(n)])
+    edges = [WeightedEdge("http://a/0", "http://b/0", 1.0)]
+    return kb1, kb2, gold, edges
+
+
+class TestStatic:
+    def test_no_update_phase(self):
+        kb1, kb2, gold, edges = chain_world()
+        engine = static_strategy(OracleMatcher(gold.matches))
+        assert engine.updater is None
+        result = engine.run(edges, [kb1, kb2], gold=gold)
+        assert result.match_graph.match_count == 1  # chain not walked
+
+
+class TestDynamic:
+    def test_walks_the_chain(self):
+        kb1, kb2, gold, edges = chain_world()
+        engine = dynamic_strategy(OracleMatcher(gold.matches))
+        result = engine.run(edges, [kb1, kb2], gold=gold)
+        assert result.match_graph.match_count == 6
+        assert result.discovered_matches == 5
+
+    def test_knobs_forwarded(self):
+        engine = dynamic_strategy(
+            OracleMatcher(set()), boost_factor=2.5, discovery_weight=0.25
+        )
+        assert engine.updater.boost_factor == 2.5
+        assert engine.updater.discovery_weight == 0.25
+
+
+class TestHybrid:
+    def test_batched_propagation_still_walks_chain(self):
+        kb1, kb2, gold, edges = chain_world()
+        engine = hybrid_strategy(OracleMatcher(gold.matches), batch_size=1)
+        result = engine.run(edges, [kb1, kb2], gold=gold)
+        assert result.match_graph.match_count == 6
+
+    def test_large_batch_defers_propagation(self):
+        kb1, kb2, gold, edges = chain_world()
+        engine = hybrid_strategy(OracleMatcher(gold.matches), batch_size=100)
+        result = engine.run(edges, [kb1, kb2], gold=gold)
+        # The batch never fills, so no propagation happens.
+        assert result.match_graph.match_count == 1
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            hybrid_strategy(OracleMatcher(set()), batch_size=0)
+
+    def test_intermediate_batch(self):
+        kb1, kb2, gold, edges = chain_world()
+        engine = hybrid_strategy(OracleMatcher(gold.matches), batch_size=2)
+        result = engine.run(edges, [kb1, kb2], gold=gold)
+        # Every second match triggers a flush; the chain advances in steps
+        # but stalls when the last unflushed match is the frontier.
+        assert 1 <= result.match_graph.match_count <= 6

@@ -1,0 +1,73 @@
+"""Tests for the gold-standard container and CSV I/O."""
+
+from __future__ import annotations
+
+from repro.datasets.gold import GoldStandard, load_gold_csv, save_gold_csv
+
+
+class TestGoldStandard:
+    def test_from_pairs_canonicalizes(self):
+        gold = GoldStandard.from_pairs([("b", "a"), ("a", "b")])
+        assert gold.matches == {("a", "b")}
+        assert len(gold) == 1
+
+    def test_is_match_symmetric(self):
+        gold = GoldStandard.from_pairs([("a", "b")])
+        assert gold.is_match("b", "a")
+        assert not gold.is_match("a", "c")
+
+    def test_contains(self):
+        gold = GoldStandard.from_pairs([("a", "b")])
+        assert ("a", "b") in gold
+
+    def test_clusters_generate_matches(self):
+        gold = GoldStandard(clusters=[frozenset({"a", "b", "c"})])
+        assert gold.matches == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_cluster_index(self):
+        gold = GoldStandard(clusters=[frozenset({"a", "b"}), frozenset({"x", "y"})])
+        index = gold.cluster_index()
+        assert index["a"] == index["b"]
+        assert index["a"] != index["x"]
+
+    def test_explicit_matches_not_overridden(self):
+        gold = GoldStandard(
+            matches={("p", "q")}, clusters=[frozenset({"a", "b"})]
+        )
+        assert gold.matches == {("p", "q")}
+
+    def test_entity_graphs_stored(self):
+        gold = GoldStandard(
+            clusters=[frozenset({"a", "b"}), frozenset({"x", "y"})],
+            entity_graphs=[frozenset({0, 1})],
+        )
+        assert gold.entity_graphs == [frozenset({0, 1})]
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path):
+        gold = GoldStandard.from_pairs([("u1", "v1"), ("u2", "v2")])
+        path = str(tmp_path / "gold.csv")
+        save_gold_csv(gold, path)
+        loaded = load_gold_csv(path)
+        assert loaded.matches == gold.matches
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "gold.csv"
+        path.write_text("uri1,uri2\na,b\n")
+        assert load_gold_csv(str(path)).matches == {("a", "b")}
+
+    def test_headerless_accepted(self, tmp_path):
+        path = tmp_path / "gold.csv"
+        path.write_text("a,b\nc,d\n")
+        assert len(load_gold_csv(str(path))) == 2
+
+    def test_short_rows_ignored(self, tmp_path):
+        path = tmp_path / "gold.csv"
+        path.write_text("a,b\nmalformed\n")
+        assert len(load_gold_csv(str(path))) == 1
+
+    def test_whitespace_stripped(self, tmp_path):
+        path = tmp_path / "gold.csv"
+        path.write_text(" a , b \n")
+        assert load_gold_csv(str(path)).matches == {("a", "b")}

@@ -1,0 +1,51 @@
+"""Tests for the ASCII progress chart."""
+
+from __future__ import annotations
+
+from repro.evaluation.progressive import ProgressiveCurve
+from repro.evaluation.reporting import format_progress_chart
+
+
+def make_curve(label: str, speed: float) -> ProgressiveCurve:
+    curve = ProgressiveCurve(label)
+    for i in range(11):
+        curve.record(i * 10, recall=min(1.0, i * speed))
+    return curve
+
+
+class TestChart:
+    def test_contains_axes_and_legend(self):
+        chart = format_progress_chart([make_curve("fast", 0.2)], title="T")
+        assert chart.startswith("T")
+        assert "1.0" in chart and "0.0" in chart
+        assert "* fast" in chart
+
+    def test_multiple_curves_get_distinct_glyphs(self):
+        chart = format_progress_chart(
+            [make_curve("fast", 0.2), make_curve("slow", 0.05)]
+        )
+        assert "* fast" in chart
+        assert "o slow" in chart
+        body = chart.split("└")[0]
+        assert "*" in body and "o" in body
+
+    def test_faster_curve_rises_earlier(self):
+        chart = format_progress_chart(
+            [make_curve("fast", 0.5), make_curve("slow", 0.02)], width=30, height=8
+        )
+        lines = chart.splitlines()
+        top_line = next(line for line in lines if line.startswith("1.0"))
+        bottom_half = lines[5]
+        # The fast curve reaches the top row; the slow one lingers low.
+        assert "*" in top_line
+
+    def test_empty_input(self):
+        assert format_progress_chart([], title="nothing") == "nothing"
+
+    def test_curve_without_points(self):
+        assert format_progress_chart([ProgressiveCurve("empty")], title="x") == "x"
+
+    def test_dimensions_respected(self):
+        chart = format_progress_chart([make_curve("a", 0.2)], width=25, height=6)
+        body_lines = [l for l in chart.splitlines() if "┤" in l or "│" in l]
+        assert len(body_lines) == 6

@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example must run and print sane output."""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "movies_crosskb.py",
+    "periphery_payg.py",
+    "dirty_dedup.py",
+    "instalment_session.py",
+    "mapreduce_scaling.py",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    assert os.path.exists(path), f"example missing: {name}"
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out) > 100, f"{name} produced suspiciously little output"
+
+
+class TestExampleContent:
+    def test_quickstart_reports_quality(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Matching quality" in out
+        assert "Resolved pairs" in out
+
+    def test_movies_compares_strategies(self, capsys):
+        out = run_example("movies_crosskb.py", capsys)
+        assert "static" in out and "dynamic" in out
+
+    def test_periphery_prints_chart_and_summary(self, capsys):
+        out = run_example("periphery_payg.py", capsys)
+        assert "minoan-dynamic" in out
+        assert "Progressive recall" in out
+
+    def test_dedup_reports_bcubed(self, capsys):
+        out = run_example("dirty_dedup.py", capsys)
+        assert "B3 F1" in out
+
+    def test_session_stops_early(self, capsys):
+        out = run_example("instalment_session.py", capsys)
+        assert "Instalment-by-instalment" in out
+        assert "Remaining frontier" in out
+
+    def test_mapreduce_verifies_equivalence(self, capsys):
+        out = run_example("mapreduce_scaling.py", capsys)
+        assert "verified identical" in out
+        assert "speedup" in out

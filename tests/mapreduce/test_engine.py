@@ -1,0 +1,140 @@
+"""Tests for the in-process MapReduce engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.engine import (
+    JobMetrics,
+    MapReduceEngine,
+    MapReduceJob,
+    hash_partitioner,
+)
+
+
+def word_count_job(with_combiner: bool = False) -> MapReduceJob:
+    def mapper(_key, line):
+        for word in line.split():
+            yield word, 1
+
+    def reducer(word, counts):
+        yield word, sum(counts)
+
+    return MapReduceJob(
+        name="word-count",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer if with_combiner else None,
+    )
+
+
+LINES = [
+    (0, "the quick brown fox"),
+    (1, "the lazy dog"),
+    (2, "the quick dog"),
+]
+EXPECTED = {"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+
+
+class TestEngine:
+    def test_word_count(self):
+        output, _ = MapReduceEngine(workers=3).run(word_count_job(), LINES)
+        assert dict(output) == EXPECTED
+
+    def test_single_worker_equivalent(self):
+        out1, _ = MapReduceEngine(workers=1).run(word_count_job(), LINES)
+        out4, _ = MapReduceEngine(workers=4).run(word_count_job(), LINES)
+        assert dict(out1) == dict(out4)
+
+    def test_combiner_preserves_result(self):
+        plain, _ = MapReduceEngine(workers=2).run(word_count_job(), LINES)
+        combined, _ = MapReduceEngine(workers=2).run(word_count_job(True), LINES)
+        assert dict(plain) == dict(combined)
+
+    def test_combiner_reduces_shuffle(self):
+        _, plain = MapReduceEngine(workers=1).run(word_count_job(), LINES)
+        _, combined = MapReduceEngine(workers=1).run(word_count_job(True), LINES)
+        assert combined.shuffle_records < plain.shuffle_records
+
+    def test_empty_input(self):
+        output, metrics = MapReduceEngine(workers=2).run(word_count_job(), [])
+        assert output == []
+        assert metrics.map_input_records == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(workers=0)
+
+    def test_more_workers_than_records(self):
+        output, _ = MapReduceEngine(workers=16).run(word_count_job(), LINES)
+        assert dict(output) == EXPECTED
+
+    def test_run_chain(self):
+        def invert_mapper(word, count):
+            yield count, word
+
+        def collect_reducer(count, word_list):
+            yield count, sorted(word_list)
+
+        chain = [
+            word_count_job(),
+            MapReduceJob(name="invert", mapper=invert_mapper, reducer=collect_reducer),
+        ]
+        output, metrics = MapReduceEngine(workers=2).run_chain(chain, LINES)
+        result = dict(output)
+        assert result[3] == ["the"]
+        assert set(result[2]) == {"dog", "quick"}
+        assert len(metrics) == 2
+
+
+class TestMetrics:
+    def run_metrics(self, workers: int) -> JobMetrics:
+        _, metrics = MapReduceEngine(workers=workers).run(word_count_job(), LINES)
+        return metrics
+
+    def test_counters(self):
+        metrics = self.run_metrics(2)
+        assert metrics.map_input_records == 3
+        assert metrics.map_output_records == 10
+        assert metrics.shuffle_records == 10
+        assert metrics.reduce_groups == 6
+        assert metrics.reduce_output_records == 6
+        assert metrics.shuffle_bytes > 0
+
+    def test_task_costs_populated(self):
+        metrics = self.run_metrics(2)
+        assert len(metrics.map_task_costs) == 2
+        assert len(metrics.reduce_task_costs) == 2
+
+    def test_critical_path_shrinks_with_workers(self):
+        sequential = self.run_metrics(1).critical_path_cost
+        parallel = self.run_metrics(3).critical_path_cost
+        assert parallel <= sequential
+
+    def test_skew_of_empty_run(self):
+        _, metrics = MapReduceEngine(workers=2).run(word_count_job(), [])
+        assert metrics.skew == 1.0
+
+    def test_skew_at_least_one(self):
+        assert self.run_metrics(3).skew >= 1.0
+
+
+class TestPartitioner:
+    def test_deterministic(self):
+        assert hash_partitioner("key", 8) == hash_partitioner("key", 8)
+
+    def test_in_range(self):
+        for key in ("a", ("tuple", "key"), 42):
+            assert 0 <= hash_partitioner(key, 5) < 5
+
+    def test_partitioning_respected(self):
+        # All records of one key land in the same reduce group exactly once.
+        def mapper(_k, v):
+            yield v % 5, 1
+
+        def reducer(k, values):
+            yield k, len(values)
+
+        job = MapReduceJob(name="mod", mapper=mapper, reducer=reducer)
+        output, _ = MapReduceEngine(workers=4).run(job, [(i, i) for i in range(100)])
+        assert dict(output) == {r: 20 for r in range(5)}

@@ -1,0 +1,105 @@
+"""Equivalence tests: MapReduce meta-blocking == sequential meta-blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.parallel_metablocking import (
+    parallel_metablocking,
+    parallel_node_pruning,
+    parallel_pair_statistics,
+)
+from repro.metablocking.graph import BlockingGraph
+from repro.metablocking.pruning import CEP, CNP, ReciprocalCNP, ReciprocalWNP, WEP, WNP
+from repro.metablocking.weighting import ARCS, CBS, ECBS, JS, make_scheme
+
+
+@pytest.fixture(scope="module")
+def movie_blocks(movies):
+    kb_a, kb_b, _ = movies
+    return TokenBlocking().build(kb_a, kb_b)
+
+
+class TestPairStatistics:
+    def test_matches_sequential_statistics(self, movie_blocks):
+        engine = MapReduceEngine(workers=4)
+        stats, _ = parallel_pair_statistics(engine, movie_blocks)
+        graph = BlockingGraph(movie_blocks, CBS())
+        sequential = graph._pair_statistics()
+        assert set(stats) == set(sequential)
+        for pair, (common, arcs) in sequential.items():
+            assert stats[pair][0] == common
+            assert stats[pair][1] == pytest.approx(arcs)
+
+    def test_worker_invariance(self, movie_blocks):
+        stats1, _ = parallel_pair_statistics(MapReduceEngine(1), movie_blocks)
+        stats8, _ = parallel_pair_statistics(MapReduceEngine(8), movie_blocks)
+        assert set(stats1) == set(stats8)
+        for pair in stats1:
+            assert stats1[pair][0] == stats8[pair][0]
+            assert stats1[pair][1] == pytest.approx(stats8[pair][1])
+
+
+def edges_as_set(edges):
+    return {(e.pair, round(e.weight, 9)) for e in edges}
+
+
+class TestGlobalPruning:
+    @pytest.mark.parametrize("scheme_name", ["CBS", "ECBS", "JS", "EJS", "ARCS"])
+    def test_wep_equivalence(self, movie_blocks, scheme_name):
+        sequential = WEP().prune(BlockingGraph(movie_blocks, make_scheme(scheme_name)))
+        parallel, _ = parallel_metablocking(
+            MapReduceEngine(4), movie_blocks, make_scheme(scheme_name), WEP()
+        )
+        assert edges_as_set(parallel) == edges_as_set(sequential)
+
+    def test_cep_equivalence(self, movie_blocks):
+        sequential = CEP(k=25).prune(BlockingGraph(movie_blocks, ARCS()))
+        parallel, _ = parallel_metablocking(
+            MapReduceEngine(4), movie_blocks, ARCS(), CEP(k=25)
+        )
+        # CEP keeps exactly k edges; tie-handling must agree.
+        assert edges_as_set(parallel) == edges_as_set(sequential)
+
+    def test_metrics_returned(self, movie_blocks):
+        _, metrics = parallel_metablocking(MapReduceEngine(2), movie_blocks, CBS(), WEP())
+        assert len(metrics) == 2
+        assert metrics[0].job_name == "pair-statistics"
+
+
+class TestNodePruning:
+    @pytest.mark.parametrize("pruner_factory", [WNP, ReciprocalWNP])
+    def test_wnp_equivalence(self, movie_blocks, pruner_factory):
+        scheme = ECBS()
+        sequential = pruner_factory().prune(BlockingGraph(movie_blocks, ECBS()))
+        parallel, _ = parallel_node_pruning(
+            MapReduceEngine(4), movie_blocks, scheme, pruner_factory()
+        )
+        assert edges_as_set(parallel) == edges_as_set(sequential)
+
+    @pytest.mark.parametrize("pruner_factory", [CNP, ReciprocalCNP])
+    def test_cnp_equivalence(self, movie_blocks, pruner_factory):
+        sequential = pruner_factory(k=2).prune(BlockingGraph(movie_blocks, ARCS()))
+        parallel, _ = parallel_node_pruning(
+            MapReduceEngine(4), movie_blocks, ARCS(), pruner_factory(k=2)
+        )
+        assert edges_as_set(parallel) == edges_as_set(sequential)
+
+    def test_dispatch_via_parallel_metablocking(self, movie_blocks):
+        parallel, metrics = parallel_metablocking(
+            MapReduceEngine(2), movie_blocks, ARCS(), CNP(k=2)
+        )
+        assert len(metrics) == 3  # stats + node retention + vote merge
+        sequential = CNP(k=2).prune(BlockingGraph(movie_blocks, ARCS()))
+        assert edges_as_set(parallel) == edges_as_set(sequential)
+
+    def test_non_node_pruner_rejected(self, movie_blocks):
+        with pytest.raises(TypeError):
+            parallel_node_pruning(MapReduceEngine(2), movie_blocks, CBS(), WEP())
+
+    def test_worker_invariance(self, movie_blocks):
+        one, _ = parallel_node_pruning(MapReduceEngine(1), movie_blocks, JS(), WNP())
+        eight, _ = parallel_node_pruning(MapReduceEngine(8), movie_blocks, JS(), WNP())
+        assert edges_as_set(one) == edges_as_set(eight)

@@ -1,0 +1,102 @@
+"""Equivalence tests: MapReduce block post-processing == sequential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.parallel_postprocessing import (
+    parallel_block_filtering,
+    parallel_block_purging,
+)
+
+
+def assert_same_blocks(sequential, parallel):
+    assert set(sequential.keys()) == set(parallel.keys())
+    for key in sequential.keys():
+        seq_block, par_block = sequential[key], parallel[key]
+        assert sorted(seq_block.entities1) == sorted(par_block.entities1)
+        if seq_block.is_bipartite:
+            assert sorted(seq_block.entities2) == sorted(par_block.entities2 or [])
+    assert sequential.distinct_comparisons() == parallel.distinct_comparisons()
+
+
+@pytest.fixture(scope="module")
+def movie_blocks(movies):
+    kb_a, kb_b, _ = movies
+    return TokenBlocking().build(kb_a, kb_b)
+
+
+@pytest.fixture(scope="module")
+def dirty_blocks(dirty_dataset):
+    collection, _ = dirty_dataset
+    return TokenBlocking().build(collection)
+
+
+class TestParallelPurging:
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_adaptive_equivalence_clean_clean(self, movie_blocks, workers):
+        sequential = BlockPurging().process(movie_blocks)
+        parallel, metrics = parallel_block_purging(
+            MapReduceEngine(workers), movie_blocks
+        )
+        assert_same_blocks(sequential, parallel)
+        assert len(metrics) == 2
+
+    def test_adaptive_equivalence_dirty(self, dirty_blocks):
+        sequential = BlockPurging().process(dirty_blocks)
+        parallel, _ = parallel_block_purging(MapReduceEngine(4), dirty_blocks)
+        assert_same_blocks(sequential, parallel)
+
+    def test_explicit_threshold(self, movie_blocks):
+        purging = BlockPurging(max_cardinality=5)
+        sequential = purging.process(movie_blocks)
+        parallel, _ = parallel_block_purging(
+            MapReduceEngine(4), movie_blocks, purging
+        )
+        assert_same_blocks(sequential, parallel)
+
+    def test_empty_collection(self):
+        from repro.blocking.block import BlockCollection
+
+        parallel, _ = parallel_block_purging(MapReduceEngine(2), BlockCollection())
+        assert len(parallel) == 0
+
+
+class TestParallelFiltering:
+    @pytest.mark.parametrize("ratio", [0.5, 0.8, 1.0])
+    def test_equivalence_clean_clean(self, movie_blocks, ratio):
+        filtering = BlockFiltering(ratio=ratio)
+        sequential = filtering.process(movie_blocks)
+        parallel, metrics = parallel_block_filtering(
+            MapReduceEngine(4), movie_blocks, filtering
+        )
+        assert_same_blocks(sequential, parallel)
+        assert len(metrics) == 2
+
+    def test_equivalence_dirty(self, dirty_blocks):
+        filtering = BlockFiltering(ratio=0.6)
+        sequential = filtering.process(dirty_blocks)
+        parallel, _ = parallel_block_filtering(
+            MapReduceEngine(4), dirty_blocks, filtering
+        )
+        assert_same_blocks(sequential, parallel)
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_worker_invariance(self, movie_blocks, workers):
+        baseline, _ = parallel_block_filtering(MapReduceEngine(1), movie_blocks)
+        parallel, _ = parallel_block_filtering(MapReduceEngine(workers), movie_blocks)
+        assert_same_blocks(baseline, parallel)
+
+
+class TestFullParallelPipeline:
+    def test_purge_then_filter_matches_sequential(self, center_dataset):
+        blocks = TokenBlocking().build(center_dataset.kb1, center_dataset.kb2)
+        sequential = BlockFiltering().process(BlockPurging().process(blocks))
+        engine = MapReduceEngine(4)
+        purged, _ = parallel_block_purging(engine, blocks)
+        filtered, _ = parallel_block_filtering(engine, purged)
+        assert_same_blocks(sequential, filtered)

@@ -1,0 +1,74 @@
+"""Tests for match-graph clustering."""
+
+from __future__ import annotations
+
+from repro.matching.clustering import connected_components, unique_mapping_clustering
+from repro.matching.matcher import MatchDecision
+
+
+class TestConnectedComponents:
+    def test_chains_merge(self):
+        clusters = connected_components([("a", "b"), ("b", "c"), ("x", "y")])
+        assert frozenset({"a", "b", "c"}) in clusters
+        assert frozenset({"x", "y"}) in clusters
+
+    def test_largest_first(self):
+        clusters = connected_components([("a", "b"), ("b", "c"), ("x", "y")])
+        assert len(clusters[0]) >= len(clusters[1])
+
+    def test_empty(self):
+        assert connected_components([]) == []
+
+
+class TestUniqueMapping:
+    def decisions(self) -> list[MatchDecision]:
+        return [
+            MatchDecision("a1", "b1", 0.9, True),
+            MatchDecision("a1", "b2", 0.8, True),   # a1 already taken
+            MatchDecision("a2", "b2", 0.7, True),
+            MatchDecision("a3", "b3", 0.2, False),  # not a match
+        ]
+
+    def test_greedy_one_to_one(self):
+        accepted = unique_mapping_clustering(self.decisions())
+        assert ("a1", "b1") in accepted
+        assert ("a2", "b2") in accepted
+        assert len(accepted) == 2
+
+    def test_non_matches_ignored(self):
+        accepted = unique_mapping_clustering(self.decisions())
+        assert ("a3", "b3") not in accepted
+
+    def test_similarity_order_wins(self):
+        decisions = [
+            MatchDecision("a", "b", 0.5, True),
+            MatchDecision("a", "c", 0.9, True),
+        ]
+        accepted = unique_mapping_clustering(decisions)
+        assert accepted == [("a", "c")]
+
+    def test_same_source_rejected(self):
+        decisions = [MatchDecision("a1", "a2", 0.9, True)]
+        accepted = unique_mapping_clustering(
+            decisions, sources={"a1": "kb1", "a2": "kb1"}
+        )
+        assert accepted == []
+
+    def test_cross_source_accepted(self):
+        decisions = [MatchDecision("a1", "b1", 0.9, True)]
+        accepted = unique_mapping_clustering(
+            decisions, sources={"a1": "kb1", "b1": "kb2"}
+        )
+        assert accepted == [("a1", "b1")]
+
+    def test_deterministic_tie_breaking(self):
+        decisions = [
+            MatchDecision("a", "c", 0.9, True),
+            MatchDecision("a", "b", 0.9, True),
+        ]
+        accepted = unique_mapping_clustering(decisions)
+        # Equal similarity: canonical pair order decides -> (a, b) first.
+        assert accepted == [("a", "b")]
+
+    def test_empty(self):
+        assert unique_mapping_clustering([]) == []

@@ -1,0 +1,77 @@
+"""Tests for center and merge-center clustering."""
+
+from __future__ import annotations
+
+from repro.matching.clustering import center_clustering, merge_center_clustering
+from repro.matching.matcher import MatchDecision
+
+
+def d(a: str, b: str, sim: float) -> MatchDecision:
+    return MatchDecision(a, b, sim, True)
+
+
+class TestCenterClustering:
+    def test_simple_star(self):
+        decisions = [d("c", "m1", 0.9), d("c", "m2", 0.8)]
+        clusters = center_clustering(decisions)
+        assert clusters == [frozenset({"c", "m1", "m2"})]
+
+    def test_no_chaining_through_members(self):
+        # a-b strong, b-c weaker: center clustering must NOT chain c into
+        # the cluster through member b.
+        decisions = [d("a", "b", 0.9), d("b", "c", 0.5)]
+        clusters = center_clustering(decisions)
+        assert clusters == [frozenset({"a", "b"})]
+
+    def test_two_separate_clusters(self):
+        decisions = [d("a", "b", 0.9), d("x", "y", 0.8)]
+        clusters = center_clustering(decisions)
+        assert frozenset({"a", "b"}) in clusters
+        assert frozenset({"x", "y"}) in clusters
+
+    def test_center_to_center_edge_ignored(self):
+        decisions = [d("a", "b", 0.9), d("x", "y", 0.8), d("a", "x", 0.7)]
+        clusters = center_clustering(decisions)
+        assert len(clusters) == 2
+
+    def test_non_matches_ignored(self):
+        decisions = [MatchDecision("a", "b", 0.9, False)]
+        assert center_clustering(decisions) == []
+
+    def test_diameter_at_most_two(self):
+        decisions = [d("a", "b", 0.9), d("b", "c", 0.8), d("c", "e", 0.7)]
+        for cluster in center_clustering(decisions):
+            assert len(cluster) <= 3  # center + direct members only
+
+    def test_deterministic(self):
+        decisions = [d("a", "b", 0.9), d("b", "c", 0.5), d("x", "y", 0.8)]
+        assert center_clustering(decisions) == center_clustering(decisions)
+
+
+class TestMergeCenterClustering:
+    def test_member_to_center_edge_merges(self):
+        # b is a member of a's cluster; c is a center; edge b-c merges.
+        decisions = [d("a", "b", 0.9), d("c", "z", 0.8), d("b", "c", 0.7)]
+        clusters = merge_center_clustering(decisions)
+        assert clusters == [frozenset({"a", "b", "c", "z"})]
+
+    def test_superset_of_center_clustering(self):
+        decisions = [
+            d("a", "b", 0.9),
+            d("c", "z", 0.85),
+            d("b", "c", 0.7),
+            d("x", "y", 0.6),
+        ]
+        center = center_clustering(decisions)
+        merged = merge_center_clustering(decisions)
+        # Every center cluster is contained in some merge-center cluster.
+        for cluster in center:
+            assert any(cluster <= big for big in merged)
+
+    def test_member_member_edges_still_ignored(self):
+        decisions = [d("a", "b", 0.9), d("x", "y", 0.85), d("b", "y", 0.5)]
+        clusters = merge_center_clustering(decisions)
+        assert len(clusters) == 2
+
+    def test_empty(self):
+        assert merge_center_clustering([]) == []

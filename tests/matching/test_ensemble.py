@@ -1,0 +1,96 @@
+"""Tests for the ensemble matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.matcher import EnsembleMatcher, Matcher, MatchDecision
+
+
+class FixedMatcher(Matcher):
+    def __init__(self, score: float):
+        self.score = score
+        self.bound = None
+
+    def bind(self, context) -> None:
+        self.bound = context
+
+    def similarity(self, uri_a: str, uri_b: str) -> float:
+        return self.score
+
+    def decide(self, uri_a: str, uri_b: str) -> MatchDecision:
+        return MatchDecision(uri_a, uri_b, self.score, self.score >= 0.5)
+
+
+class TestValidation:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EnsembleMatcher([])
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            EnsembleMatcher([(FixedMatcher(0.5), 0.0)])
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            EnsembleMatcher([(FixedMatcher(0.5), 1.0)], threshold=2.0)
+
+
+class TestCombination:
+    def test_weighted_mean(self):
+        ensemble = EnsembleMatcher(
+            [(FixedMatcher(1.0), 3.0), (FixedMatcher(0.0), 1.0)]
+        )
+        assert ensemble.similarity("a", "b") == pytest.approx(0.75)
+
+    def test_single_member_passthrough(self):
+        ensemble = EnsembleMatcher([(FixedMatcher(0.7), 1.0)])
+        assert ensemble.similarity("a", "b") == pytest.approx(0.7)
+
+    def test_decision_uses_combined_threshold(self):
+        ensemble = EnsembleMatcher(
+            [(FixedMatcher(0.9), 1.0), (FixedMatcher(0.2), 1.0)], threshold=0.5
+        )
+        assert ensemble.decide("a", "b").is_match
+        strict = EnsembleMatcher(
+            [(FixedMatcher(0.9), 1.0), (FixedMatcher(0.2), 1.0)], threshold=0.6
+        )
+        assert not strict.decide("a", "b").is_match
+
+    def test_bind_propagates_to_members(self):
+        members = [FixedMatcher(0.5), FixedMatcher(0.5)]
+        ensemble = EnsembleMatcher([(m, 1.0) for m in members])
+        sentinel = object()
+        ensemble.bind(sentinel)
+        assert all(m.bound is sentinel for m in members)
+
+    def test_combined_beats_single_measure(self):
+        """Jaccard misses near-duplicate strings; Jaro-Winkler misses
+        token re-orderings; the ensemble covers both."""
+        from repro.matching.similarity import SimilarityIndex, jaro_winkler
+        from repro.matching.matcher import ThresholdMatcher
+        from repro.model.collection import EntityCollection
+        from repro.model.description import EntityDescription
+
+        kb = EntityCollection(
+            [
+                EntityDescription("http://e/1", {"name": ["kubrick stanley"]}),
+                EntityDescription("http://e/2", {"name": ["stanley kubrik"]}),
+            ],
+            name="kb",
+        )
+        index = SimilarityIndex([kb])
+
+        def char_measure(a: str, b: str) -> float:
+            return jaro_winkler(
+                " ".join(sorted(index.tokens_of(a))),
+                " ".join(sorted(index.tokens_of(b))),
+            )
+
+        token_matcher = ThresholdMatcher(index, threshold=0.5, measure="jaccard")
+        char_matcher = ThresholdMatcher(index, threshold=0.5, measure=char_measure)
+        ensemble = EnsembleMatcher(
+            [(token_matcher, 1.0), (char_matcher, 1.0)], threshold=0.5
+        )
+        # 'kubrick' vs 'kubrik' breaks token identity but not char similarity.
+        assert ensemble.decide("http://e/1", "http://e/2").is_match

@@ -1,0 +1,140 @@
+"""Tests for matchers and the match graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.matcher import (
+    MatchDecision,
+    MatchGraph,
+    OracleMatcher,
+    ThresholdMatcher,
+)
+from repro.matching.similarity import SimilarityIndex
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+def index() -> SimilarityIndex:
+    collection = EntityCollection(
+        [
+            EntityDescription("http://e/a1", {"name": ["green fork cafe"]}),
+            EntityDescription("http://e/a2", {"name": ["green fork cafe "]}),
+            EntityDescription("http://e/b", {"name": ["blue anchor oyster"]}),
+        ],
+        name="kb",
+    )
+    return SimilarityIndex([collection])
+
+
+class TestThresholdMatcher:
+    def test_match_above_threshold(self):
+        # Token sets are {green, fork, cafe, a1} vs {green, fork, cafe, a2}
+        # (URI infixes contribute), so Jaccard is 3/5.
+        matcher = ThresholdMatcher(index(), threshold=0.5, measure="jaccard")
+        decision = matcher.decide("http://e/a1", "http://e/a2")
+        assert decision.is_match
+        assert decision.similarity == pytest.approx(0.6)
+
+    def test_non_match_below_threshold(self):
+        matcher = ThresholdMatcher(index(), threshold=0.5, measure="jaccard")
+        decision = matcher.decide("http://e/a1", "http://e/b")
+        assert not decision.is_match
+
+    def test_measure_selection(self):
+        for measure in ("jaccard", "weighted-jaccard", "cosine"):
+            matcher = ThresholdMatcher(index(), measure=measure)
+            assert matcher.measure_name == measure
+
+    def test_callable_measure(self):
+        matcher = ThresholdMatcher(index(), threshold=0.5, measure=lambda a, b: 0.7)
+        assert matcher.decide("http://e/a1", "http://e/b").is_match
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(index(), measure="soundex")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(index(), threshold=1.5)
+
+
+class TestOracleMatcher:
+    def test_uses_gold(self):
+        oracle = OracleMatcher({("a", "b")})
+        assert oracle.decide("b", "a").is_match
+        assert not oracle.decide("a", "c").is_match
+
+
+class TestMatchGraph:
+    def test_record_and_lookup(self):
+        graph = MatchGraph()
+        decision = MatchDecision("a", "b", 0.9, True)
+        assert graph.record(decision) is True
+        assert ("a", "b") in graph
+        assert graph.decision_for("b", "a") == decision
+
+    def test_duplicate_record_ignored(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 0.9, True))
+        assert graph.record(MatchDecision("b", "a", 0.1, False)) is False
+        assert graph.match_count == 1
+
+    def test_negative_decisions_tracked_but_not_matched(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 0.1, False))
+        assert len(graph) == 1
+        assert graph.match_count == 0
+        assert not graph.are_matched("a", "b")
+
+    def test_transitive_clustering(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        graph.record(MatchDecision("b", "c", 1.0, True))
+        assert graph.are_matched("a", "c")
+        assert graph.cluster_of("a") == frozenset({"a", "b", "c"})
+
+    def test_partners_direct_only(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        graph.record(MatchDecision("b", "c", 1.0, True))
+        assert graph.partners("b") == {"a", "c"}
+        assert graph.partners("a") == {"b"}
+        assert graph.partners("ghost") == set()
+
+    def test_is_resolved(self):
+        graph = MatchGraph()
+        assert not graph.is_resolved("a")
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        assert graph.is_resolved("a")
+        assert graph.is_resolved("b")
+        assert not graph.is_resolved("c")
+
+    def test_clusters_non_singleton(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        graph.record(MatchDecision("x", "y", 0.2, False))
+        clusters = graph.clusters()
+        assert clusters == [frozenset({"a", "b"})]
+
+    def test_cluster_of_unmatched_is_singleton(self):
+        graph = MatchGraph()
+        assert graph.cluster_of("solo") == frozenset({"solo"})
+
+    def test_transitive_pairs(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        graph.record(MatchDecision("b", "c", 1.0, True))
+        assert graph.transitive_pairs() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_matched_pairs_direct(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        graph.record(MatchDecision("b", "c", 1.0, True))
+        assert graph.matched_pairs() == {("a", "b"), ("b", "c")}
+
+    def test_matches_in_execution_order(self):
+        graph = MatchGraph()
+        graph.record(MatchDecision("x", "y", 1.0, True))
+        graph.record(MatchDecision("a", "b", 1.0, True))
+        assert [d.pair for d in graph.matches()] == [("x", "y"), ("a", "b")]

@@ -1,0 +1,215 @@
+"""Unit and property tests for similarity functions."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.matching.similarity import (
+    SimilarityIndex,
+    cosine_tfidf,
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    overlap_coefficient,
+    weighted_jaccard,
+)
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+tokens = st.lists(st.sampled_from("abcdefgh"), max_size=10)
+words = st.text(alphabet="abcdz", max_size=12)
+
+
+class TestSetMeasures:
+    def test_jaccard_basic(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_jaccard_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_jaccard_empty(self):
+        assert jaccard([], []) == 0.0
+        assert jaccard(["a"], []) == 0.0
+
+    def test_dice_basic(self):
+        assert dice(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient(["a", "b", "c"], ["a"]) == 1.0
+        assert overlap_coefficient(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+
+    @given(tokens, tokens)
+    def test_symmetry(self, a, b):
+        for measure in (jaccard, dice, overlap_coefficient):
+            assert measure(a, b) == pytest.approx(measure(b, a))
+
+    @given(tokens, tokens)
+    def test_bounds(self, a, b):
+        for measure in (jaccard, dice, overlap_coefficient):
+            assert 0.0 <= measure(a, b) <= 1.0
+
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=10))
+    def test_self_similarity_is_one(self, a):
+        for measure in (jaccard, dice, overlap_coefficient):
+            assert measure(a, a) == 1.0
+
+    @given(tokens, tokens)
+    def test_dice_geq_jaccard(self, a, b):
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestWeightedJaccard:
+    def test_multiset_semantics(self):
+        a = Counter({"x": 2, "y": 1})
+        b = Counter({"x": 1, "y": 1})
+        assert weighted_jaccard(a, b) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert weighted_jaccard(Counter(), Counter()) == 0.0
+
+    @given(tokens, tokens)
+    def test_matches_jaccard_on_sets(self, a, b):
+        set_a, set_b = set(a), set(b)
+        counts_a = Counter(dict.fromkeys(set_a, 1))
+        counts_b = Counter(dict.fromkeys(set_b, 1))
+        assert weighted_jaccard(counts_a, counts_b) == pytest.approx(
+            jaccard(set_a, set_b)
+        )
+
+
+class TestCosine:
+    def test_plain_cosine_identical(self):
+        counts = Counter({"a": 2, "b": 1})
+        assert cosine_tfidf(counts, counts) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_tfidf(Counter({"a": 1}), Counter({"b": 1})) == 0.0
+
+    def test_idf_can_zero_out_common_tokens(self):
+        idf = {"common": 0.0, "rare": 2.0}
+        a = Counter({"common": 5, "rare": 1})
+        b = Counter({"common": 5})
+        assert cosine_tfidf(a, b, idf) == 0.0
+
+    def test_empty(self):
+        assert cosine_tfidf(Counter(), Counter({"a": 1})) == 0.0
+
+    @given(
+        st.dictionaries(st.sampled_from("abcde"), st.integers(1, 5), max_size=5),
+        st.dictionaries(st.sampled_from("abcde"), st.integers(1, 5), max_size=5),
+    )
+    def test_bounds_and_symmetry(self, da, db):
+        a, b = Counter(da), Counter(db)
+        value = cosine_tfidf(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(cosine_tfidf(b, a))
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("kitten", "sitting", 3),
+            ("", "xyz", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_similarity_normalization(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b), 0)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_winkler_scale_validated(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(words, words)
+    def test_bounds_and_symmetry(self, a, b):
+        value = jaro_winkler(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(jaro_winkler(b, a))
+
+
+class TestSimilarityIndex:
+    def make_index(self) -> SimilarityIndex:
+        collection = EntityCollection(
+            [
+                EntityDescription("http://e/a", {"name": ["alpha beta"]}),
+                EntityDescription("http://e/b", {"name": ["beta gamma"]}),
+                EntityDescription("http://e/c", {"name": ["delta"]}),
+            ],
+            name="kb",
+        )
+        return SimilarityIndex([collection])
+
+    def test_len_and_contains(self):
+        index = self.make_index()
+        assert len(index) == 3
+        assert "http://e/a" in index
+        assert "http://e/x" not in index
+
+    def test_jaccard_by_uri(self):
+        index = self.make_index()
+        assert index.jaccard("http://e/a", "http://e/b") > 0
+        assert index.jaccard("http://e/a", "http://e/c") == 0.0
+
+    def test_common_tokens(self):
+        index = self.make_index()
+        assert "beta" in index.common_tokens("http://e/a", "http://e/b")
+
+    def test_idf_rare_above_common(self):
+        index = self.make_index()
+        assert index.idf("delta") > index.idf("beta")
+        assert index.idf("unseen") == 0.0
+
+    def test_cosine_self_similarity(self):
+        index = self.make_index()
+        assert index.cosine("http://e/a", "http://e/a") == pytest.approx(1.0)
+
+    def test_unindexed_uri_raises(self):
+        index = self.make_index()
+        with pytest.raises(KeyError):
+            index.jaccard("http://e/a", "http://e/ghost")

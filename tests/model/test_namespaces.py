@@ -1,0 +1,59 @@
+"""Tests for URI prefix/infix/suffix decomposition."""
+
+from __future__ import annotations
+
+from repro.model.namespaces import split_uri, uri_infix, uri_local_name
+
+
+class TestSplitUri:
+    def test_dbpedia_style(self):
+        assert split_uri("http://dbpedia.org/resource/Berlin") == (
+            "http://dbpedia.org/resource/",
+            "Berlin",
+            "",
+        )
+
+    def test_fragment_identifier(self):
+        prefix, infix, suffix = split_uri("http://ex.org/ontology#Person")
+        assert prefix == "http://ex.org/ontology#"
+        assert infix == "Person"
+        assert suffix == ""
+
+    def test_technical_suffix_stripped(self):
+        assert split_uri("http://ex.org/page/Berlin.html") == (
+            "http://ex.org/page/",
+            "Berlin",
+            ".html",
+        )
+
+    def test_trailing_slash_is_suffix(self):
+        prefix, infix, suffix = split_uri("http://ex.org/resource/Berlin/")
+        assert infix == "Berlin"
+        assert suffix == "/"
+
+    def test_domain_only(self):
+        prefix, infix, suffix = split_uri("http://example.org")
+        assert infix == "example.org"
+
+    def test_empty_uri(self):
+        assert split_uri("") == ("", "", "")
+
+    def test_no_scheme(self):
+        prefix, infix, _ = split_uri("foo/bar/baz")
+        assert infix == "baz"
+        assert prefix == "foo/bar/"
+
+    def test_rdf_suffix(self):
+        assert split_uri("http://ex.org/data/Thing.rdf")[2] == ".rdf"
+
+
+class TestInfixHelpers:
+    def test_uri_infix(self):
+        assert uri_infix("http://dbpedia.org/resource/New_York_City") == "New_York_City"
+
+    def test_local_name_replaces_separators(self):
+        assert uri_local_name("http://dbpedia.org/resource/New_York_City") == "New York City"
+        assert uri_local_name("http://ex.org/r/a-b+c") == "a b c"
+
+    def test_local_name_of_opaque_id(self):
+        assert uri_local_name("http://kbb.example.org/m/0f1a2") == "0f1a2"

@@ -1,0 +1,85 @@
+"""Tests for corpus-driven stop-token inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+from repro.model.tokenizer import Tokenizer, infer_stop_tokens
+
+
+def corpus() -> EntityCollection:
+    descriptions = [
+        EntityDescription(
+            f"http://e/{i}",
+            {"p": [f"restaurant unique{i}"]},  # 'restaurant' in every doc
+        )
+        for i in range(10)
+    ]
+    return EntityCollection(descriptions, name="kb")
+
+
+class TestInference:
+    def test_ubiquitous_token_detected(self):
+        stops = infer_stop_tokens([corpus()], Tokenizer(include_uri_infix=False))
+        assert "restaurant" in stops
+
+    def test_rare_tokens_kept(self):
+        stops = infer_stop_tokens([corpus()], Tokenizer(include_uri_infix=False))
+        assert "unique3" not in stops
+
+    def test_threshold_respected(self):
+        stops = infer_stop_tokens(
+            [corpus()],
+            Tokenizer(include_uri_infix=False),
+            max_document_fraction=1.0,
+        )
+        assert stops == frozenset()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            infer_stop_tokens([corpus()], max_document_fraction=0.0)
+        with pytest.raises(ValueError):
+            infer_stop_tokens([corpus()], max_document_fraction=1.5)
+
+    def test_empty_corpus(self):
+        assert infer_stop_tokens([EntityCollection(name="e")]) == frozenset()
+
+    def test_multiple_collections_pooled(self):
+        stops = infer_stop_tokens(
+            [corpus(), corpus()], Tokenizer(include_uri_infix=False)
+        )
+        assert "restaurant" in stops
+
+
+class TestWithStopTokens:
+    def test_copy_suppresses_tokens(self):
+        base = Tokenizer(include_uri_infix=False)
+        stops = infer_stop_tokens([corpus()], base)
+        silenced = base.with_stop_tokens(stops)
+        description = EntityDescription("u", {"p": ["restaurant unique1"]})
+        assert "restaurant" in base.token_set(description)
+        assert "restaurant" not in silenced.token_set(description)
+        assert "unique1" in silenced.token_set(description)
+
+    def test_copy_preserves_settings(self):
+        base = Tokenizer(min_token_length=3, include_uri_infix=False)
+        copy = base.with_stop_tokens({"xyz"})
+        assert copy.min_token_length == 3
+        assert not copy.include_uri_infix
+
+    def test_original_unchanged(self):
+        base = Tokenizer()
+        base.with_stop_tokens({"abc"})
+        assert "abc" not in base.stop_tokens
+
+    def test_stop_tokens_shrink_blocking(self):
+        from repro.blocking.token_blocking import TokenBlocking
+
+        collection = corpus()
+        base = Tokenizer(include_uri_infix=False)
+        plain = TokenBlocking(base).build(collection)
+        stops = infer_stop_tokens([collection], base)
+        silenced = TokenBlocking(base.with_stop_tokens(stops)).build(collection)
+        assert silenced.total_comparisons() < plain.total_comparisons()

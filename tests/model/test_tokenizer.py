@@ -1,0 +1,74 @@
+"""Tests for the shared tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.description import EntityDescription
+from repro.model.tokenizer import Tokenizer
+
+
+def description() -> EntityDescription:
+    return EntityDescription(
+        "http://ex.org/resource/Stanley_Kubrick",
+        {
+            "name": ["Stanley Kubrick"],
+            "film": ["http://ex.org/resource/The_Shining"],
+            "born": ["1928"],
+        },
+    )
+
+
+class TestTokens:
+    def test_literal_tokens_extracted(self):
+        tokenizer = Tokenizer(include_uri_infix=False)
+        tokens = tokenizer.tokens(description())
+        assert "stanley" in tokens
+        assert "kubrick" in tokens
+        assert "1928" in tokens
+
+    def test_uri_infix_tokens_included_by_default(self):
+        tokenizer = Tokenizer()
+        # The URI contributes stanley/kubrick again.
+        counts = tokenizer.token_counts(description())
+        assert counts["stanley"] == 2
+
+    def test_reference_tokens_not_leaked_as_literals(self):
+        tokenizer = Tokenizer(include_uri_infix=False)
+        tokens = tokenizer.token_set(description())
+        assert "shining" not in tokens
+
+    def test_reference_infixes_opt_in(self):
+        tokenizer = Tokenizer(include_uri_infix=False, include_reference_infixes=True)
+        tokens = tokenizer.token_set(description())
+        assert "shining" in tokens
+
+    def test_min_token_length(self):
+        desc = EntityDescription("u", {"p": ["a bb ccc"]})
+        tokenizer = Tokenizer(min_token_length=3, include_uri_infix=False)
+        assert tokenizer.token_set(desc) == frozenset({"ccc"})
+
+    def test_min_token_length_validated(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_token_length=0)
+
+    def test_stop_tokens_suppressed(self):
+        tokenizer = Tokenizer(
+            include_uri_infix=False, stop_tokens=frozenset({"stanley"})
+        )
+        tokens = tokenizer.token_set(description())
+        assert "stanley" not in tokens
+        assert "kubrick" in tokens
+
+    def test_token_set_is_frozenset(self):
+        assert isinstance(Tokenizer().token_set(description()), frozenset)
+
+    def test_token_counts_multiplicity(self):
+        desc = EntityDescription("u", {"p": ["la la land"]})
+        tokenizer = Tokenizer(include_uri_infix=False)
+        assert tokenizer.token_counts(desc)["la"] == 2
+
+    def test_empty_description(self):
+        desc = EntityDescription("http://ex.org/x", {})
+        tokenizer = Tokenizer(include_uri_infix=False)
+        assert tokenizer.tokens(desc) == []

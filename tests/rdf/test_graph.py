@@ -1,0 +1,84 @@
+"""Tests for the indexed triple store."""
+
+from __future__ import annotations
+
+from repro.rdf.graph import TripleStore
+from repro.rdf.ntriples import Triple, parse_ntriples
+
+
+def store() -> TripleStore:
+    return TripleStore(
+        [
+            Triple("s1", "p1", "o1"),
+            Triple("s1", "p1", "o2"),
+            Triple("s1", "p2", "lit", True),
+            Triple("s2", "p1", "o1"),
+        ]
+    )
+
+
+class TestBasics:
+    def test_len_iter(self):
+        assert len(store()) == 4
+        assert len(list(store())) == 4
+
+    def test_duplicates_collapsed(self):
+        s = TripleStore()
+        assert s.add(Triple("a", "b", "c")) is True
+        assert s.add(Triple("a", "b", "c")) is False
+        assert len(s) == 1
+
+    def test_contains(self):
+        assert Triple("s1", "p1", "o1") in store()
+        assert Triple("x", "y", "z") not in store()
+
+    def test_add_all_counts_new(self):
+        s = store()
+        added = s.add_all([Triple("s1", "p1", "o1"), Triple("new", "p", "o")])
+        assert added == 1
+
+    def test_subjects_predicates(self):
+        s = store()
+        assert s.subjects() == ["s1", "s2"]
+        assert s.predicates() == ["p1", "p2"]
+
+
+class TestMatch:
+    def test_by_subject(self):
+        assert len(list(store().match(subject="s1"))) == 3
+
+    def test_by_subject_predicate(self):
+        assert len(list(store().match(subject="s1", predicate="p1"))) == 2
+
+    def test_full_pattern(self):
+        assert len(list(store().match(subject="s1", predicate="p1", obj="o1"))) == 1
+
+    def test_by_predicate(self):
+        assert len(list(store().match(predicate="p1"))) == 3
+
+    def test_by_predicate_object(self):
+        assert len(list(store().match(predicate="p1", obj="o1"))) == 2
+
+    def test_by_object(self):
+        assert len(list(store().match(obj="o1"))) == 2
+
+    def test_wildcard_matches_all(self):
+        assert len(list(store().match())) == 4
+
+    def test_no_matches(self):
+        assert list(store().match(subject="ghost")) == []
+
+    def test_triples_of_and_objects(self):
+        s = store()
+        assert len(s.triples_of("s1")) == 3
+        assert s.objects("s1", "p1") == ["o1", "o2"]
+
+
+class TestSerialization:
+    def test_round_trip_via_ntriples(self):
+        original = store()
+        text = original.to_ntriples()
+        reparsed = TripleStore(parse_ntriples(text))
+        assert len(reparsed) == len(original)
+        for triple in original:
+            assert triple in reparsed

@@ -1,0 +1,83 @@
+"""Tests for RDF → entity-collection loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.loader import collection_from_triples, load_collection
+from repro.rdf.ntriples import Triple
+
+_RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+def triples() -> list[Triple]:
+    return [
+        Triple("http://e/a", "http://p/name", "Alpha", True),
+        Triple("http://e/a", "http://p/knows", "http://e/b"),
+        Triple("http://e/a", _RDF_TYPE, "http://t/Person"),
+        Triple("http://e/b", "http://p/name", "Beta", True),
+        Triple("_:blank", "http://p/name", "Anonymous", True),
+    ]
+
+
+class TestGrouping:
+    def test_one_description_per_subject(self):
+        collection = collection_from_triples(triples(), name="t")
+        assert len(collection) == 2
+        assert collection["http://e/a"].first("http://p/name") == "Alpha"
+
+    def test_blank_nodes_skipped_by_default(self):
+        collection = collection_from_triples(triples())
+        assert "_:blank" not in collection
+
+    def test_blank_nodes_kept_on_request(self):
+        collection = collection_from_triples(triples(), skip_blank_nodes=False)
+        assert "_:blank" in collection
+
+    def test_rdf_type_kept_by_default(self):
+        collection = collection_from_triples(triples())
+        assert collection["http://e/a"].get(_RDF_TYPE) == ["http://t/Person"]
+
+    def test_rdf_type_skippable(self):
+        collection = collection_from_triples(triples(), skip_rdf_type=True)
+        assert collection["http://e/a"].get(_RDF_TYPE) == []
+
+    def test_source_defaults_to_name(self):
+        collection = collection_from_triples(triples(), name="mykb")
+        assert collection["http://e/a"].source == "mykb"
+
+    def test_relationships_resolved(self):
+        collection = collection_from_triples(triples())
+        assert collection.neighbors("http://e/a") == ["http://e/b"]
+
+
+class TestFileLoading:
+    def test_load_nt(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text('<http://e/a> <http://p/name> "Alpha" .\n')
+        collection = load_collection(str(path))
+        assert len(collection) == 1
+        assert collection.name == "data"
+
+    def test_load_ttl(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text('@prefix p: <http://p/> .\n<http://e/a> p:name "Alpha" .\n')
+        collection = load_collection(str(path))
+        assert collection["http://e/a"].first("http://p/name") == "Alpha"
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_collection(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_collection(str(tmp_path / "nope.nt"))
+
+    def test_explicit_name_and_source(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text('<http://e/a> <http://p/name> "Alpha" .\n')
+        collection = load_collection(str(path), name="custom", source="src")
+        assert collection.name == "custom"
+        assert collection["http://e/a"].source == "src"

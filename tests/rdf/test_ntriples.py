@@ -1,0 +1,130 @@
+"""Tests for the N-Triples parser and serializer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    Triple,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    serialize_triple,
+)
+
+
+class TestParseLine:
+    def test_simple_iri_triple(self):
+        triple = parse_ntriples_line("<http://a> <http://p> <http://b> .")
+        assert triple == Triple("http://a", "http://p", "http://b")
+        assert not triple.is_literal
+
+    def test_plain_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "hello world" .')
+        assert triple.object == "hello world"
+        assert triple.is_literal
+
+    def test_language_tagged_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "bonjour"@fr .')
+        assert triple.language == "fr"
+        assert triple.datatype == ""
+
+    def test_datatyped_literal(self):
+        triple = parse_ntriples_line(
+            '<http://a> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert triple.datatype.endswith("integer")
+        assert triple.object == "42"
+
+    def test_blank_nodes(self):
+        triple = parse_ntriples_line("_:b1 <http://p> _:b2 .")
+        assert triple.subject == "_:b1"
+        assert triple.object == "_:b2"
+
+    def test_escapes_in_literal(self):
+        triple = parse_ntriples_line(r'<http://a> <http://p> "line\nbreak \"q\" \\ tab\t" .')
+        assert triple.object == 'line\nbreak "q" \\ tab\t'
+
+    def test_unicode_escapes(self):
+        triple = parse_ntriples_line(r'<http://a> <http://p> "café" .')
+        assert triple.object == "café"
+        triple = parse_ntriples_line(r'<http://a> <http://p> "\U0001F600" .')
+        assert triple.object == "😀"
+
+    def test_unicode_escape_in_iri(self):
+        triple = parse_ntriples_line(r"<http://a/café> <http://p> <http://b> .")
+        assert triple.subject == "http://a/café"
+
+    def test_extra_whitespace_tolerated(self):
+        triple = parse_ntriples_line("<http://a>   <http://p>\t<http://b>   .")
+        assert triple.predicate == "http://p"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://a> <http://p> <http://b>",  # missing dot
+            "<http://a> <http://p> .",  # missing object
+            '<http://a> "lit" <http://b> .',  # literal predicate
+            "<http://a> <http://p> <http://b> . extra",  # trailing garbage
+            '<http://a> <http://p> "unterminated .',
+            "<http://a <http://p> <http://b> .",  # unterminated IRI
+            r'<http://a> <http://p> "bad\q" .',  # invalid escape
+            '<http://a> <http://p> "x"@ .',  # empty language
+            "<> <http://p> <http://b> .",  # empty IRI
+            "_: <http://p> <http://b> .",  # empty bnode label
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse_ntriples("<http://a> <http://p> <http://b> .\nbroken line ."))
+        assert excinfo.value.line_number == 2
+
+
+class TestParseDocument:
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\n<http://a> <http://p> <http://b> .\n  \n"
+        triples = list(parse_ntriples(text))
+        assert len(triples) == 1
+
+    def test_iterable_of_lines(self):
+        lines = ["<http://a> <http://p> <http://b> ."] * 3
+        assert len(list(parse_ntriples(lines))) == 3
+
+
+class TestRoundTrip:
+    CASES = [
+        Triple("http://a", "http://p", "http://b"),
+        Triple("_:b1", "http://p", "_:b2"),
+        Triple("http://a", "http://p", "plain text", True),
+        Triple("http://a", "http://p", "hola", True, "es"),
+        Triple("http://a", "http://p", "42", True, "", "http://www.w3.org/2001/XMLSchema#integer"),
+        Triple("http://a", "http://p", 'tricky "quotes"\nand\tlines\\', True),
+    ]
+
+    @pytest.mark.parametrize("triple", CASES)
+    def test_round_trip(self, triple):
+        line = serialize_triple(triple)
+        assert parse_ntriples_line(line) == triple
+
+    def test_document_round_trip(self):
+        text = serialize_ntriples(self.CASES)
+        assert list(parse_ntriples(text)) == self.CASES
+
+    literal_text = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=1),
+        max_size=60,
+    )
+
+    @given(literal_text)
+    def test_any_literal_round_trips(self, value):
+        triple = Triple("http://a", "http://p", value, True)
+        # \r is normalized away by splitlines; serialize escapes it instead.
+        assert parse_ntriples_line(serialize_triple(triple)) == triple

@@ -1,0 +1,125 @@
+"""Tests for the Turtle-subset reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.ntriples import NTriplesParseError, Triple
+from repro.rdf.turtle import parse_turtle
+
+
+class TestDirectives:
+    def test_prefix_expansion(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a ex:p ex:b .
+        """
+        (triple,) = parse_turtle(text)
+        assert triple == Triple("http://ex.org/a", "http://ex.org/p", "http://ex.org/b")
+
+    def test_sparql_style_prefix(self):
+        text = """
+        PREFIX ex: <http://ex.org/>
+        ex:a ex:p ex:b .
+        """
+        (triple,) = parse_turtle(text)
+        assert triple.subject == "http://ex.org/a"
+
+    def test_base_resolution(self):
+        text = """
+        @base <http://ex.org/> .
+        <a> <p> <b> .
+        """
+        (triple,) = parse_turtle(text)
+        assert triple.subject == "http://ex.org/a"
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_turtle("nope:a nope:p nope:b ."))
+
+
+class TestStatementForms:
+    def test_a_keyword(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:x a ex:Type .
+        """
+        (triple,) = parse_turtle(text)
+        assert triple.predicate.endswith("#type")
+
+    def test_predicate_list(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:x ex:p "1" ; ex:q "2" .
+        """
+        triples = list(parse_turtle(text))
+        assert len(triples) == 2
+        assert {t.predicate for t in triples} == {"http://ex.org/p", "http://ex.org/q"}
+        assert all(t.subject == "http://ex.org/x" for t in triples)
+
+    def test_object_list(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:x ex:p "1", "2", "3" .
+        """
+        triples = list(parse_turtle(text))
+        assert [t.object for t in triples] == ["1", "2", "3"]
+
+    def test_trailing_semicolon(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:x ex:p "1" ; .
+        """
+        assert len(list(parse_turtle(text))) == 1
+
+    def test_literals_with_tags(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:x ex:lang "hola"@es ; ex:typed "5"^^xsd:int .
+        """
+        by_predicate = {t.predicate: t for t in parse_turtle(text)}
+        assert by_predicate["http://ex.org/lang"].language == "es"
+        assert by_predicate["http://ex.org/typed"].datatype.endswith("#int")
+
+    def test_numeric_and_boolean_shorthand(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:x ex:n 42 ; ex:d 3.14 ; ex:b true .
+        """
+        objects = {t.predicate.rsplit("/", 1)[1]: t for t in parse_turtle(text)}
+        assert objects["n"].datatype.endswith("integer")
+        assert objects["d"].datatype.endswith("decimal")
+        assert objects["b"].object == "true"
+
+    def test_long_literal(self):
+        text = '@prefix ex: <http://ex.org/> .\nex:x ex:p """multi\nline "quoted" text""" .'
+        (triple,) = parse_turtle(text)
+        assert "multi\nline" in triple.object
+
+    def test_blank_node_subject(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        _:node ex:p "v" .
+        """
+        (triple,) = parse_turtle(text)
+        assert triple.subject == "_:node"
+
+    def test_comments_ignored(self):
+        text = """
+        @prefix ex: <http://ex.org/> . # namespace
+        ex:a ex:p ex:b . # statement
+        """
+        assert len(list(parse_turtle(text))) == 1
+
+    def test_anonymous_bnode_rejected_clearly(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a ex:p [ ex:q "v" ] .
+        """
+        with pytest.raises(NTriplesParseError):
+            list(parse_turtle(text))
+
+    def test_empty_document(self):
+        assert list(parse_turtle("")) == []
+        assert list(parse_turtle("@prefix ex: <http://ex.org/> .")) == []

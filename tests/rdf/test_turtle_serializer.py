@@ -1,0 +1,80 @@
+"""Tests for the Turtle serializer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.ntriples import Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+_RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+def triples() -> list[Triple]:
+    return [
+        Triple("http://e/a", "http://p/name", "Alpha", True),
+        Triple("http://e/a", "http://p/name", "Alfa", True),
+        Triple("http://e/a", "http://p/knows", "http://e/b"),
+        Triple("http://e/a", _RDF_TYPE, "http://t/Person"),
+        Triple("http://e/b", "http://p/name", "Beta", True, "en"),
+        Triple("http://e/b", "http://p/age", "42", True, "", "http://www.w3.org/2001/XMLSchema#integer"),
+    ]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        text = serialize_turtle(triples())
+        assert set(parse_turtle(text)) == set(triples())
+
+    def test_round_trip_with_prefixes(self):
+        text = serialize_turtle(
+            triples(), prefixes={"p": "http://p/", "e": "http://e/"}
+        )
+        assert "@prefix p:" in text
+        assert "p:name" in text
+        assert set(parse_turtle(text)) == set(triples())
+
+    def test_rdf_type_rendered_as_a(self):
+        text = serialize_turtle(triples())
+        assert " a " in text.replace("\n", " ")
+
+    def test_subject_grouping(self):
+        text = serialize_turtle(triples())
+        # One subject block per subject, predicates joined by ';'.
+        assert text.count("<http://e/a>\n") == 1
+        assert ";" in text
+
+    def test_object_lists(self):
+        text = serialize_turtle(triples())
+        assert '"Alpha", "Alfa"' in text
+
+    def test_escapes_round_trip(self):
+        tricky = [Triple("http://e/x", "http://p/v", 'line\n"quoted"\ttab\\', True)]
+        assert list(parse_turtle(serialize_turtle(tricky))) == tricky
+
+    def test_language_and_datatype_round_trip(self):
+        text = serialize_turtle(triples())
+        reparsed = {t for t in parse_turtle(text) if t.is_literal}
+        languages = {t.language for t in reparsed}
+        datatypes = {t.datatype for t in reparsed}
+        assert "en" in languages
+        assert any(dt.endswith("integer") for dt in datatypes)
+
+    def test_empty(self):
+        assert serialize_turtle([]) == ""
+        assert list(parse_turtle(serialize_turtle([]))) == []
+
+    def test_blank_nodes(self):
+        data = [Triple("_:b1", "http://p/v", "x", True)]
+        assert list(parse_turtle(serialize_turtle(data))) == data
+
+    literal_values = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=1),
+        max_size=40,
+    )
+
+    @given(literal_values)
+    def test_any_literal_round_trips(self, value):
+        data = [Triple("http://e/x", "http://p/v", value, True)]
+        assert list(parse_turtle(serialize_turtle(data))) == data

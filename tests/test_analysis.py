@@ -1,0 +1,92 @@
+"""Tests for the LOD shape-analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    interlinking_density,
+    match_regime,
+    similarity_regime,
+    vocabulary_overlap,
+)
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+def kb(name: str, entries: dict[str, dict[str, list[str]]]) -> EntityCollection:
+    return EntityCollection(
+        [EntityDescription(uri, attrs, source=name) for uri, attrs in entries.items()],
+        name=name,
+    )
+
+
+class TestVocabularyOverlap:
+    def test_disjoint_vocabularies(self):
+        kb1 = kb("a", {"http://a/1": {"p1": ["x"], "p2": ["y"]}})
+        kb2 = kb("b", {"http://b/1": {"q1": ["x"]}})
+        overlap = vocabulary_overlap(kb1, kb2)
+        assert overlap.shared_properties == 0
+        assert overlap.jaccard == 0.0
+        assert overlap.proprietary_fraction == 1.0
+
+    def test_partial_overlap(self):
+        kb1 = kb("a", {"http://a/1": {"name": ["x"], "p": ["y"]}})
+        kb2 = kb("b", {"http://b/1": {"name": ["x"], "q": ["y"]}})
+        overlap = vocabulary_overlap(kb1, kb2)
+        assert overlap.shared_properties == 1
+        assert overlap.jaccard == pytest.approx(1 / 3)
+
+    def test_synthetic_kbs_are_proprietary(self, center_dataset):
+        overlap = vocabulary_overlap(center_dataset.kb1, center_dataset.kb2)
+        assert overlap.proprietary_fraction == 1.0
+
+
+class TestSimilarityRegime:
+    def test_empty_pairs_rejected(self):
+        kb1 = kb("a", {"http://a/1": {"p": ["x"]}})
+        with pytest.raises(ValueError):
+            similarity_regime([kb1], [])
+
+    def test_center_classification(self, center_dataset):
+        regime = match_regime(
+            center_dataset.kb1, center_dataset.kb2, center_dataset.gold
+        )
+        assert regime.regime == "center"
+        assert regime.mean_jaccard > 0.5
+        assert regime.low_evidence_fraction <= 0.05
+
+    def test_periphery_classification(self, periphery_dataset):
+        regime = match_regime(
+            periphery_dataset.kb1, periphery_dataset.kb2, periphery_dataset.gold
+        )
+        assert regime.regime == "periphery"
+        assert regime.low_evidence_pairs > 0
+
+    def test_counts(self):
+        kb1 = kb("a", {"http://a/1": {"p": ["alpha beta gamma"]}})
+        kb2 = kb("b", {"http://b/1": {"q": ["alpha beta gamma"]}})
+        regime = similarity_regime([kb1, kb2], [("http://a/1", "http://b/1")])
+        assert regime.pair_count == 1
+        assert regime.min_jaccard > 0
+
+
+class TestInterlinkingDensity:
+    def test_empty_collection(self):
+        assert interlinking_density(EntityCollection(name="empty")) == 0.0
+
+    def test_counts_edges_per_description(self):
+        collection = kb(
+            "a",
+            {
+                "http://a/1": {"r": ["http://a/2"]},
+                "http://a/2": {"p": ["x"]},
+            },
+        )
+        assert interlinking_density(collection) == pytest.approx(0.5)
+
+    def test_center_denser_than_periphery(self, center_dataset, periphery_dataset):
+        center_density = interlinking_density(center_dataset.kb1)
+        periphery_density = interlinking_density(periphery_dataset.kb1)
+        # relation_keep is lower in the periphery profile.
+        assert periphery_density <= center_density

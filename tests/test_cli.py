@@ -1,0 +1,229 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.samples import sample_path
+
+
+@pytest.fixture
+def movies_paths():
+    return (
+        sample_path("movies_a.nt"),
+        sample_path("movies_b.nt"),
+        sample_path("movies_gold.csv"),
+    )
+
+
+class TestStats:
+    def test_single_kb(self, capsys, movies_paths):
+        assert main(["stats", movies_paths[0]]) == 0
+        out = capsys.readouterr().out
+        assert "descriptions" in out
+        assert "interlinking density" in out
+
+    def test_two_kbs_with_gold(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert main(["stats", kb_a, kb_b, "--gold", gold]) == 0
+        out = capsys.readouterr().out
+        assert "Vocabulary overlap" in out
+        assert "Match-similarity regime" in out
+        assert "regime" in out
+
+
+class TestBlock:
+    def test_without_gold(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert main(["block", "--kb1", kb_a, "--kb2", kb_b]) == 0
+        out = capsys.readouterr().out
+        assert "Blocking summary" in out
+        assert "token-blocking" in out
+
+    def test_with_gold(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert main(["block", "--kb1", kb_a, "--kb2", kb_b, "--gold", gold]) == 0
+        out = capsys.readouterr().out
+        assert "PC" in out and "RR" in out
+
+    @pytest.mark.parametrize(
+        "method", ["token", "attribute-clustering", "prefix-infix-suffix", "qgrams"]
+    )
+    def test_all_methods(self, capsys, movies_paths, method):
+        kb_a, kb_b, _ = movies_paths
+        assert main(["block", "--kb1", kb_a, "--kb2", kb_b, "--method", method]) == 0
+
+    def test_unknown_method_rejected(self, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        with pytest.raises(SystemExit):
+            main(["block", "--kb1", kb_a, "--method", "bogus"])
+
+
+class TestResolve:
+    def test_end_to_end_with_gold(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "resolve",
+                    "--kb1", kb_a,
+                    "--kb2", kb_b,
+                    "--gold", gold,
+                    "--budget", "300",
+                    "--threshold", "0.35",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Pipeline summary" in out
+        assert "Matching quality" in out
+
+    def test_output_csv(self, capsys, tmp_path, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        out_path = str(tmp_path / "matches.csv")
+        assert (
+            main(
+                [
+                    "resolve",
+                    "--kb1", kb_a,
+                    "--kb2", kb_b,
+                    "--threshold", "0.35",
+                    "--out", out_path,
+                ]
+            )
+            == 0
+        )
+        with open(out_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["uri1", "uri2"]
+        assert len(rows) > 10
+
+    def test_benefit_and_schemes_options(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(
+                [
+                    "resolve",
+                    "--kb1", kb_a,
+                    "--kb2", kb_b,
+                    "--benefit", "entity-coverage",
+                    "--weighting", "ECBS",
+                    "--pruning", "WNP",
+                    "--no-update",
+                ]
+            )
+            == 0
+        )
+
+    def test_dirty_er_single_kb(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert main(["resolve", "--kb1", kb_a, "--threshold", "0.9"]) == 0
+
+
+class TestSynthesize:
+    def test_writes_workload(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "workload")
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "--entities", "40",
+                    "--regime", "periphery",
+                    "--seed", "3",
+                    "--out-dir", out_dir,
+                ]
+            )
+            == 0
+        )
+        for name in ("kb1.nt", "kb2.nt", "gold.csv"):
+            assert os.path.exists(os.path.join(out_dir, name))
+
+    def test_synthesized_workload_is_loadable_and_resolvable(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "workload")
+        main(["synthesize", "--entities", "40", "--out-dir", out_dir, "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "resolve",
+                    "--kb1", os.path.join(out_dir, "kb1.nt"),
+                    "--kb2", os.path.join(out_dir, "kb2.nt"),
+                    "--gold", os.path.join(out_dir, "gold.csv"),
+                    "--budget", "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recall" in out
+
+    def test_round_trip_preserves_gold_size(self, capsys, tmp_path):
+        from repro.datasets.gold import load_gold_csv
+        from repro.datasets.synthetic import SyntheticConfig, synthesize_pair
+
+        out_dir = str(tmp_path / "w")
+        main(["synthesize", "--entities", "40", "--out-dir", out_dir, "--seed", "5"])
+        reference = synthesize_pair(SyntheticConfig(entities=40, overlap=0.7, seed=5))
+        loaded = load_gold_csv(os.path.join(out_dir, "gold.csv"))
+        assert loaded.matches == reference.gold.matches
+
+
+class TestWorkflow:
+    def test_blocking_workflow(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(["workflow", "blocking", "--kb1", kb_a, "--kb2", kb_b, "--gold", gold])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "token-blocking" in out and "PC" in out
+
+    def test_progressive_workflow(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "workflow", "progressive",
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                    "--budget", "60", "--threshold", "0.35",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "minoan-dynamic" in out and "oracle" in out
+
+    def test_budget_sweep_workflow(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "workflow", "budgets",
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                    "--budgets", "10", "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Budget sweep" in out
+
+    def test_gold_required(self, movies_paths):
+        kb_a, _, _ = movies_paths
+        with pytest.raises(SystemExit):
+            main(["workflow", "blocking", "--kb1", kb_a])
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,99 @@
+"""Guard rails on the public API surface.
+
+Everything advertised in ``repro.__all__`` must exist, be importable from
+the top level, and carry a docstring — the contract a downstream user
+relies on.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestAllExports:
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    @pytest.mark.parametrize("name", sorted(repro.__all__))
+    def test_documented(self, name):
+        obj = getattr(repro, name)
+        if inspect.ismodule(obj) or isinstance(obj, (dict, frozenset, str)):
+            return
+        doc = inspect.getdoc(obj)
+        assert doc, f"repro.{name} has no docstring"
+        assert len(doc) > 15, f"repro.{name} docstring is a stub"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_present(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.model",
+            "repro.rdf",
+            "repro.blocking",
+            "repro.metablocking",
+            "repro.matching",
+            "repro.mapreduce",
+            "repro.core",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.evaluation",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a package docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+class TestFacadeSignatureStability:
+    """The documented keyword surface of the main entry points."""
+
+    def test_minoaner_kwargs(self):
+        from repro import MinoanER
+
+        params = set(inspect.signature(MinoanER).parameters)
+        expected = {
+            "blocker",
+            "purging",
+            "filtering",
+            "weighting",
+            "pruning",
+            "matcher",
+            "match_threshold",
+            "budget",
+            "benefit",
+            "update_phase",
+            "boost_factor",
+            "discovery_weight",
+            "evidence_weight",
+            "checkpoint_every",
+        }
+        assert expected <= params
+
+    def test_synthetic_config_fields(self):
+        from repro import SyntheticConfig
+
+        fields = set(SyntheticConfig.__dataclass_fields__)
+        assert {"entities", "overlap", "profile", "seed", "group_size"} <= fields
+
+    def test_session_advance_signature(self):
+        from repro.core import ProgressiveSession
+
+        params = inspect.signature(ProgressiveSession.advance).parameters
+        assert "instalment" in params

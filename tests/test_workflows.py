@@ -1,0 +1,102 @@
+"""Tests for the canned experiment workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MinoanER
+from repro.evaluation.reporting import format_table
+from repro.matching.matcher import OracleMatcher
+from repro.workflows import (
+    compare_blocking_methods,
+    compare_progressive_strategies,
+    sweep_budgets,
+    sweep_metablocking,
+)
+
+
+class TestCompareBlockingMethods:
+    def test_default_methods(self, movies):
+        kb_a, kb_b, gold = movies
+        report = compare_blocking_methods(kb_a, kb_b, gold)
+        assert len(report.rows) == 3
+        methods = {row["method"] for row in report.rows}
+        assert "token-blocking" in methods
+        # Rows render cleanly.
+        assert "PC" in format_table(report.rows)
+
+    def test_raw_objects_accessible(self, movies):
+        kb_a, kb_b, gold = movies
+        report = compare_blocking_methods(kb_a, kb_b, gold)
+        blocks, quality = report.raw["token-blocking"]
+        assert len(blocks) > 0
+        assert 0.0 <= quality.pairs_completeness <= 1.0
+
+
+class TestSweepMetablocking:
+    def test_full_matrix(self, movies):
+        kb_a, kb_b, gold = movies
+        report = sweep_metablocking(
+            kb_a, kb_b, gold, weighting=["ARCS", "CBS"], pruning=["WEP", "CNP"]
+        )
+        assert len(report.rows) == 4
+        assert ("ARCS", "CNP") in report.raw
+
+    def test_every_registered_combination_runs(self, movies):
+        kb_a, kb_b, gold = movies
+        report = sweep_metablocking(kb_a, kb_b, gold)
+        # 6 weighting schemes x 4 pruning algorithms
+        assert len(report.rows) == 24
+
+
+class TestCompareProgressive:
+    def test_all_strategies_present(self, movies):
+        kb_a, kb_b, gold = movies
+        report = compare_progressive_strategies(
+            kb_a, kb_b, gold, OracleMatcher(gold.matches), budget=40
+        )
+        strategies = {row["strategy"] for row in report.rows}
+        assert strategies == {
+            "minoan-dynamic",
+            "minoan-static",
+            "altowim",
+            "random",
+            "batch",
+            "oracle",
+        }
+
+    def test_oracle_optional(self, movies):
+        kb_a, kb_b, gold = movies
+        report = compare_progressive_strategies(
+            kb_a, kb_b, gold, OracleMatcher(gold.matches), budget=40,
+            include_oracle=False,
+        )
+        assert "oracle" not in report.raw
+
+    def test_scheduler_dominates_random(self, center_dataset):
+        dataset = center_dataset
+        gold = dataset.gold
+        report = compare_progressive_strategies(
+            dataset.kb1, dataset.kb2, gold, OracleMatcher(gold.matches), budget=100
+        )
+        auc = {row["strategy"]: float(row["AUC"]) for row in report.rows}
+        assert auc["minoan-static"] > auc["random"]
+        assert auc["oracle"] >= auc["minoan-dynamic"] - 1e-9
+
+
+class TestSweepBudgets:
+    def test_recall_monotone_in_budget(self, movies):
+        kb_a, kb_b, gold = movies
+        report = sweep_budgets(
+            kb_a, kb_b, gold, budgets=[5, 50, 500],
+            platform=MinoanER(match_threshold=0.35),
+        )
+        recalls = [float(row["recall"]) for row in report.rows]
+        assert recalls == sorted(recalls)
+        assert len(report.raw) == 3
+
+    def test_rows_render(self, movies):
+        kb_a, kb_b, gold = movies
+        report = sweep_budgets(kb_a, kb_b, gold, budgets=[10])
+        table = format_table(report.rows, title=report.title)
+        assert "budget" in table

@@ -1,0 +1,114 @@
+"""Unit and property tests for the union-find forest."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.disjoint_set import DisjointSet
+
+
+class TestBasics:
+    def test_lazy_singletons(self):
+        ds = DisjointSet()
+        assert ds.find("a") == "a"
+        assert "a" in ds
+        assert ds.set_count == 1
+
+    def test_add_is_idempotent(self):
+        ds = DisjointSet()
+        assert ds.add("a") is True
+        assert ds.add("a") is False
+        assert ds.set_count == 1
+
+    def test_union_merges(self):
+        ds = DisjointSet()
+        assert ds.union("a", "b") is True
+        assert ds.connected("a", "b")
+        assert ds.set_count == 1
+
+    def test_union_same_set_returns_false(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        assert ds.union("b", "a") is False
+
+    def test_transitivity(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.connected("a", "c")
+        assert ds.size_of("a") == 3
+
+    def test_disjoint_components_stay_apart(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("x", "y")
+        assert not ds.connected("a", "x")
+        assert ds.set_count == 2
+
+    def test_constructor_items(self):
+        ds = DisjointSet(["a", "b", "c"])
+        assert len(ds) == 3
+        assert ds.set_count == 3
+
+    def test_items_insertion_order(self):
+        ds = DisjointSet()
+        ds.union("b", "a")
+        ds.add("c")
+        assert ds.items() == ["b", "a", "c"]
+
+    def test_sets_and_to_clusters(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        ds.union("x", "y")
+        ds.add("solo")
+        clusters = ds.to_clusters()
+        assert clusters[0] == frozenset({"a", "b", "c"})
+        assert clusters[1] == frozenset({"x", "y"})
+        assert clusters[2] == frozenset({"solo"})
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 40)), max_size=300))
+    def test_set_count_invariant(self, unions):
+        ds = DisjointSet()
+        for a, b in unions:
+            ds.union(a, b)
+        # items = sets + successful merges
+        clusters = list(ds.sets())
+        assert sum(len(c) for c in clusters) == len(ds)
+        assert len(clusters) == ds.set_count
+
+    @given(st.lists(st.tuples(st.integers(0, 25), st.integers(0, 25)), max_size=200))
+    def test_connectivity_matches_reference_graph(self, unions):
+        ds = DisjointSet()
+        adjacency: dict[int, set[int]] = {}
+        for a, b in unions:
+            ds.union(a, b)
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        def reachable(start: int) -> set[int]:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for other in adjacency.get(node, ()):
+                    if other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+            return seen
+
+        for node in adjacency:
+            component = reachable(node)
+            for other in adjacency:
+                assert ds.connected(node, other) == (other in component)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=150))
+    def test_size_of_matches_cluster_size(self, unions):
+        ds = DisjointSet()
+        for a, b in unions:
+            ds.union(a, b)
+        for cluster in ds.sets():
+            for member in cluster:
+                assert ds.size_of(member) == len(cluster)

@@ -1,0 +1,198 @@
+"""Unit and property tests for the addressable max-heap."""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.heap import AddressableMaxHeap
+
+
+class TestBasics:
+    def test_empty_heap_is_falsy(self):
+        heap = AddressableMaxHeap()
+        assert not heap
+        assert len(heap) == 0
+
+    def test_push_pop_single(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.5)
+        assert heap.pop() == ("a", 1.5)
+        assert not heap
+
+    def test_pop_returns_maximum(self):
+        heap = AddressableMaxHeap()
+        heap.push("low", 1.0)
+        heap.push("high", 9.0)
+        heap.push("mid", 5.0)
+        assert heap.pop() == ("high", 9.0)
+        assert heap.pop() == ("mid", 5.0)
+        assert heap.pop() == ("low", 1.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().peek()
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableMaxHeap()
+        heap.push("x", 2.0)
+        assert heap.peek() == ("x", 2.0)
+        assert len(heap) == 1
+
+    def test_duplicate_push_rejected(self):
+        heap = AddressableMaxHeap()
+        heap.push("x", 1.0)
+        with pytest.raises(ValueError):
+            heap.push("x", 2.0)
+
+    def test_contains(self):
+        heap = AddressableMaxHeap()
+        heap.push("x", 1.0)
+        assert "x" in heap
+        assert "y" not in heap
+
+    def test_ties_broken_by_insertion_order(self):
+        heap = AddressableMaxHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        heap.push("third", 1.0)
+        assert [heap.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+
+class TestUpdates:
+    def test_update_increases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+
+    def test_update_decreases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 2.0)
+        heap.update("a", 1.0)
+        assert heap.pop() == ("b", 2.0)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().update("ghost", 1.0)
+
+    def test_priority_lookup(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 4.0)
+        assert heap.priority("a") == 4.0
+        heap.update("a", 6.0)
+        assert heap.priority("a") == 6.0
+
+    def test_push_or_update(self):
+        heap = AddressableMaxHeap()
+        heap.push_or_update("a", 1.0)
+        heap.push_or_update("a", 7.0)
+        assert heap.priority("a") == 7.0
+        assert len(heap) == 1
+
+    def test_increase_if_higher_only_raises(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 5.0)
+        assert heap.increase_if_higher("a", 3.0) is False
+        assert heap.priority("a") == 5.0
+        assert heap.increase_if_higher("a", 8.0) is True
+        assert heap.priority("a") == 8.0
+
+    def test_add_to_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        assert heap.add_to_priority("a", 2.5) == 3.5
+        assert heap.priority("a") == 3.5
+
+    def test_remove(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.push("c", 3.0)
+        assert heap.remove("b") == 2.0
+        assert "b" not in heap
+        assert heap.pop() == ("c", 3.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().remove("ghost")
+
+    def test_discard(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        assert heap.discard("a") is True
+        assert heap.discard("a") is False
+
+    def test_clear(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.clear()
+        assert not heap
+        heap.push("a", 2.0)  # reusable after clear
+        assert heap.pop() == ("a", 2.0)
+
+    def test_items_iteration(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert dict(heap.items()) == {"a": 1.0, "b": 2.0}
+
+
+class TestProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=200))
+    def test_pop_order_matches_sorted(self, priorities):
+        heap = AddressableMaxHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        popped = [heap.pop()[1] for _ in range(len(priorities))]
+        assert popped == sorted(priorities, reverse=True)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(-100, 100)),
+            max_size=200,
+        )
+    )
+    def test_push_or_update_tracks_latest_priority(self, operations):
+        heap = AddressableMaxHeap()
+        reference: dict[int, float] = {}
+        for key, priority in operations:
+            heap.push_or_update(key, priority)
+            reference[key] = priority
+        assert len(heap) == len(reference)
+        popped = {}
+        while heap:
+            key, priority = heap.pop()
+            popped[key] = priority
+        assert popped == reference
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        st.data(),
+    )
+    def test_agrees_with_heapq_after_removals(self, priorities, data):
+        heap = AddressableMaxHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        alive = dict(enumerate(priorities))
+        to_remove = data.draw(
+            st.lists(st.sampled_from(sorted(alive)), unique=True, max_size=len(alive))
+        )
+        for key in to_remove:
+            heap.remove(key)
+            del alive[key]
+        expected = sorted(alive.values(), reverse=True)
+        mirror = [-p for p in alive.values()]
+        heapq.heapify(mirror)
+        result = [heap.pop()[1] for _ in range(len(alive))]
+        assert result == expected
+        assert result == [-heapq.heappop(mirror) for _ in range(len(mirror))]

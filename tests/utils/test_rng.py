@@ -1,0 +1,58 @@
+"""Tests for deterministic randomness helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import deterministic_rng, stable_hash
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = deterministic_rng(42).random()
+        b = deterministic_rng(42).random()
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        streams = {deterministic_rng(seed).random() for seed in range(20)}
+        assert len(streams) == 20
+
+    def test_salt_decorrelates(self):
+        plain = deterministic_rng(42).random()
+        salted = deterministic_rng(42, "kb1").random()
+        assert plain != salted
+
+    def test_salt_order_matters(self):
+        a = deterministic_rng(1, "x", "y").random()
+        b = deterministic_rng(1, "y", "x").random()
+        assert a != b
+
+    def test_string_seeds_supported(self):
+        assert deterministic_rng("alpha").random() == deterministic_rng("alpha").random()
+
+
+class TestStableHash:
+    def test_in_range(self):
+        for value in ("a", "b", "", "long token value"):
+            assert 0 <= stable_hash(value, 7) < 7
+
+    def test_deterministic(self):
+        assert stable_hash("token", 16) == stable_hash("token", 16)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", 0)
+
+    def test_single_bucket(self):
+        assert stable_hash("anything", 1) == 0
+
+    @given(st.text(max_size=50), st.integers(1, 1000))
+    def test_property_in_range(self, value, buckets):
+        assert 0 <= stable_hash(value, buckets) < buckets
+
+    def test_distribution_not_degenerate(self):
+        buckets = [stable_hash(f"key{i}", 8) for i in range(800)]
+        counts = [buckets.count(b) for b in range(8)]
+        # Every bucket should receive a reasonable share.
+        assert min(counts) > 40

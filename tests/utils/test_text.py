@@ -1,0 +1,61 @@
+"""Tests for text normalization and tokenization helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.text import normalize, strip_accents, token_split
+
+
+class TestStripAccents:
+    def test_folds_common_accents(self):
+        assert strip_accents("café") == "cafe"
+        assert strip_accents("Müller") == "Muller"
+        assert strip_accents("naïve") == "naive"
+
+    def test_plain_ascii_unchanged(self):
+        assert strip_accents("plain text 123") == "plain text 123"
+
+    def test_empty(self):
+        assert strip_accents("") == ""
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("HeLLo") == "hello"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b\n c ") == "a b c"
+
+    def test_combines_accent_and_case(self):
+        assert normalize("CAFÉ  Noir") == "cafe noir"
+
+
+class TestTokenSplit:
+    def test_splits_on_punctuation(self):
+        assert token_split("hello-world_foo.bar") == ["hello", "world", "foo", "bar"]
+
+    def test_keeps_numbers(self):
+        assert token_split("route 66") == ["route", "66"]
+
+    def test_min_length_filter(self):
+        assert token_split("a bb ccc", min_length=2) == ["bb", "ccc"]
+        assert token_split("a bb ccc", min_length=3) == ["ccc"]
+
+    def test_duplicates_preserved(self):
+        assert token_split("la la land") == ["la", "la", "land"]
+
+    def test_empty_and_symbol_only(self):
+        assert token_split("") == []
+        assert token_split("!!! --- ###") == []
+
+    @given(st.text(max_size=200))
+    def test_tokens_are_normalized_alnum(self, text):
+        for token in token_split(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(st.text(max_size=200), st.integers(1, 5))
+    def test_min_length_respected(self, text, min_length):
+        for token in token_split(text, min_length):
+            assert len(token) >= min_length
