@@ -1,0 +1,178 @@
+"""Perf — int-id backbone vs string-tuple reference graph construction.
+
+Times ``BlockingGraph.materialize()`` (and a pruning pass) through the
+int-id fast path against the retained string-tuple reference path on the
+``center`` and ``periphery`` synthetic workloads (300 entities, overlap
+0.7 — the experiment-scale fixtures of this harness).  Results are
+printed, persisted under ``benchmarks/output/`` and written as a
+``BENCH_graph.json`` perf artifact at the repository root so the speedup
+trajectory is tracked across commits.
+
+Run either way::
+
+    pytest benchmarks/bench_perf_graph.py -s
+    PYTHONPATH=src python benchmarks/bench_perf_graph.py
+
+The committed acceptance bar is a ≥ 3× materialize speedup on ``center``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_graph.json")
+
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.datasets import PERIPHERY_PROFILE, SyntheticConfig, synthesize_pair
+from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+
+#: weighting schemes timed per workload (ARCS is the pipeline default)
+SCHEMES = ("ARCS", "ECBS", "EJS")
+#: repetitions per timing (best-of to suppress scheduler noise)
+REPEATS = 5
+
+
+def _build_blocks(dataset):
+    blocks = TokenBlocking().build(dataset.kb1, dataset.kb2)
+    return BlockFiltering().process(BlockPurging().process(blocks))
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_materialize(blocks, scheme_name: str, fast: bool, cold: bool = False) -> float:
+    def build():
+        if cold:
+            # Drop every lazy view (entity index, interner, CSR arrays,
+            # pair table) so the timing includes their reconstruction.
+            blocks._invalidate_views()
+        BlockingGraph(blocks, make_scheme(scheme_name), fast_path=fast).materialize()
+
+    return _best_of(build)
+
+
+def _time_prune(blocks, scheme_name: str, pruner_name: str, fast: bool) -> float:
+    def run():
+        graph = BlockingGraph(blocks, make_scheme(scheme_name), fast_path=fast)
+        make_pruner(pruner_name).prune(graph)
+
+    return _best_of(run)
+
+
+def run_benchmark() -> dict:
+    results: dict = {"unit": "seconds (best of %d)" % REPEATS, "workloads": {}}
+    configs = {
+        "center": SyntheticConfig(entities=300, overlap=0.7, seed=42),
+        "periphery": SyntheticConfig(
+            entities=300, overlap=0.7, seed=42, profile=PERIPHERY_PROFILE
+        ),
+    }
+    for workload, config in configs.items():
+        dataset = synthesize_pair(config)
+        blocks = _build_blocks(dataset)
+        graph = BlockingGraph(blocks, make_scheme("ARCS"))
+        entry: dict = {
+            "entities": len(dataset.kb1) + len(dataset.kb2),
+            "blocks": len(blocks),
+            "comparisons_with_repetitions": blocks.total_comparisons(),
+            "distinct_edges": len(graph),
+            "materialize": {},
+            "prune_cnp_arcs": {},
+        }
+        for scheme_name in SCHEMES:
+            slow = _time_materialize(blocks, scheme_name, fast=False)
+            fast = _time_materialize(blocks, scheme_name, fast=True)
+            cold_slow = _time_materialize(blocks, scheme_name, fast=False, cold=True)
+            cold_fast = _time_materialize(blocks, scheme_name, fast=True, cold=True)
+            entry["materialize"][scheme_name] = {
+                "reference_s": round(slow, 6),
+                "int_id_s": round(fast, 6),
+                "speedup": round(slow / fast, 2) if fast > 0 else float("inf"),
+                "cold_reference_s": round(cold_slow, 6),
+                "cold_int_id_s": round(cold_fast, 6),
+                "cold_speedup": (
+                    round(cold_slow / cold_fast, 2) if cold_fast > 0 else float("inf")
+                ),
+            }
+        slow = _time_prune(blocks, "ARCS", "CNP", fast=False)
+        fast = _time_prune(blocks, "ARCS", "CNP", fast=True)
+        entry["prune_cnp_arcs"] = {
+            "reference_s": round(slow, 6),
+            "int_id_s": round(fast, 6),
+            "speedup": round(slow / fast, 2) if fast > 0 else float("inf"),
+        }
+        results["workloads"][workload] = entry
+    results["center_materialize_speedup"] = results["workloads"]["center"][
+        "materialize"
+    ]["ARCS"]["speedup"]
+    return results
+
+
+def format_report(results: dict) -> str:
+    lines = ["graph construction: int-id fast path vs string reference", ""]
+    for workload, entry in results["workloads"].items():
+        lines.append(
+            f"[{workload}] {entry['blocks']} blocks, "
+            f"{entry['comparisons_with_repetitions']} comparisons w/ repetitions, "
+            f"{entry['distinct_edges']} distinct edges"
+        )
+        for scheme_name, timing in entry["materialize"].items():
+            lines.append(
+                f"  materialize {scheme_name:5} "
+                f"ref {timing['reference_s'] * 1000:8.2f} ms   "
+                f"int-id {timing['int_id_s'] * 1000:8.2f} ms   "
+                f"{timing['speedup']:.2f}x   "
+                f"(cold: {timing['cold_speedup']:.2f}x)"
+            )
+        timing = entry["prune_cnp_arcs"]
+        lines.append(
+            f"  CNP(ARCS) prune   "
+            f"ref {timing['reference_s'] * 1000:8.2f} ms   "
+            f"int-id {timing['int_id_s'] * 1000:8.2f} ms   "
+            f"{timing['speedup']:.2f}x"
+        )
+        lines.append("")
+    lines.append(
+        f"center materialize speedup (acceptance bar >= 3x): "
+        f"{results['center_materialize_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_graph():
+    """Pytest entry point: runs the benchmark and asserts the 3x bar."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_graph", format_report(results))
+    write_artifact(results)
+    assert results["center_materialize_speedup"] >= 3.0
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    return 0 if results["center_materialize_speedup"] >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

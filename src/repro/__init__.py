@@ -19,7 +19,13 @@ Quickstart::
     print(result.summary())
 """
 
-from repro.model import EntityDescription, EntityCollection, Tokenizer, infer_stop_tokens
+from repro.model import (
+    EntityDescription,
+    EntityCollection,
+    EntityInterner,
+    Tokenizer,
+    infer_stop_tokens,
+)
 from repro.rdf import (
     parse_ntriples,
     parse_turtle,
@@ -89,6 +95,7 @@ __version__ = "1.0.0"
 __all__ = [
     "EntityDescription",
     "EntityCollection",
+    "EntityInterner",
     "Tokenizer",
     "parse_ntriples",
     "parse_turtle",

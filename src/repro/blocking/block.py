@@ -16,6 +16,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+try:  # pragma: no cover - exercised through the array fast paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+from repro.model.interner import EntityInterner
+
 
 def comparison_pair(uri_a: str, uri_b: str) -> tuple[str, str]:
     """Canonical unordered identity of a comparison.
@@ -36,7 +43,7 @@ class Block:
     pass only *entities1*.
     """
 
-    __slots__ = ("key", "entities1", "entities2")
+    __slots__ = ("key", "entities1", "entities2", "_side_overlap")
 
     def __init__(
         self,
@@ -48,6 +55,13 @@ class Block:
         self.entities1: list[str] = list(dict.fromkeys(entities1))
         self.entities2: list[str] | None = (
             list(dict.fromkeys(entities2)) if entities2 is not None else None
+        )
+        # Members are fixed at construction, so the cross-side overlap is
+        # computed once here, keeping cardinality() O(1) in hot loops.
+        self._side_overlap = (
+            len(set(self.entities1) & set(self.entities2))
+            if self.entities2 is not None
+            else 0
         )
 
     @property
@@ -65,10 +79,17 @@ class Block:
         return len(self.entities1) + (len(self.entities2) if self.entities2 else 0)
 
     def cardinality(self) -> int:
-        """Number of comparisons this block implies."""
+        """Number of comparisons this block implies.
+
+        For bipartite blocks an entity may appear on both sides (dirty
+        input reaching a clean-clean block); ``comparisons()`` skips those
+        ``a == b`` pairs, so they are subtracted here to keep ARCS
+        contributions and CEP/CNP budgets consistent with the enumerated
+        comparisons.
+        """
         if self.is_bipartite:
             assert self.entities2 is not None
-            return len(self.entities1) * len(self.entities2)
+            return len(self.entities1) * len(self.entities2) - self._side_overlap
         n = len(self.entities1)
         return n * (n - 1) // 2
 
@@ -103,6 +124,72 @@ class Block:
         return uri_a in members and uri_b in members
 
 
+class BlockIdArrays:
+    """Flat array (CSR-style) view of a collection's blocks over dense ids.
+
+    The layout the vectorized meta-blocking path consumes: all side-1
+    members concatenated block by block with an offsets array, likewise
+    for side-2 members (dirty blocks contribute an empty side-2 span),
+    plus per-block bipartite flags and cardinalities.  Requires numpy.
+    """
+
+    __slots__ = (
+        "side1",
+        "offsets1",
+        "side2",
+        "offsets2",
+        "sides",
+        "offsets2_abs",
+        "bipartite",
+        "cardinality",
+    )
+
+    def __init__(
+        self, id_blocks: list[tuple[list[int], list[int] | None, int]]
+    ) -> None:
+        assert _np is not None
+        sizes1 = _np.fromiter(
+            (len(ids1) for ids1, _, _ in id_blocks), dtype=_np.int64, count=len(id_blocks)
+        )
+        sizes2 = _np.fromiter(
+            (len(ids2) if ids2 is not None else 0 for _, ids2, _ in id_blocks),
+            dtype=_np.int64,
+            count=len(id_blocks),
+        )
+        self.offsets1 = _np.zeros(len(id_blocks) + 1, dtype=_np.int64)
+        _np.cumsum(sizes1, out=self.offsets1[1:])
+        self.offsets2 = _np.zeros(len(id_blocks) + 1, dtype=_np.int64)
+        _np.cumsum(sizes2, out=self.offsets2[1:])
+        self.side1 = _np.fromiter(
+            (entity for ids1, _, _ in id_blocks for entity in ids1),
+            dtype=_np.int64,
+            count=int(self.offsets1[-1]),
+        )
+        self.side2 = _np.fromiter(
+            (
+                entity
+                for _, ids2, _ in id_blocks
+                if ids2 is not None
+                for entity in ids2
+            ),
+            dtype=_np.int64,
+            count=int(self.offsets2[-1]),
+        )
+        self.bipartite = _np.fromiter(
+            (ids2 is not None for _, ids2, _ in id_blocks),
+            dtype=bool,
+            count=len(id_blocks),
+        )
+        self.cardinality = _np.fromiter(
+            (card for _, _, card in id_blocks), dtype=_np.int64, count=len(id_blocks)
+        )
+        # Both sides in one gatherable array: side-2 spans addressed via
+        # offsets2_abs so a single fancy-index serves dirty and bipartite
+        # blocks alike.
+        self.sides = _np.concatenate([self.side1, self.side2])
+        self.offsets2_abs = self.offsets2 + len(self.side1)
+
+
 class BlockCollection:
     """An ordered set of blocks plus the entity→blocks inverted index.
 
@@ -115,6 +202,14 @@ class BlockCollection:
         self.name = name
         self._blocks: dict[str, Block] = {}
         self._entity_index: dict[str, list[str]] | None = None
+        self._id_views: (
+            tuple[EntityInterner, list[tuple[list[int], list[int] | None, int]]] | None
+        ) = None
+        self._id_arrays: BlockIdArrays | None = None
+        #: scheme-independent derived views (e.g. the meta-blocking pair
+        #: table) keyed by owner; cleared on any mutation.  Consumers must
+        #: treat stored values as immutable.
+        self.derived_cache: dict = {}
         for block in blocks:
             self.add(block)
 
@@ -142,13 +237,19 @@ class BlockCollection:
         if block.key in self._blocks:
             raise ValueError(f"duplicate block key {block.key!r}")
         self._blocks[block.key] = block
-        self._entity_index = None
+        self._invalidate_views()
 
     def remove(self, key: str) -> Block:
         """Remove and return the block with *key*."""
         block = self._blocks.pop(key)
-        self._entity_index = None
+        self._invalidate_views()
         return block
+
+    def _invalidate_views(self) -> None:
+        self._entity_index = None
+        self._id_views = None
+        self._id_arrays = None
+        self.derived_cache.clear()
 
     def keys(self) -> list[str]:
         """Block keys in insertion order."""
@@ -200,6 +301,75 @@ class BlockCollection:
     def blocks_of(self, uri: str) -> list[str]:
         """Keys of the blocks containing *uri* (empty when unindexed)."""
         return list(self.entity_index().get(uri, ()))
+
+    # -- int-id views --------------------------------------------------------
+
+    def _ensure_id_views(
+        self,
+    ) -> tuple[EntityInterner, list[tuple[list[int], list[int] | None, int]]]:
+        if self._id_views is None:
+            interner = EntityInterner()
+            intern = interner.intern
+            id_blocks: list[tuple[list[int], list[int] | None, int]] = []
+            for block in self:
+                ids1 = list(map(intern, block.entities1))
+                ids2 = (
+                    list(map(intern, block.entities2))
+                    if block.entities2 is not None
+                    else None
+                )
+                id_blocks.append((ids1, ids2, block.cardinality()))
+            self._id_views = (interner, id_blocks)
+        return self._id_views
+
+    def interner(self) -> EntityInterner:
+        """Dense ids over every entity placed in at least one block.
+
+        Ids follow first-placement order, matching the key order of
+        :meth:`entity_index`.  The interner (like every id view) is
+        rebuilt lazily after :meth:`add`/:meth:`remove`.
+        """
+        return self._ensure_id_views()[0]
+
+    def id_blocks(self) -> list[tuple[list[int], list[int] | None, int]]:
+        """Blocks as id-arrays: ``(ids1, ids2, cardinality)`` per block.
+
+        ``ids2`` is None for dirty (unipartite) blocks.  Entries align
+        with iteration order over the collection.
+        """
+        return self._ensure_id_views()[1]
+
+    def id_entity_index(self) -> list[list[int]]:
+        """Entity id → ordinals (into :meth:`id_blocks`) of its blocks.
+
+        The id-level counterpart of :meth:`entity_index`: the list at
+        index ``i`` has one entry per placement of entity ``i``, in block
+        insertion order.
+        """
+        cached = self.derived_cache.get("block.id_entity_index")
+        if cached is None:
+            interner, id_blocks = self._ensure_id_views()
+            cached = [[] for _ in range(len(interner))]
+            for ordinal, (ids1, ids2, _) in enumerate(id_blocks):
+                for entity_id in ids1:
+                    cached[entity_id].append(ordinal)
+                if ids2 is not None:
+                    for entity_id in ids2:
+                        cached[entity_id].append(ordinal)
+            self.derived_cache["block.id_entity_index"] = cached
+        return cached
+
+    def id_arrays(self) -> BlockIdArrays | None:
+        """CSR-style numpy view of the blocks (None when numpy is absent).
+
+        Like the other id views this is a pure re-layout of the block
+        structure, built lazily and invalidated on mutation.
+        """
+        if _np is None:
+            return None
+        if self._id_arrays is None:
+            self._id_arrays = BlockIdArrays(self._ensure_id_views()[1])
+        return self._id_arrays
 
     def comparisons_in_common(self, uri_a: str, uri_b: str) -> int:
         """Number of blocks containing both descriptions."""

@@ -209,6 +209,16 @@ class SimilarityIndex:
             token: math.log((1 + corpus_size) / (1 + df)) + 1.0
             for token, df in document_frequency.items()
         }
+        # TF-IDF vectors and their norms, computed once per description:
+        # cosine() then only needs the sparse dot product, instead of
+        # rebuilding both vectors and both norms on every pairwise call.
+        self._vectors: dict[str, dict[str, float]] = {}
+        self._norms: dict[str, float] = {}
+        idf = self._idf
+        for uri, counts in self._counts.items():
+            vector = {token: count * idf[token] for token, count in counts.items()}
+            self._vectors[uri] = vector
+            self._norms[uri] = math.sqrt(sum(w * w for w in vector.values()))
 
     def __contains__(self, uri: str) -> bool:
         return uri in self._counts
@@ -237,8 +247,22 @@ class SimilarityIndex:
         return weighted_jaccard(self._counts[uri_a], self._counts[uri_b])
 
     def cosine(self, uri_a: str, uri_b: str) -> float:
-        """TF-IDF cosine of two indexed descriptions."""
-        return cosine_tfidf(self._counts[uri_a], self._counts[uri_b], self._idf)
+        """TF-IDF cosine of two indexed descriptions.
+
+        Uses the vectors and norms precomputed at construction; the
+        result is identical to ``cosine_tfidf`` over the raw counts.
+        """
+        vector_a, vector_b = self._vectors[uri_a], self._vectors[uri_b]
+        if not vector_a or not vector_b:
+            return 0.0
+        get_b = vector_b.get
+        dot = sum(w * get_b(t, 0.0) for t, w in vector_a.items())
+        if dot == 0.0:
+            return 0.0
+        norm_a, norm_b = self._norms[uri_a], self._norms[uri_b]
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
+        return dot / (norm_a * norm_b)
 
     def common_tokens(self, uri_a: str, uri_b: str) -> frozenset[str]:
         """Tokens the two descriptions share."""

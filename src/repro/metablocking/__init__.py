@@ -14,7 +14,12 @@ are exactly the distinct comparisons MinoanER's scheduler then orders.
 * :mod:`repro.metablocking.pruning` — WEP, CEP, WNP, CNP (+ reciprocal).
 """
 
-from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.metablocking.graph import (
+    BlockingGraph,
+    PairTable,
+    WeightedEdge,
+    pair_table_for,
+)
 from repro.metablocking.weighting import (
     WeightingScheme,
     CBS,
@@ -40,6 +45,8 @@ from repro.metablocking.pruning import (
 
 __all__ = [
     "BlockingGraph",
+    "PairTable",
+    "pair_table_for",
     "WeightedEdge",
     "WeightingScheme",
     "CBS",

@@ -4,22 +4,173 @@ Nodes are description URIs; an (undirected) edge connects every pair
 co-occurring in at least one block; the edge weight is computed by a
 :class:`~repro.metablocking.weighting.WeightingScheme` from the pair's
 co-occurrence statistics.  The graph is materialized lazily from a
-:class:`~repro.blocking.block.BlockCollection`: for corpora of the size
-this reproduction targets the explicit edge list is affordable and keeps
-the pruning schemes straightforward, while the MapReduce implementation in
-:mod:`repro.mapreduce.parallel_metablocking` shows the scalable
-formulation used on a cluster.
+:class:`~repro.blocking.block.BlockCollection`.
+
+Three construction paths produce identical results:
+
+* the **array fast path** (default when numpy is available) expands all
+  implied comparisons from the collection's CSR id views into flat
+  arrays, packs each pair into a single ``a << 32 | b`` integer, and
+  aggregates the ``(common, arcs)`` statistics with one sort plus
+  bincounts into a scheme-independent :class:`PairTable` cached on the
+  collection.  Weighting schemes that implement the vectorized path (all
+  built-ins do) are evaluated as array expressions over per-entity
+  factor tables precomputed once; URIs are translated back only when the
+  public string-keyed edge map is built.
+* the **scalar id fallback** (no numpy) runs the same node-centric
+  aggregation in pure Python: within each block's id-array an entity
+  emits the pairs it forms with the co-members after it, accumulating
+  the packed-pair statistics in flat int-keyed dicts.
+* the **reference slow path** (``fast_path=False``) is the original
+  string-tuple formulation, retained verbatim as the equivalence oracle
+  for tests and for the MapReduce formulation in
+  :mod:`repro.mapreduce.parallel_metablocking`.
+
+All paths visit blocks and intra-block pairs in the same order, so the
+floating-point ARCS accumulations — and therefore every derived weight —
+are bit-identical between them.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Iterable, Iterator, TYPE_CHECKING
+from typing import Iterator, TYPE_CHECKING
 
-from repro.blocking.block import BlockCollection, comparison_pair
+try:  # pragma: no cover - exercised through the array fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+from repro.blocking.block import BlockCollection, BlockIdArrays, comparison_pair
+from repro.model.interner import PAIR_MASK, PAIR_SHIFT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metablocking.weighting import WeightingScheme
+
+
+def _expand_comparison_cells(csr: BlockIdArrays):
+    """All implied comparisons as flat (left, right, contribution) arrays.
+
+    Fully vectorized — no Python-level loop over blocks: every block of
+    ``n`` side-1 members spans a rectangular grid of ``n x width`` cells
+    (``width`` being the side-2 size for bipartite blocks, ``n`` itself
+    for dirty blocks), and a single div/mod over the global cell index
+    recovers each cell's row and column.  Dirty blocks then keep only the
+    triangular ``row < col`` cells and bipartite blocks drop self-pairs.
+    The surviving cells appear in exactly the reference enumeration order
+    (blocks in insertion order, nested pair order inside each block), so
+    downstream float accumulations stay bit-identical to the string path.
+    """
+    np = _np
+    card = csr.cardinality
+    active = np.flatnonzero(card > 0)
+    off1 = csr.offsets1[active]
+    n1 = csr.offsets1[active + 1] - off1
+    off2 = csr.offsets2_abs[active]
+    bipartite = csr.bipartite[active]
+    width = np.where(bipartite, csr.offsets2_abs[active + 1] - off2, n1)
+    right_off = np.where(bipartite, off2, off1)
+    cells = n1 * width
+    cell_offsets = np.zeros(len(active) + 1, dtype=np.int64)
+    np.cumsum(cells, out=cell_offsets[1:])
+    total = int(cell_offsets[-1])
+    cell_block = np.repeat(np.arange(len(active)), cells)
+    within = np.arange(total, dtype=np.int64) - cell_offsets[cell_block]
+    row, col = np.divmod(within, width[cell_block])
+    left = csr.sides[off1[cell_block] + row]
+    right = csr.sides[right_off[cell_block] + col]
+    keep = np.where(bipartite[cell_block], left != right, row < col)
+    contribution = np.repeat(1.0 / card[active], cells)
+    return left[keep], right[keep], contribution[keep]
+
+
+class PairTable:
+    """Scheme-independent pair statistics of a block collection.
+
+    One row per distinct comparison, in first-occurrence order (matching
+    the reference dict's insertion order): the canonical string ``pairs``,
+    the endpoint id arrays (``ids_a`` holding the lexicographically
+    smaller URI), the common-block counts and the ARCS sums.  Weighting a
+    graph is then just a vectorized function over these columns — the
+    expensive aggregation and URI translation happen once per collection,
+    not once per scheme.
+    """
+
+    __slots__ = ("pairs", "ids_a", "ids_b", "common", "arcs", "uri_rank")
+
+    def __init__(self, pairs, ids_a, ids_b, common, arcs, uri_rank) -> None:
+        self.pairs = pairs
+        self.ids_a = ids_a
+        self.ids_b = ids_b
+        self.common = common
+        self.arcs = arcs
+        #: entity id → rank of its URI in lexicographic order (int64);
+        #: lets consumers break ties "by URI" with integer compares.
+        self.uri_rank = uri_rank
+
+
+def _build_pair_table(blocks: BlockCollection) -> PairTable:
+    np = _np
+    csr = blocks.id_arrays()
+    assert csr is not None
+    left, right, contribution = _expand_comparison_cells(csr)
+    keys = np.where(
+        left < right,
+        (left << PAIR_SHIFT) | right,
+        (right << PAIR_SHIFT) | left,
+    )
+    if not len(keys):
+        empty = np.empty(0, dtype=np.int64)
+        return PairTable([], empty, empty, empty, np.empty(0, dtype=np.float64), empty)
+    # Stable sort -> group boundaries; per-group accumulation via bincount
+    # adds weights in input (= enumeration) order, bit-identical to the
+    # reference's running sums.  np.add.reduceat would be faster but sums
+    # pairwise, which is NOT bit-identical.
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    new_group = np.empty(len(sorted_keys), dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+    starts = np.flatnonzero(new_group)
+    group_of_sorted = np.cumsum(new_group) - 1
+    common = np.diff(np.append(starts, len(sorted_keys)))
+    inverse = np.empty(len(keys), dtype=np.int64)
+    inverse[order] = group_of_sorted
+    arcs = np.bincount(inverse, weights=contribution, minlength=len(starts))
+    # Reorder groups to first-seen order so downstream iteration (and any
+    # float sums over it) matches the reference exactly.
+    first_index = order[starts]
+    seen_order = np.argsort(first_index)
+    unique_keys = sorted_keys[starts][seen_order]
+    common = common[seen_order]
+    arcs = arcs[seen_order]
+    # Canonical string order via integer ranks: one O(n log n) sort over
+    # the n entities replaces a string compare per edge.
+    uris = np.array(blocks.interner().uri_table(), dtype=object)
+    rank = np.empty(len(uris), dtype=np.int64)
+    rank[np.argsort(uris)] = np.arange(len(uris))
+    ids_a = unique_keys >> PAIR_SHIFT
+    ids_b = unique_keys & PAIR_MASK
+    swap = rank[ids_a] > rank[ids_b]
+    if swap.any():
+        ids_a, ids_b = np.where(swap, ids_b, ids_a), np.where(swap, ids_a, ids_b)
+    pairs = list(zip(uris[ids_a].tolist(), uris[ids_b].tolist()))
+    return PairTable(pairs, ids_a, ids_b, common, arcs, rank)
+
+
+def pair_table_for(blocks: BlockCollection) -> PairTable:
+    """The (cached) pair table of *blocks*; requires numpy.
+
+    Cached in ``blocks.derived_cache``: like the entity index, the table
+    is a function of the block structure alone and is shared by every
+    graph/scheme built over the collection until the blocks mutate.
+    """
+    table = blocks.derived_cache.get("metablocking.pair_table")
+    if table is None:
+        table = _build_pair_table(blocks)
+        blocks.derived_cache["metablocking.pair_table"] = table
+    return table
 
 
 @dataclass(frozen=True)
@@ -43,23 +194,40 @@ class BlockingGraph:
         blocks: the (post-processed) block collection.
         scheme: edge-weighting scheme; see
             :mod:`repro.metablocking.weighting`.
+        fast_path: build edge weights through the int-id backbone
+            (default).  ``False`` selects the retained string-tuple
+            reference implementation; results are identical either way.
 
     The graph computes, per distinct pair:
 
-    * the set of common blocks (for CBS/ECBS/JS/EJS),
+    * the number of common blocks (for CBS/ECBS/JS/EJS),
     * the sum over common blocks of ``1 / cardinality(block)`` (for ARCS).
     """
 
-    def __init__(self, blocks: BlockCollection, scheme: "WeightingScheme") -> None:
+    def __init__(
+        self,
+        blocks: BlockCollection,
+        scheme: "WeightingScheme",
+        fast_path: bool = True,
+    ) -> None:
         self.blocks = blocks
         self.scheme = scheme
+        self.fast_path = fast_path
         self._edges: dict[tuple[str, str], float] | None = None
         self._adjacency: dict[str, list[tuple[str, float]]] | None = None
+        self._sorted_edges: list[WeightedEdge] | None = None
+        self._ranked_edges: list[WeightedEdge] | None = None
+        self._pair_table: PairTable | None = None
 
     # -- construction ------------------------------------------------------
 
     def _pair_statistics(self) -> dict[tuple[str, str], tuple[int, float]]:
-        """Per-pair (common_blocks, arcs_sum) over the whole collection."""
+        """Per-pair (common_blocks, arcs_sum): the reference slow path.
+
+        Kept as the equivalence oracle for the int-id fast path (and used
+        by the MapReduce tests): allocates a string tuple and a stats
+        tuple per implied comparison.
+        """
         stats: dict[tuple[str, str], tuple[int, float]] = {}
         for block in self.blocks:
             cardinality = block.cardinality()
@@ -71,18 +239,112 @@ class BlockingGraph:
                 stats[pair] = (common + 1, arcs + arcs_contribution)
         return stats
 
-    def materialize(self) -> dict[tuple[str, str], float]:
-        """Compute (once) and return the pair → weight map."""
-        if self._edges is not None:
-            return self._edges
+    def _pair_statistics_ids(self) -> tuple[dict[int, int], dict[int, float]]:
+        """Packed-pair → (common, arcs) maps over dense entity ids.
+
+        Node-centric generation: within each block's id-array, entity
+        ``ids1[i]`` emits the pairs it forms with the co-members after
+        it (dirty blocks) or with the whole opposite side (bipartite
+        blocks), in the same order as the reference path — keeping the
+        ARCS float accumulation bit-identical.
+        """
+        common: dict[int, int] = {}
+        arcs: dict[int, float] = {}
+        common_get = common.get
+        arcs_get = arcs.get
+        shift = PAIR_SHIFT
+        for ids1, ids2, cardinality in self.blocks.id_blocks():
+            if cardinality == 0:
+                continue
+            contribution = 1.0 / cardinality
+            if ids2 is None:
+                for i in range(len(ids1) - 1):
+                    a = ids1[i]
+                    for b in ids1[i + 1 :]:
+                        key = (a << shift) | b if a < b else (b << shift) | a
+                        common[key] = common_get(key, 0) + 1
+                        arcs[key] = arcs_get(key, 0.0) + contribution
+            else:
+                for a in ids1:
+                    for b in ids2:
+                        if a == b:
+                            continue
+                        key = (a << shift) | b if a < b else (b << shift) | a
+                        common[key] = common_get(key, 0) + 1
+                        arcs[key] = arcs_get(key, 0.0) + contribution
+        return common, arcs
+
+    def _materialize_arrays(self) -> dict[tuple[str, str], float]:
+        table = pair_table_for(self.blocks)
+        self._pair_table = table
+        if not table.pairs:
+            return {}
+        scheme = self.scheme
+        if scheme.prepare_arrays(self.blocks, table.ids_a, table.ids_b, table.common):
+            weights = scheme.weight_array(
+                table.ids_a, table.ids_b, table.common, table.arcs
+            )
+            return dict(zip(table.pairs, weights.tolist()))
+        # Scheme without a vectorized path: go through the string API.
+        stats = {
+            pair: (count, arc)
+            for pair, count, arc in zip(
+                table.pairs, table.common.tolist(), table.arcs.tolist()
+            )
+        }
+        scheme.prepare(self.blocks, stats)
+        return {
+            pair: scheme.weight(pair[0], pair[1], count, arc)
+            for pair, (count, arc) in stats.items()
+        }
+
+    def _materialize_slow(self) -> dict[tuple[str, str], float]:
         stats = self._pair_statistics()
         self.scheme.prepare(self.blocks, stats)
-        edges = {
+        return {
             pair: self.scheme.weight(pair[0], pair[1], common, arcs)
             for pair, (common, arcs) in stats.items()
         }
-        self._edges = edges
+
+    def _materialize_ids(self) -> dict[tuple[str, str], float]:
+        common, arcs = self._pair_statistics_ids()
+        uris = self.blocks.interner().uri_table()
+        shift, mask = PAIR_SHIFT, PAIR_MASK
+        if not self.scheme.prepare_ids(self.blocks, common):
+            # Scheme without an id fast path: translate the statistics to
+            # the string API once and weight through the generic hooks.
+            stats: dict[tuple[str, str], tuple[int, float]] = {}
+            for key, count in common.items():
+                uri_a, uri_b = uris[key >> shift], uris[key & mask]
+                if uri_b < uri_a:
+                    uri_a, uri_b = uri_b, uri_a
+                stats[(uri_a, uri_b)] = (count, arcs[key])
+            self.scheme.prepare(self.blocks, stats)
+            return {
+                pair: self.scheme.weight(pair[0], pair[1], count, arc)
+                for pair, (count, arc) in stats.items()
+            }
+        weight_ids = self.scheme.weight_ids
+        edges: dict[tuple[str, str], float] = {}
+        for key, count in common.items():
+            id_a, id_b = key >> shift, key & mask
+            uri_a, uri_b = uris[id_a], uris[id_b]
+            if uri_b < uri_a:
+                uri_a, uri_b = uri_b, uri_a
+                id_a, id_b = id_b, id_a
+            edges[(uri_a, uri_b)] = weight_ids(id_a, id_b, count, arcs[key])
         return edges
+
+    def materialize(self) -> dict[tuple[str, str], float]:
+        """Compute (once) and return the pair → weight map."""
+        if self._edges is None:
+            if not self.fast_path:
+                self._edges = self._materialize_slow()
+            elif _np is not None:
+                self._edges = self._materialize_arrays()
+            else:
+                self._edges = self._materialize_ids()
+        return self._edges
 
     # -- access -------------------------------------------------------------
 
@@ -91,10 +353,17 @@ class BlockingGraph:
         return len(self.materialize())
 
     def edges(self) -> Iterator[WeightedEdge]:
-        """Iterate over weighted edges in deterministic (pair-sorted) order."""
-        edges = self.materialize()
-        for pair in sorted(edges):
-            yield WeightedEdge(pair[0], pair[1], edges[pair])
+        """Iterate over weighted edges in deterministic (pair-sorted) order.
+
+        The sorted view is computed once and cached; repeated calls
+        iterate the cache.
+        """
+        if self._sorted_edges is None:
+            edges = self.materialize()
+            self._sorted_edges = [
+                WeightedEdge(pair[0], pair[1], edges[pair]) for pair in sorted(edges)
+            ]
+        return iter(self._sorted_edges)
 
     def weight_of(self, uri_a: str, uri_b: str) -> float:
         """Weight of the edge between the two URIs (0.0 when absent)."""
@@ -107,6 +376,16 @@ class BlockingGraph:
             seen.add(left)
             seen.add(right)
         return sorted(seen)
+
+    def pair_table(self) -> PairTable | None:
+        """The pair table backing this graph's edges, or None.
+
+        Only set after the array fast path materialized the graph; rows
+        align one-to-one with :meth:`materialize` iteration order, which
+        is what lets pruning run vectorized over the same arrays.
+        """
+        self.materialize()
+        return self._pair_table
 
     def adjacency(self) -> dict[str, list[tuple[str, float]]]:
         """Node → list of (neighbour, weight), each edge listed on both ends."""
@@ -133,8 +412,22 @@ class BlockingGraph:
         """Sum of edge weights."""
         return sum(self.materialize().values())
 
+    def ranked_edges(self) -> list[WeightedEdge]:
+        """All edges ranked (weight desc, pair asc); computed once, cached."""
+        if self._ranked_edges is None:
+            edges = self.materialize()
+            ranked = sorted(edges.items(), key=lambda kv: (-kv[1], kv[0]))
+            self._ranked_edges = [WeightedEdge(p[0], p[1], w) for p, w in ranked]
+        return self._ranked_edges
+
     def top_edges(self, count: int) -> list[WeightedEdge]:
-        """The *count* highest-weight edges (weight desc, pair asc)."""
+        """The *count* highest-weight edges (weight desc, pair asc).
+
+        Served from the cached full ranking when available; otherwise a
+        top-k heap selection avoids sorting the whole edge set.
+        """
         edges = self.materialize()
-        ranked = sorted(edges.items(), key=lambda kv: (-kv[1], kv[0]))
-        return [WeightedEdge(p[0], p[1], w) for p, w in ranked[:count]]
+        if self._ranked_edges is not None or count >= len(edges):
+            return self.ranked_edges()[:count]
+        top = heapq.nsmallest(count, edges.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [WeightedEdge(p[0], p[1], w) for p, w in top]

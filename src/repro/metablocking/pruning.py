@@ -25,15 +25,57 @@ experiment tables are stable across runs.
 
 from __future__ import annotations
 
+import heapq
 import math
 from abc import ABC, abstractmethod
+
+try:  # pragma: no cover - exercised through the vectorized prune paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 from repro.metablocking.graph import BlockingGraph, WeightedEdge
 
 
 def _ranked(edges: list[WeightedEdge]) -> list[WeightedEdge]:
     """Weight-descending, pair-ascending deterministic order."""
-    return sorted(edges, key=lambda e: (-e.weight, e.pair))
+    # (-w, left, right) orders identically to (-w, pair) without building
+    # a pair tuple per key call.
+    return sorted(edges, key=lambda e: (-e.weight, e.left, e.right))
+
+
+def _directed_view(graph: BlockingGraph):
+    """Edge arrays plus the interleaved directed layout of a fast graph.
+
+    Returns ``(table, weights, node, weight_directed)`` or None when the
+    graph has no pair table (slow path / no numpy).  The directed arrays
+    interleave each edge's two endpoints (left at ``2i``, right at
+    ``2i+1``), which is exactly the order the adjacency-dict construction
+    appends neighbours in — so per-node float accumulations over this
+    layout are bit-identical to sums over ``adjacency()`` lists.
+    """
+    table = graph.pair_table()
+    if _np is None or table is None:
+        return None
+    edges = graph.materialize()
+    count = len(edges)
+    weights = _np.fromiter(edges.values(), dtype=_np.float64, count=count)
+    node = _np.empty(2 * count, dtype=_np.int64)
+    node[0::2] = table.ids_a
+    node[1::2] = table.ids_b
+    weight_directed = _np.repeat(weights, 2)
+    return table, weights, node, weight_directed
+
+
+def _survivor_edges(table, weights, surviving_indices) -> list[WeightedEdge]:
+    pairs = table.pairs
+    weight_list = weights.tolist()
+    return _ranked(
+        [
+            WeightedEdge(pairs[i][0], pairs[i][1], weight_list[i])
+            for i in surviving_indices.tolist()
+        ]
+    )
 
 
 class PruningScheme(ABC):
@@ -103,6 +145,9 @@ class WNP(PruningScheme):
     required_votes = 1
 
     def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
+        view = _directed_view(graph)
+        if view is not None:
+            return self._prune_arrays(view)
         adjacency = graph.adjacency()
         thresholds: dict[str, float] = {}
         for node, neighbors in adjacency.items():
@@ -118,6 +163,28 @@ class WNP(PruningScheme):
             if votes >= self.required_votes:
                 survivors.append(edge)
         return _ranked(survivors)
+
+    def _prune_arrays(self, view) -> list[WeightedEdge]:
+        """Vectorized WNP: per-node mean thresholds over the int arrays.
+
+        ``bincount`` accumulates in the interleaved directed order, so the
+        per-node sums (and hence thresholds) are bit-identical to the
+        adjacency-dict formulation above.
+        """
+        np = _np
+        table, weights, node, weight_directed = view
+        entities = len(table.uri_rank)
+        if not len(weights):
+            return []
+        sums = np.bincount(node, weights=weight_directed, minlength=entities)
+        counts = np.bincount(node, minlength=entities)
+        thresholds = np.full(entities, np.inf)
+        occupied = counts > 0
+        thresholds[occupied] = sums[occupied] / counts[occupied]
+        votes = (weights >= thresholds[table.ids_a]).astype(np.int8) + (
+            weights >= thresholds[table.ids_b]
+        )
+        return _survivor_edges(table, weights, np.flatnonzero(votes >= self.required_votes))
 
 
 class ReciprocalWNP(WNP):
@@ -158,11 +225,16 @@ class CNP(PruningScheme):
 
     def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
         k = self.node_budget(graph)
+        view = _directed_view(graph)
+        if view is not None:
+            return self._prune_arrays(view, k)
         adjacency = graph.adjacency()
         kept_by_node: dict[str, set[str]] = {}
+        # heapq.nsmallest == sorted(...)[:k] (same key, same ties), but
+        # O(n log k) per node instead of a full O(n log n) sort.
         for node, neighbors in adjacency.items():
-            ranked = sorted(neighbors, key=lambda nw: (-nw[1], nw[0]))
-            kept_by_node[node] = {other for other, _ in ranked[:k]}
+            top = heapq.nsmallest(k, neighbors, key=lambda nw: (-nw[1], nw[0]))
+            kept_by_node[node] = {other for other, _ in top}
         survivors: list[WeightedEdge] = []
         for edge in graph.edges():
             votes = 0
@@ -173,6 +245,34 @@ class CNP(PruningScheme):
             if votes >= self.required_votes:
                 survivors.append(edge)
         return _ranked(survivors)
+
+    def _prune_arrays(self, view, k: int) -> list[WeightedEdge]:
+        """Vectorized CNP: one lexsort ranks every node's neighbourhood.
+
+        Sorting the directed entries by ``(node, -weight, neighbour URI
+        rank)`` makes each node's top-k a contiguous prefix of its group —
+        the same deterministic order the heap selection above uses, with
+        integer ranks standing in for the URI tie-break.
+        """
+        np = _np
+        table, weights, node, weight_directed = view
+        if not len(weights):
+            return []
+        rank = table.uri_rank
+        neighbor_rank = np.empty_like(node)
+        neighbor_rank[0::2] = rank[table.ids_b]
+        neighbor_rank[1::2] = rank[table.ids_a]
+        order = np.lexsort((neighbor_rank, -weight_directed, node))
+        sorted_nodes = node[order]
+        boundary = np.empty(len(sorted_nodes), dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_nodes[1:], sorted_nodes[:-1], out=boundary[1:])
+        group_start = np.flatnonzero(boundary)
+        position = np.arange(len(sorted_nodes)) - group_start[np.cumsum(boundary) - 1]
+        kept = np.empty(len(sorted_nodes), dtype=bool)
+        kept[order] = position < k
+        votes = kept[0::2].astype(np.int8) + kept[1::2]
+        return _survivor_edges(table, weights, np.flatnonzero(votes >= self.required_votes))
 
 
 class ReciprocalCNP(CNP):

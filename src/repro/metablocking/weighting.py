@@ -17,6 +17,22 @@ parallel meta-blocking paper [4]) are implemented:
 ``ARCS``    Aggregate Reciprocal Comparisons — ``Σ 1/‖b‖`` over common
             blocks b: small (selective) blocks count more.
 ==========  ==================================================================
+
+Every scheme supports two evaluation paths with bit-identical results:
+
+* the **string path** — :meth:`~WeightingScheme.prepare` once, then
+  :meth:`~WeightingScheme.weight` per URI pair (the original API, used by
+  the reference graph construction and the MapReduce jobs);
+* the **id fast path** — :meth:`~WeightingScheme.prepare_ids` once
+  (precomputing per-entity factors — block counts, degrees and their log
+  discounts — as flat lists indexed by dense entity id), then
+  :meth:`~WeightingScheme.weight_ids` per packed pair.  Log factors are
+  computed once per entity instead of once per edge endpoint visit.
+
+``weight_ids`` must be called with ``id_a`` naming the endpoint whose URI
+sorts first, mirroring the canonical argument order of ``weight`` — float
+products associate left-to-right, so argument order is part of the
+bit-identity contract.
 """
 
 from __future__ import annotations
@@ -24,15 +40,22 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+try:  # pragma: no cover - exercised through the array fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
 from repro.blocking.block import BlockCollection
+from repro.model.interner import PAIR_MASK, PAIR_SHIFT
 
 
 class WeightingScheme(ABC):
     """Base class: per-pair weight from co-occurrence statistics.
 
-    :meth:`prepare` is called once with the full statistics so schemes can
-    compute global quantities (block counts, node degrees); :meth:`weight`
-    is then called per pair.
+    :meth:`prepare` (or :meth:`prepare_ids`) is called once with the full
+    statistics so schemes can compute global quantities (block counts,
+    node degrees); :meth:`weight` (or :meth:`weight_ids`) is then called
+    per pair.
     """
 
     #: short name used in experiment tables (overridden per scheme)
@@ -45,6 +68,60 @@ class WeightingScheme(ABC):
     ) -> None:
         """Hook for global precomputation (default: none)."""
 
+    def prepare_ids(
+        self,
+        blocks: BlockCollection,
+        pair_common: dict[int, int],
+    ) -> bool:
+        """Prepare the int-id fast path from packed-pair statistics.
+
+        Args:
+            blocks: the block collection (for its id views).
+            pair_common: packed pair → number of common blocks.
+
+        Returns:
+            True when the scheme supports :meth:`weight_ids`; the default
+            implementation opts out, making the graph fall back to the
+            string API.
+        """
+        return False
+
+    def weight_ids(
+        self, id_a: int, id_b: int, common_blocks: int, arcs: float
+    ) -> float:
+        """Weight of the edge (id_a, id_b); requires :meth:`prepare_ids`.
+
+        ``id_a`` must be the endpoint whose URI is lexicographically
+        smaller (see module docstring).
+        """
+        raise NotImplementedError(f"{self.name} has no id fast path")
+
+    def prepare_arrays(self, blocks: BlockCollection, ids_a, ids_b, common) -> bool:
+        """Prepare the vectorized path from distinct-edge endpoint arrays.
+
+        Args:
+            blocks: the block collection (for its id views).
+            ids_a / ids_b: per-edge endpoint ids (``ids_a`` holding the
+                lexicographically smaller URI of each pair).
+            common: per-edge common-block counts.
+
+        Returns:
+            True when the scheme supports :meth:`weight_array`; the
+            default opts out, making the graph fall back to the string
+            API.  Requires numpy.
+        """
+        return False
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        """Vectorized weights for all edges; requires :meth:`prepare_arrays`.
+
+        Arguments are parallel numpy arrays as in :meth:`prepare_arrays`
+        plus per-edge ARCS sums; returns a float64 array.  Expression
+        structure mirrors :meth:`weight` exactly, keeping results
+        bit-identical elementwise.
+        """
+        raise NotImplementedError(f"{self.name} has no array fast path")
+
     @abstractmethod
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         """Weight of the edge (uri_a, uri_b).
@@ -55,10 +132,34 @@ class WeightingScheme(ABC):
         """
 
 
+def _blocks_per_entity_ids(blocks: BlockCollection) -> list[int]:
+    """Per-entity placement counts, indexed by dense id."""
+    return [len(ordinals) for ordinals in blocks.id_entity_index()]
+
+
+def _placement_counts_array(blocks: BlockCollection):
+    """Per-entity placement counts as an int64 array (numpy path)."""
+    csr = blocks.id_arrays()
+    assert csr is not None
+    return _np.bincount(csr.sides, minlength=len(blocks.interner()))
+
+
 class CBS(WeightingScheme):
     """Common Blocks Scheme: ``w = |common blocks|``."""
 
     name = "CBS"
+
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        return True
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        return float(common_blocks)
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        return _np is not None
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        return common.astype(_np.float64)
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         return float(common_blocks)
@@ -77,12 +178,45 @@ class ECBS(WeightingScheme):
     def __init__(self) -> None:
         self._total_blocks = 1
         self._blocks_per_entity: dict[str, int] = {}
+        self._log_factor: list[float] = []
+        self._log_factor_array = None
 
     def prepare(self, blocks, pair_stats) -> None:
         self._total_blocks = max(len(blocks), 1)
         self._blocks_per_entity = {
             uri: len(keys) for uri, keys in blocks.entity_index().items()
         }
+
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        total = max(len(blocks), 1)
+        self._total_blocks = total
+        # +1 smoothing as in weight(); one log per entity, not per edge.
+        self._log_factor = [
+            math.log((total + 1) / count) for count in _blocks_per_entity_ids(blocks)
+        ]
+        return True
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        factor = self._log_factor
+        return common_blocks * factor[id_a] * factor[id_b]
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        if _np is None:
+            return False
+        total = max(len(blocks), 1)
+        self._total_blocks = total
+        counts = _placement_counts_array(blocks)
+        # math.log per entity (not np.log: it can differ in the last ulp
+        # from the reference's math.log) — still once per entity, not per
+        # edge endpoint.
+        self._log_factor_array = _np.array(
+            [math.log((total + 1) / count) for count in counts.tolist()]
+        )
+        return True
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        factor = self._log_factor_array
+        return common * factor[ids_a] * factor[ids_b]
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         blocks_a = self._blocks_per_entity.get(uri_a, 1)
@@ -101,11 +235,37 @@ class JS(WeightingScheme):
 
     def __init__(self) -> None:
         self._blocks_per_entity: dict[str, int] = {}
+        self._block_counts: list[int] = []
+        self._block_counts_array = None
 
     def prepare(self, blocks, pair_stats) -> None:
         self._blocks_per_entity = {
             uri: len(keys) for uri, keys in blocks.entity_index().items()
         }
+
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        self._block_counts = _blocks_per_entity_ids(blocks)
+        return True
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        counts = self._block_counts
+        union = counts[id_a] + counts[id_b] - common_blocks
+        if union <= 0:
+            return 0.0
+        return common_blocks / union
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        if _np is None:
+            return False
+        self._block_counts_array = _placement_counts_array(blocks)
+        return True
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        counts = self._block_counts_array
+        union = counts[ids_a] + counts[ids_b] - common
+        weights = _np.zeros(len(common), dtype=_np.float64)
+        _np.divide(common, union, out=weights, where=union > 0)
+        return weights
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         union = (
@@ -132,6 +292,8 @@ class EJS(WeightingScheme):
         self._js = JS()
         self._edge_count = 1
         self._degrees: dict[str, int] = {}
+        self._log_factor: list[float] = []
+        self._log_factor_array = None
 
     def prepare(self, blocks, pair_stats) -> None:
         self._js.prepare(blocks, pair_stats)
@@ -141,6 +303,46 @@ class EJS(WeightingScheme):
             degrees[left] = degrees.get(left, 0) + 1
             degrees[right] = degrees.get(right, 0) + 1
         self._degrees = degrees
+
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        self._js.prepare_ids(blocks, pair_common)
+        edge_count = max(len(pair_common), 1)
+        degrees = [0] * len(blocks.id_entity_index())
+        for key in pair_common:
+            degrees[key >> PAIR_SHIFT] += 1
+            degrees[key & PAIR_MASK] += 1
+        self._set_log_factor(edge_count, degrees)
+        return True
+
+    def _set_log_factor(self, edge_count: int, degrees) -> None:
+        # Same smoothing as weight(): isolated entities fall back to deg 1.
+        self._edge_count = edge_count
+        self._log_factor = [
+            math.log((edge_count + 1) / (degree if degree else 1))
+            for degree in degrees
+        ]
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        js = self._js.weight_ids(id_a, id_b, common_blocks, arcs)
+        factor = self._log_factor
+        return js * factor[id_a] * factor[id_b]
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        if _np is None:
+            return False
+        self._js.prepare_arrays(blocks, ids_a, ids_b, common)
+        entities = len(blocks.interner())
+        degrees = _np.bincount(ids_a, minlength=entities) + _np.bincount(
+            ids_b, minlength=entities
+        )
+        self._set_log_factor(max(len(common), 1), degrees.tolist())
+        self._log_factor_array = _np.asarray(self._log_factor)
+        return True
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        js = self._js.weight_array(ids_a, ids_b, common, arcs)
+        factor = self._log_factor_array
+        return js * factor[ids_a] * factor[ids_b]
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         js = self._js.weight(uri_a, uri_b, common_blocks, arcs)
@@ -160,6 +362,18 @@ class ARCS(WeightingScheme):
     """
 
     name = "ARCS"
+
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        return True
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        return arcs
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        return _np is not None
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        return arcs
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         return arcs
@@ -183,6 +397,8 @@ class ChiSquare(WeightingScheme):
     def __init__(self) -> None:
         self._total_blocks = 1
         self._blocks_per_entity: dict[str, int] = {}
+        self._block_counts: list[int] = []
+        self._block_counts_array = None
 
     def prepare(self, blocks, pair_stats) -> None:
         self._total_blocks = max(len(blocks), 1)
@@ -190,10 +406,51 @@ class ChiSquare(WeightingScheme):
             uri: len(keys) for uri, keys in blocks.entity_index().items()
         }
 
-    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
+    def prepare_ids(self, blocks, pair_common) -> bool:
+        self._total_blocks = max(len(blocks), 1)
+        self._block_counts = _blocks_per_entity_ids(blocks)
+        return True
+
+    def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
+        counts = self._block_counts
+        return self._statistic(common_blocks, counts[id_a], counts[id_b])
+
+    def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
+        if _np is None:
+            return False
+        self._total_blocks = max(len(blocks), 1)
+        self._block_counts_array = _placement_counts_array(blocks)
+        return True
+
+    def weight_array(self, ids_a, ids_b, common, arcs):
+        np = _np
+        counts = self._block_counts_array
         total = self._total_blocks
+        in_a = counts[ids_a]
+        in_b = counts[ids_b]
+        # The four contingency cells, accumulated in the same (row, col)
+        # order — and with the same expression shapes — as _statistic().
+        statistic = np.zeros(len(common), dtype=np.float64)
+        for row, col, observed in (
+            (in_a, in_b, common),
+            (in_a, total - in_b, in_a - common),
+            (total - in_a, in_b, in_b - common),
+            (total - in_a, total - in_b, total - in_a - in_b + common),
+        ):
+            expected = row * col / total
+            term = np.zeros_like(statistic)
+            deviation = observed - expected
+            np.divide(deviation * deviation, expected, out=term, where=expected > 0)
+            statistic = statistic + term
+        return statistic
+
+    def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         in_a = self._blocks_per_entity.get(uri_a, 0)
         in_b = self._blocks_per_entity.get(uri_b, 0)
+        return self._statistic(common_blocks, in_a, in_b)
+
+    def _statistic(self, common_blocks: int, in_a: int, in_b: int) -> float:
+        total = self._total_blocks
         observed = [
             [common_blocks, in_a - common_blocks],
             [in_b - common_blocks, total - in_a - in_b + common_blocks],

@@ -9,6 +9,8 @@ This package defines:
   of descriptions, with token/statistics indexes and the relationship graph
   connecting descriptions that reference each other (the structure the
   progressive *update* phase walks);
+* :class:`~repro.model.interner.EntityInterner` — the URI ↔ dense integer
+  id bijection the blocking/meta-blocking hot paths run on;
 * URI utilities implementing the prefix/infix/suffix decomposition used by
   URI-aware blocking;
 * the tokenizer shared by blocking and matching.
@@ -16,6 +18,7 @@ This package defines:
 
 from repro.model.description import EntityDescription
 from repro.model.collection import EntityCollection, CollectionStatistics
+from repro.model.interner import EntityInterner, pack_pair, unpack_pair
 from repro.model.namespaces import split_uri, uri_infix, uri_local_name
 from repro.model.tokenizer import Tokenizer, infer_stop_tokens
 
@@ -23,6 +26,9 @@ __all__ = [
     "EntityDescription",
     "EntityCollection",
     "CollectionStatistics",
+    "EntityInterner",
+    "pack_pair",
+    "unpack_pair",
     "split_uri",
     "uri_infix",
     "uri_local_name",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.model.description import EntityDescription
+from repro.model.interner import EntityInterner
 
 
 @dataclass(frozen=True)
@@ -64,8 +65,7 @@ class EntityCollection:
     ) -> None:
         self.name = name
         self._by_uri: dict[str, EntityDescription] = {}
-        self._order: list[str] = []
-        self._rank: dict[str, int] = {}
+        self._interner = EntityInterner()
         self._neighbors: dict[str, list[str]] | None = None
         self._inverse_neighbors: dict[str, list[str]] | None = None
         for description in descriptions:
@@ -74,10 +74,10 @@ class EntityCollection:
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._interner)
 
     def __iter__(self) -> Iterator[EntityDescription]:
-        for uri in self._order:
+        for uri in self._interner:
             yield self._by_uri[uri]
 
     def __contains__(self, uri: str) -> bool:
@@ -96,8 +96,7 @@ class EntityCollection:
         existing = self._by_uri.get(description.uri)
         if existing is None:
             self._by_uri[description.uri] = description
-            self._rank[description.uri] = len(self._order)
-            self._order.append(description.uri)
+            self._interner.intern(description.uri)
         else:
             for prop, value in description.pairs():
                 existing.add(prop, value)
@@ -109,7 +108,7 @@ class EntityCollection:
 
     def uris(self) -> list[str]:
         """URIs in insertion order."""
-        return list(self._order)
+        return self._interner.uris()
 
     def index_of(self, uri: str) -> int:
         """Stable integer id of *uri* (insertion rank).
@@ -117,7 +116,16 @@ class EntityCollection:
         Raises:
             KeyError: if the URI is not in the collection.
         """
-        return self._rank[uri]
+        return self._interner.id_of(uri)
+
+    @property
+    def interner(self) -> EntityInterner:
+        """The URI ↔ dense-id bijection backing :meth:`index_of`.
+
+        The interner is live (not a copy): ids stay stable as long as the
+        collection only grows.
+        """
+        return self._interner
 
     def union(self, other: "EntityCollection", name: str | None = None) -> "EntityCollection":
         """New collection containing both inputs' descriptions (dirty ER)."""

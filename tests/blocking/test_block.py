@@ -75,6 +75,21 @@ class TestBipartiteBlock:
         assert block.contains_pair("x", "a")
         assert not block.contains_pair("a", "a2")
 
+    def test_cardinality_subtracts_side_overlap(self):
+        # 'b' sits on both sides; comparisons() skips the (b, b) pair, so
+        # cardinality must not count it.
+        block = Block("k", ["a", "b"], ["b", "x"])
+        assert block.cardinality() == 3
+        assert block.cardinality() == len(list(block.comparisons()))
+
+    @given(
+        st.lists(st.sampled_from("abcdef"), min_size=0, max_size=5),
+        st.lists(st.sampled_from("abcdef"), min_size=0, max_size=5),
+    )
+    def test_cardinality_consistent_with_comparisons(self, side1, side2):
+        block = Block("k", side1, side2)
+        assert block.cardinality() == len(list(block.comparisons()))
+
 
 class TestBlockCollection:
     def collection(self) -> BlockCollection:

@@ -1,0 +1,1 @@
+"""Test subpackage (unique module paths for duplicate basenames)."""

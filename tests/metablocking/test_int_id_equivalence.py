@@ -1,0 +1,96 @@
+"""Equivalence: the int-id fast path == the retained string reference path.
+
+The fast path must be *bit-identical*, not approximately equal: pruning
+schemes compare weights against thresholds and each other, so even a
+last-ulp drift could flip a survivor.  Every weighting scheme and every
+pruning scheme is exercised on both a clean-clean (center synthetic) and
+a dirty workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.graph import BlockingGraph
+from repro.metablocking.pruning import PRUNERS, make_pruner
+from repro.metablocking.weighting import SCHEMES, make_scheme
+
+
+def _build_blocks(kb1, kb2=None):
+    blocks = TokenBlocking().build(kb1, kb2)
+    blocks = BlockPurging().process(blocks)
+    return BlockFiltering().process(blocks)
+
+
+@pytest.fixture(scope="module")
+def center_blocks(center_dataset):
+    return _build_blocks(center_dataset.kb1, center_dataset.kb2)
+
+
+@pytest.fixture(scope="module")
+def dirty_blocks(dirty_dataset):
+    collection, _ = dirty_dataset
+    return _build_blocks(collection)
+
+
+def _graph_pair(blocks, scheme_name):
+    fast = BlockingGraph(blocks, make_scheme(scheme_name), fast_path=True)
+    slow = BlockingGraph(blocks, make_scheme(scheme_name), fast_path=False)
+    return fast, slow
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+class TestWeightEquivalence:
+    def test_center_weights_bit_identical(self, center_blocks, scheme_name):
+        fast, slow = _graph_pair(center_blocks, scheme_name)
+        assert fast.materialize() == slow.materialize()
+
+    def test_dirty_weights_bit_identical(self, dirty_blocks, scheme_name):
+        fast, slow = _graph_pair(dirty_blocks, scheme_name)
+        assert fast.materialize() == slow.materialize()
+
+    def test_edge_iteration_order_identical(self, center_blocks, scheme_name):
+        fast, slow = _graph_pair(center_blocks, scheme_name)
+        # Same insertion order too: adjacency construction (and thus any
+        # float sums over neighbour lists) must agree between the paths.
+        assert list(fast.materialize()) == list(slow.materialize())
+        assert list(fast.edges()) == list(slow.edges())
+
+
+@pytest.mark.parametrize("pruner_name", sorted(PRUNERS))
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+class TestPruningEquivalence:
+    def test_center_pruned_edges_identical(self, center_blocks, scheme_name, pruner_name):
+        fast, slow = _graph_pair(center_blocks, scheme_name)
+        pruner = make_pruner(pruner_name)
+        assert pruner.prune(fast) == pruner.prune(slow)
+
+    def test_dirty_pruned_edges_identical(self, dirty_blocks, scheme_name, pruner_name):
+        fast, slow = _graph_pair(dirty_blocks, scheme_name)
+        pruner = make_pruner(pruner_name)
+        assert pruner.prune(fast) == pruner.prune(slow)
+
+
+class TestStatisticsEquivalence:
+    def test_packed_statistics_match_reference(self, center_blocks):
+        graph = BlockingGraph(center_blocks, make_scheme("CBS"))
+        common, arcs = graph._pair_statistics_ids()
+        reference = graph._pair_statistics()
+        uris = center_blocks.interner().uri_table()
+        translated = {}
+        for key, count in common.items():
+            uri_a, uri_b = uris[key >> 32], uris[key & 0xFFFFFFFF]
+            if uri_b < uri_a:
+                uri_a, uri_b = uri_b, uri_a
+            translated[(uri_a, uri_b)] = (count, arcs[key])
+        assert translated == reference
+
+    def test_top_edges_heap_matches_full_ranking(self, center_blocks):
+        heap_graph = BlockingGraph(center_blocks, make_scheme("ARCS"))
+        sort_graph = BlockingGraph(center_blocks, make_scheme("ARCS"))
+        for count in (1, 5, 50, 10**6):
+            top = heap_graph.top_edges(count)
+            assert top == sort_graph.ranked_edges()[:count]

@@ -13,6 +13,7 @@ MODULE_NAMES = [
     "repro.utils.heap",
     "repro.utils.disjoint_set",
     "repro.utils.text",
+    "repro.model.interner",
     "repro.model.namespaces",
     "repro.rdf.graph",
     "repro.blocking.qgrams",
