@@ -1,0 +1,179 @@
+"""Perf — streaming ingest + query-time resolution on the center workload.
+
+Replays the three arrival/query scenarios (uniform, bursty, skewed)
+against :class:`repro.stream.StreamResolver` on the center synthetic
+workload (300 entities, overlap 0.7 — the experiment-scale fixture),
+measuring throughput and per-event latency.  Two properties are gated:
+
+* **flatness** — the median per-insert latency of the last stream
+  quartile must stay within ``FLATNESS_BAR``× the first quartile's:
+  inserts are amortized O(delta), not O(corpus);
+* **equivalence** — after the replay, the streamed state's processed
+  blocks and ARCS/CNP pruned edges must be bit-identical to the batch
+  pipeline over the same corpus.
+
+Results are printed, persisted under ``benchmarks/output/`` and written
+as a ``BENCH_stream.json`` artifact at the repository root (CI uploads
+it per run).  Run either way::
+
+    pytest benchmarks/bench_stream.py -s
+    PYTHONPATH=src python benchmarks/bench_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
+
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.datasets import SyntheticConfig, synthesize_pair
+from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+from repro.stream import StreamResolver, WorkloadDriver
+from repro.stream.workload import SCENARIOS
+
+#: median last-quartile insert latency may exceed the first quartile's by
+#: at most this factor (generous: shared runners are noisy, and block
+#: sizes legitimately grow a little with the corpus)
+FLATNESS_BAR = 10.0
+CENTER = SyntheticConfig(entities=300, overlap=0.7, seed=42)
+
+
+def _median(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _quartile_medians(values: list[float]) -> list[float]:
+    if not values:
+        return [0.0, 0.0, 0.0, 0.0]
+    quarter = max(1, len(values) // 4)
+    return [
+        _median(values[start : start + quarter])
+        for start in range(0, 4 * quarter, quarter)
+    ]
+
+
+def _check_equivalence(resolver: StreamResolver) -> bool:
+    """Streamed state vs batch pipeline on the same corpus (bit-exact)."""
+    kb1, kb2 = resolver.store.collections
+    raw = TokenBlocking().build(kb1, kb2)
+    processed = BlockFiltering().process(BlockPurging().process(raw))
+    snapshot = resolver.index.snapshot_processed()
+    if snapshot.keys() != processed.keys():
+        return False
+    for key in processed.keys():
+        ours, theirs = snapshot[key], processed[key]
+        if ours.entities1 != theirs.entities1 or ours.entities2 != theirs.entities2:
+            return False
+    batch_edges = make_pruner("CNP").prune(BlockingGraph(processed, make_scheme("ARCS")))
+    return resolver.pruned_edges("ARCS", "CNP") == batch_edges
+
+
+def run_benchmark() -> dict:
+    dataset = synthesize_pair(CENTER)
+    results: dict = {
+        "workload": {
+            "profile": "center",
+            "entities": len(dataset.kb1) + len(dataset.kb2),
+        },
+        "scenarios": {},
+    }
+    for scenario_name, make_events in sorted(SCENARIOS.items()):
+        resolver = StreamResolver(clean_clean=True)
+        resolver.store.collections[0].name = dataset.kb1.name
+        resolver.store.collections[1].name = dataset.kb2.name
+        events = make_events(dataset.kb1, dataset.kb2)
+        stats = WorkloadDriver(resolver).run(events, scenario=scenario_name)
+        insert = stats.latency_summary("insert")
+        query = stats.latency_summary("query")
+        quartiles = _quartile_medians(stats.insert_latencies_s)
+        entry = {
+            "events": stats.events,
+            "inserts": stats.inserts,
+            "queries": stats.queries,
+            "matches_found": stats.matches_found,
+            "comparisons": stats.comparisons,
+            "throughput_events_per_s": round(stats.throughput_eps, 1),
+            "insert_latency_ms": {k: round(v * 1e3, 4) for k, v in insert.items()},
+            "query_latency_ms": {k: round(v * 1e3, 4) for k, v in query.items()},
+            "insert_median_ms_by_quartile": [round(q * 1e3, 4) for q in quartiles],
+            "flatness_ratio": (
+                round(quartiles[-1] / quartiles[0], 2) if quartiles[0] > 0 else 0.0
+            ),
+        }
+        if scenario_name == "uniform":
+            entry["equivalence_ok"] = _check_equivalence(resolver)
+        results["scenarios"][scenario_name] = entry
+    uniform = results["scenarios"]["uniform"]
+    results["flatness_ratio"] = uniform["flatness_ratio"]
+    results["flatness_bar"] = FLATNESS_BAR
+    results["equivalence_ok"] = uniform["equivalence_ok"]
+    return results
+
+
+def format_report(results: dict) -> str:
+    lines = ["streaming ER: ingest + query replay (center workload)", ""]
+    for name, entry in results["scenarios"].items():
+        lines.append(
+            f"[{name}] {entry['inserts']} inserts + {entry['queries']} queries   "
+            f"{entry['throughput_events_per_s']:.0f} events/s   "
+            f"{entry['matches_found']} matches"
+        )
+        insert = entry["insert_latency_ms"]
+        query = entry["query_latency_ms"]
+        lines.append(
+            f"  insert median-by-quartile (ms): "
+            + " ".join(f"{q:8.4f}" for q in entry["insert_median_ms_by_quartile"])
+            + f"   (ratio {entry['flatness_ratio']:.2f}x)"
+        )
+        lines.append(
+            f"  insert mean {insert['mean']:.4f} ms  p95 {insert['p95']:.4f} ms   "
+            f"query mean {query['mean']:.4f} ms  p95 {query['p95']:.4f} ms"
+        )
+        lines.append("")
+    lines.append(
+        f"flatness (last/first quartile, bar <= {results['flatness_bar']:.0f}x): "
+        f"{results['flatness_ratio']:.2f}x"
+    )
+    lines.append(f"stream == batch equivalence: {results['equivalence_ok']}")
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_stream():
+    """Pytest entry point: replay, assert flatness and equivalence."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_stream", format_report(results))
+    write_artifact(results)
+    assert results["equivalence_ok"]
+    assert results["flatness_ratio"] <= FLATNESS_BAR
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    ok = results["equivalence_ok"] and results["flatness_ratio"] <= FLATNESS_BAR
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

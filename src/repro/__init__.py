@@ -89,6 +89,11 @@ from repro.baselines import (
     batch_baseline,
     AltowimProgressiveER,
 )
+from repro.stream import (
+    StreamingEntityStore,
+    StreamResolver,
+    WorkloadDriver,
+)
 
 __version__ = "1.0.0"
 
@@ -118,6 +123,9 @@ __all__ = [
     "parallel_token_blocking",
     "CostBudget",
     "ProgressiveER",
+    "StreamingEntityStore",
+    "StreamResolver",
+    "WorkloadDriver",
     "MinoanER",
     "make_benefit",
     "NeighborEvidencePropagator",

@@ -39,6 +39,13 @@ def run_ordered(
     context = ResolutionContext(collections)
     matcher.bind(context)
     budget = (budget or CostBudget()).copy()
+    # Pre-score only what the budget can reach: a tightly budgeted run
+    # must not pay for vectorized scoring of comparisons it will never
+    # execute (pairs past the prefix simply fall back to scalar scoring).
+    if budget.max_cost is None:
+        matcher.prime(pairs)
+    else:
+        matcher.prime(pairs[: int(budget.remaining) + 1])
     curve = ProgressiveCurve(label=label)
     result = ProgressiveResult(
         match_graph=context.match_graph, curve=curve, budget=budget

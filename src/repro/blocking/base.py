@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from repro.blocking.block import Block, BlockCollection
 from repro.model.collection import EntityCollection
 from repro.model.description import EntityDescription
+from repro.model.interner import EntityInterner
 
 
 class Blocker(ABC):
@@ -50,13 +51,27 @@ class Blocker(ABC):
             for key in self.keys_for(description):
                 groups1.setdefault(key, []).append(description.uri)
 
+        # Members are in hand while blocks are built, so entity ids are
+        # interned here (in first-placement order, matching what the lazy
+        # view would compute) and primed onto the collection — the cold
+        # meta-blocking path no longer re-derives them from finished
+        # blocks.
+        interner = EntityInterner()
+        intern = interner.intern
+        id_blocks: list[tuple[list[int], list[int] | None, int]] = []
+
         blocks = BlockCollection(name=f"{self.name}({collection1.name})")
         if collection2 is None:
             for key in sorted(groups1):
                 members = groups1[key]
                 if drop_singletons and len(members) < 2:
                     continue
-                blocks.add(Block(key, members))
+                block = Block(key, members)
+                blocks.add(block)
+                id_blocks.append(
+                    (list(map(intern, block.entities1)), None, block.cardinality())
+                )
+            blocks.prime_id_views(interner, id_blocks)
             return blocks
 
         groups2: dict[str, list[str]] = {}
@@ -70,5 +85,15 @@ class Blocker(ABC):
             side2 = groups2.get(key, [])
             if drop_singletons and (not side1 or not side2):
                 continue
-            blocks.add(Block(key, side1, side2))
+            block = Block(key, side1, side2)
+            blocks.add(block)
+            assert block.entities2 is not None
+            id_blocks.append(
+                (
+                    list(map(intern, block.entities1)),
+                    list(map(intern, block.entities2)),
+                    block.cardinality(),
+                )
+            )
+        blocks.prime_id_views(interner, id_blocks)
         return blocks

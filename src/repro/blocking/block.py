@@ -304,6 +304,23 @@ class BlockCollection:
 
     # -- int-id views --------------------------------------------------------
 
+    def prime_id_views(
+        self,
+        interner: EntityInterner,
+        id_blocks: list[tuple[list[int], list[int] | None, int]],
+    ) -> None:
+        """Adopt id views computed while the blocks were being built.
+
+        Blockers iterate every member anyway, so they intern URIs in
+        first-placement order during construction and hand the result
+        over here, sparing the cold path a second full pass in
+        :meth:`_ensure_id_views`.  Entries must align with iteration
+        order and ids must follow first-placement order — exactly what
+        :meth:`_ensure_id_views` would have produced.  Any later
+        mutation invalidates the primed views as usual.
+        """
+        self._id_views = (interner, id_blocks)
+
     def _ensure_id_views(
         self,
     ) -> tuple[EntityInterner, list[tuple[list[int], list[int] | None, int]]]:

@@ -6,6 +6,8 @@ Four subcommands cover the adoption path end to end::
     python -m repro block      --kb1 A.nt --kb2 B.nt [--gold G.csv]
     python -m repro resolve    --kb1 A.nt [--kb2 B.nt] [--gold G.csv]
                                [--budget N] [--benefit MODEL] [--out M.csv]
+    python -m repro stream     --kb1 A.nt [--kb2 B.nt]
+                               [--scenario uniform|bursty|skewed]
     python -m repro synthesize --entities N --profile center|periphery
                                --out-dir DIR
 
@@ -121,6 +123,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="budgets for the budget-sweep workflow",
     )
     workflow.add_argument("--threshold", type=float, default=0.4)
+
+    stream = sub.add_parser(
+        "stream", help="replay a streaming arrival+query workload"
+    )
+    stream.add_argument("--kb1", required=True)
+    stream.add_argument("--kb2")
+    stream.add_argument(
+        "--scenario", choices=("uniform", "bursty", "skewed"), default="uniform",
+        help="arrival/query shape replayed against the streaming resolver",
+    )
+    stream.add_argument(
+        "--weighting", choices=sorted(SCHEMES), default="ARCS",
+        help="weighting scheme scoring query candidates",
+    )
+    stream.add_argument(
+        "--pruning", choices=("CNP", "WNP", "none"), default="CNP",
+        help="local pruning of each query's candidate neighbourhood",
+    )
+    stream.add_argument("--threshold", type=float, default=0.4, help="match threshold")
+    stream.add_argument("--budget", type=int, help="per-query comparison cap")
+    stream.add_argument("--seed", type=int, default=17)
 
     synthesize = sub.add_parser("synthesize", help="generate a synthetic workload")
     synthesize.add_argument("--entities", type=int, default=300)
@@ -305,6 +328,34 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamResolver, WorkloadDriver
+    from repro.stream.workload import SCENARIOS
+
+    kb1 = _load(args.kb1)
+    kb2 = _load(args.kb2) if args.kb2 else None
+    resolver = StreamResolver(clean_clean=kb2 is not None, threshold=args.threshold)
+    events = SCENARIOS[args.scenario](kb1, kb2, seed=args.seed)
+    stats = WorkloadDriver(resolver).run(
+        events,
+        scenario=args.scenario,
+        scheme=args.weighting,
+        pruner=args.pruning,
+        budget=args.budget,
+    )
+    print(
+        format_table(
+            stats.summary_rows(),
+            title=(
+                f"Streaming workload: {args.scenario} "
+                f"({args.weighting}/{args.pruning})"
+            ),
+            first_column="metric",
+        )
+    )
+    return 0
+
+
 def cmd_workflow(args: argparse.Namespace) -> int:
     from repro.core.evidence_matcher import NeighborAwareMatcher
     from repro.matching.matcher import ThresholdMatcher
@@ -349,6 +400,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "block": cmd_block,
     "resolve": cmd_resolve,
+    "stream": cmd_stream,
     "synthesize": cmd_synthesize,
     "workflow": cmd_workflow,
 }

@@ -78,6 +78,11 @@ class NeighborAwareMatcher(Matcher):
         self._context = context
         self.base.bind(context)
 
+    def prime(self, pairs) -> None:
+        """Forward batch pre-scoring to the value matcher (evidence is
+        state-dependent and never cacheable)."""
+        self.base.prime(pairs)
+
     def neighbor_evidence(self, uri_a: str, uri_b: str) -> float:
         """Matched-neighbour fraction in [0, 1] (0 when unbound)."""
         context = self._context

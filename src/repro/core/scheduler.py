@@ -12,14 +12,21 @@ so that the next comparison popped is the one most likely to increase the
 scheduling phase.  The heap is addressable: the update phase re-prioritizes
 queued pairs in O(log n) and can inject brand-new pairs that blocking never
 proposed (the "discover new candidate description pairs" capability).
+
+Internally the frontier runs on the integer-ID backbone: URIs are
+interned to dense ids on first sight and every dict/heap key is a packed
+``a << 32 | b`` integer — the string-tuple churn of the frontier-update
+hot loop (one tuple allocation plus two string hashes per touch) is gone.
+The public API stays URI-based, and ties still break by insertion order,
+so scheduling behaviour is unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, TYPE_CHECKING
 
-from repro.blocking.block import comparison_pair
 from repro.metablocking.graph import WeightedEdge
+from repro.model.interner import EntityInterner, pack_pair
 from repro.utils.heap import AddressableMaxHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,12 +45,13 @@ class ComparisonScheduler:
     def __init__(self, benefit: "BenefitModel", context: "ResolutionContext") -> None:
         self.benefit = benefit
         self.context = context
-        self._heap: AddressableMaxHeap[tuple[str, str]] = AddressableMaxHeap()
-        self._base_weight: dict[tuple[str, str], float] = {}
-        self._boost: dict[tuple[str, str], float] = {}
-        self._by_uri: dict[str, set[tuple[str, str]]] = {}
+        self._interner = EntityInterner()
+        self._heap: AddressableMaxHeap[int] = AddressableMaxHeap()
+        self._base_weight: dict[int, float] = {}
+        self._boost: dict[int, float] = {}
+        self._by_id: dict[int, set[int]] = {}
         #: pairs ever scheduled (so re-discovery does not re-queue decided pairs)
-        self._seen: set[tuple[str, str]] = set()
+        self._seen: set[int] = set()
         #: number of pairs injected by the update phase, for diagnostics
         self.discovered_pairs = 0
 
@@ -54,7 +62,36 @@ class ComparisonScheduler:
         return bool(self._heap)
 
     def __contains__(self, pair: tuple[str, str]) -> bool:
-        return pair in self._heap
+        key = self._key_of(pair[0], pair[1])
+        return key is not None and key in self._heap
+
+    # -- id plumbing ---------------------------------------------------------
+
+    def _key(self, uri_a: str, uri_b: str) -> int:
+        """Packed key of the pair, interning unseen URIs.
+
+        Raises:
+            ValueError: when both URIs are identical (a description is
+                never compared with itself).
+        """
+        if uri_a == uri_b:
+            raise ValueError(f"self-comparison: {uri_a!r}")
+        intern = self._interner.intern
+        return pack_pair(intern(uri_a), intern(uri_b))
+
+    def _key_of(self, uri_a: str, uri_b: str) -> int | None:
+        """Packed key of the pair, or None when either URI is unknown."""
+        get = self._interner.get
+        id_a, id_b = get(uri_a), get(uri_b)
+        if id_a < 0 or id_b < 0 or id_a == id_b:
+            return None
+        return pack_pair(id_a, id_b)
+
+    def _pair(self, key: int) -> tuple[str, str]:
+        """Canonical (URI-sorted) pair of a packed key."""
+        uris = self._interner.uri_table()
+        uri_a, uri_b = uris[key >> 32], uris[key & 0xFFFFFFFF]
+        return (uri_a, uri_b) if uri_a < uri_b else (uri_b, uri_a)
 
     # -- filling -------------------------------------------------------------
 
@@ -78,20 +115,20 @@ class ComparisonScheduler:
         maximum of old and new, never lowered.  Returns True if the pair
         is newly queued.
         """
-        pair = comparison_pair(uri_a, uri_b)
-        if pair in self._heap:
-            if weight > self._base_weight[pair]:
-                self._base_weight[pair] = weight
-                self._reprioritize(pair)
+        key = self._key(uri_a, uri_b)
+        if key in self._heap:
+            if weight > self._base_weight[key]:
+                self._base_weight[key] = weight
+                self._reprioritize(key)
             return False
-        if pair in self._seen:
+        if key in self._seen:
             return False  # already popped/decided; do not resurrect
-        self._seen.add(pair)
-        self._base_weight[pair] = weight
-        self._boost[pair] = 0.0
-        self._by_uri.setdefault(pair[0], set()).add(pair)
-        self._by_uri.setdefault(pair[1], set()).add(pair)
-        self._heap.push(pair, self._priority(pair))
+        self._seen.add(key)
+        self._base_weight[key] = weight
+        self._boost[key] = 0.0
+        self._by_id.setdefault(key >> 32, set()).add(key)
+        self._by_id.setdefault(key & 0xFFFFFFFF, set()).add(key)
+        self._heap.push(key, self._priority(key))
         return True
 
     def discover(self, uri_a: str, uri_b: str, weight: float) -> bool:
@@ -99,8 +136,8 @@ class ComparisonScheduler:
 
         Returns True if the pair entered the queue.
         """
-        pair = comparison_pair(uri_a, uri_b)
-        was_new = pair not in self._seen and pair not in self._heap
+        key = self._key(uri_a, uri_b)
+        was_new = key not in self._seen and key not in self._heap
         queued = self.schedule(uri_a, uri_b, weight)
         if queued and was_new:
             self.discovered_pairs += 1
@@ -108,12 +145,24 @@ class ComparisonScheduler:
 
     # -- prioritization --------------------------------------------------------
 
-    def _priority(self, pair: tuple[str, str]) -> float:
-        estimate = self.benefit.estimate(pair[0], pair[1], self.context)
-        return (self._base_weight[pair] + self._boost[pair]) * max(estimate, 1e-9)
+    def _priority(self, key: int) -> float:
+        uri_a, uri_b = self._pair(key)
+        estimate = self.benefit.estimate(uri_a, uri_b, self.context)
+        return (self._base_weight[key] + self._boost[key]) * max(estimate, 1e-9)
 
-    def _reprioritize(self, pair: tuple[str, str]) -> None:
-        self._heap.update(pair, self._priority(pair))
+    def _reprioritize(self, key: int) -> None:
+        self._heap.update(key, self._priority(key))
+
+    def priority(self, uri_a: str, uri_b: str) -> float:
+        """Current queue priority of the pair.
+
+        Raises:
+            KeyError: if the pair is not queued.
+        """
+        key = self._key_of(uri_a, uri_b)
+        if key is None:
+            raise KeyError((uri_a, uri_b))
+        return self._heap.priority(key)
 
     def boost(self, uri_a: str, uri_b: str, delta: float) -> bool:
         """Add *delta* evidence weight to a queued pair.
@@ -121,20 +170,20 @@ class ComparisonScheduler:
         Returns:
             True if the pair was queued and re-prioritized.
         """
-        pair = comparison_pair(uri_a, uri_b)
-        if pair not in self._heap:
+        key = self._key_of(uri_a, uri_b)
+        if key is None or key not in self._heap:
             return False
-        self._boost[pair] += delta
-        self._reprioritize(pair)
+        self._boost[key] += delta
+        self._reprioritize(key)
         return True
 
     def refresh(self, uri_a: str, uri_b: str) -> bool:
         """Recompute a queued pair's priority (benefit estimates drift as
         the match state evolves).  Returns True if the pair was queued."""
-        pair = comparison_pair(uri_a, uri_b)
-        if pair not in self._heap:
+        key = self._key_of(uri_a, uri_b)
+        if key is None or key not in self._heap:
             return False
-        self._reprioritize(pair)
+        self._reprioritize(key)
         return True
 
     # -- consumption ---------------------------------------------------------
@@ -147,12 +196,21 @@ class ComparisonScheduler:
         engine calls this after each confirmed match so queued priorities
         track reality.  Returns the number of pairs re-prioritized.
         """
-        pairs = self._by_uri.get(uri)
-        if not pairs:
+        entity_id = self._interner.get(uri)
+        if entity_id < 0:
             return 0
-        for pair in pairs:
-            self._reprioritize(pair)
-        return len(pairs)
+        keys = self._by_id.get(entity_id)
+        if not keys:
+            return 0
+        for key in keys:
+            self._reprioritize(key)
+        return len(keys)
+
+    def queued_pairs(self) -> Iterable[tuple[tuple[str, str], float]]:
+        """Iterate over ``(pair, priority)`` of queued comparisons
+        (arbitrary heap order)."""
+        for key, priority in self._heap.items():
+            yield self._pair(key), priority
 
     def pop(self) -> tuple[tuple[str, str], float]:
         """Remove and return ``(pair, priority)`` of the best comparison.
@@ -160,19 +218,23 @@ class ComparisonScheduler:
         Raises:
             IndexError: when the queue is empty.
         """
-        pair, priority = self._heap.pop()
-        for uri in pair:
-            bucket = self._by_uri.get(uri)
+        key, priority = self._heap.pop()
+        for entity_id in (key >> 32, key & 0xFFFFFFFF):
+            bucket = self._by_id.get(entity_id)
             if bucket is not None:
-                bucket.discard(pair)
+                bucket.discard(key)
                 if not bucket:
-                    del self._by_uri[uri]
-        return pair, priority
+                    del self._by_id[entity_id]
+        return self._pair(key), priority
 
     def peek(self) -> tuple[tuple[str, str], float]:
         """Best comparison without removing it."""
-        return self._heap.peek()
+        key, priority = self._heap.peek()
+        return self._pair(key), priority
 
     def base_weight(self, uri_a: str, uri_b: str) -> float:
         """Current base weight of a pair (0.0 if never scheduled)."""
-        return self._base_weight.get(comparison_pair(uri_a, uri_b), 0.0)
+        key = self._key_of(uri_a, uri_b)
+        if key is None:
+            return 0.0
+        return self._base_weight.get(key, 0.0)

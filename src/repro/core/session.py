@@ -69,6 +69,10 @@ class ProgressiveSession:
 
         self.context = ResolutionContext(collections)
         self.matcher.bind(self.context)
+        # Batch pre-scoring: the candidate set is known up front, so
+        # matchers with a vectorized path (TF-IDF cosine) score every
+        # pair at once; bit-identical to scoring inside the loop.
+        self.matcher.prime([edge.pair for edge in edges])
         self.scheduler = ComparisonScheduler(self.benefit, self.context)
         self.scheduler.add_edges(edges)
         self.budget = CostBudget(0, scheduling_cost_weight=scheduling_cost_weight)

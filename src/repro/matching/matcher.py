@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.blocking.block import comparison_pair
 from repro.matching.similarity import SimilarityIndex
@@ -44,6 +44,17 @@ class Matcher(ABC):
         no-op so plain value matchers need not care.
         """
 
+    def prime(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Hook: pre-score a known candidate set in one batch.
+
+        Engines call this with the full pruned-edge pair list before the
+        progressive loop starts; matchers with a vectorized scoring path
+        (TF-IDF cosine) cache the batch scores so the per-pair
+        :meth:`similarity` calls inside the loop become lookups.  Scores
+        must be bit-identical to the scalar path — priming may never
+        change a decision.  The default is a no-op.
+        """
+
     @abstractmethod
     def similarity(self, uri_a: str, uri_b: str) -> float:
         """Similarity score in [0, 1] (best effort) for the pair."""
@@ -51,6 +62,14 @@ class Matcher(ABC):
     @abstractmethod
     def decide(self, uri_a: str, uri_b: str) -> MatchDecision:
         """Full decision for the pair."""
+
+    def decide_many(self, pairs: list[tuple[str, str]]) -> list[MatchDecision]:
+        """Decide a batch of pairs (default: per-pair :meth:`decide`).
+
+        Matchers with a vectorized similarity path override the scoring;
+        the decisions are identical to calling :meth:`decide` per pair.
+        """
+        return [self.decide(a, b) for a, b in pairs]
 
 
 class ThresholdMatcher(Matcher):
@@ -76,6 +95,10 @@ class ThresholdMatcher(Matcher):
             raise ValueError("threshold must be in [0, 1]")
         self.index = index
         self.threshold = threshold
+        #: batch-scored cache filled by :meth:`prime` (pair → similarity)
+        self._primed: dict[tuple[str, str], float] = {}
+        #: index epoch the cache was scored against (None = immutable index)
+        self._primed_epoch = None
         if callable(measure):
             self._measure = measure
             self.measure_name = getattr(measure, "__name__", "custom")
@@ -93,12 +116,58 @@ class ThresholdMatcher(Matcher):
                 f"unknown measure {measure!r}; choose from {self.MEASURES}"
             )
 
+    def _batch_scores(self, pairs: list[tuple[str, str]]):
+        """Vectorized scores for *pairs*, or None without a batch path."""
+        if self.measure_name != "cosine" or not hasattr(self.index, "cosine_many"):
+            return None
+        if any(a not in self.index or b not in self.index for a, b in pairs):
+            return None
+        return self.index.cosine_many([a for a, _ in pairs], [b for _, b in pairs])
+
+    def _check_primed_epoch(self) -> None:
+        """Drop the cache when a mutable index has drifted since priming.
+
+        Immutable indexes have no ``epoch``; a streaming index bumps it
+        on every IDF-shifting insert, and primed scores from an older
+        epoch would no longer be bit-identical to fresh scoring — the
+        one thing priming must never break.
+        """
+        epoch = getattr(self.index, "epoch", None)
+        if self._primed and epoch != self._primed_epoch:
+            self._primed.clear()
+
+    def prime(self, pairs: Iterable[tuple[str, str]]) -> None:
+        self._check_primed_epoch()
+        pair_list = [p for p in pairs if p not in self._primed]
+        if not pair_list:
+            return
+        scores = self._batch_scores(pair_list)
+        if scores is None:
+            return
+        self._primed_epoch = getattr(self.index, "epoch", None)
+        self._primed.update(zip(pair_list, (float(s) for s in scores)))
+
     def similarity(self, uri_a: str, uri_b: str) -> float:
+        if self._primed:
+            self._check_primed_epoch()
+            primed = self._primed.get(comparison_pair(uri_a, uri_b))
+            if primed is not None:
+                return primed
         return self._measure(uri_a, uri_b)
 
     def decide(self, uri_a: str, uri_b: str) -> MatchDecision:
         score = self.similarity(uri_a, uri_b)
         return MatchDecision(uri_a, uri_b, score, score >= self.threshold)
+
+    def decide_many(self, pairs: list[tuple[str, str]]) -> list[MatchDecision]:
+        scores = self._batch_scores(pairs)
+        if scores is None:
+            return [self.decide(a, b) for a, b in pairs]
+        threshold = self.threshold
+        return [
+            MatchDecision(a, b, score, score >= threshold)
+            for (a, b), score in zip(pairs, (float(s) for s in scores))
+        ]
 
 
 class EnsembleMatcher(Matcher):
@@ -132,6 +201,11 @@ class EnsembleMatcher(Matcher):
     def bind(self, context) -> None:
         for matcher, _weight in self.members:
             matcher.bind(context)
+
+    def prime(self, pairs: Iterable[tuple[str, str]]) -> None:
+        pair_list = list(pairs)
+        for matcher, _weight in self.members:
+            matcher.prime(pair_list)
 
     def similarity(self, uri_a: str, uri_b: str) -> float:
         combined = sum(

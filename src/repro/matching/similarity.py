@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - exercised through cosine_many's fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 from repro.model.collection import EntityCollection
 from repro.model.tokenizer import Tokenizer
@@ -219,6 +224,10 @@ class SimilarityIndex:
             vector = {token: count * idf[token] for token, count in counts.items()}
             self._vectors[uri] = vector
             self._norms[uri] = math.sqrt(sum(w * w for w in vector.values()))
+        # Int-token arrays for the vectorized batch path, built lazily on
+        # the first cosine_many() call (None until then).
+        self._token_ids: dict[str, int] | None = None
+        self._id_vectors: dict[str, tuple] | None = None
 
     def __contains__(self, uri: str) -> bool:
         return uri in self._counts
@@ -267,3 +276,128 @@ class SimilarityIndex:
     def common_tokens(self, uri_a: str, uri_b: str) -> frozenset[str]:
         """Tokens the two descriptions share."""
         return self._sets[uri_a] & self._sets[uri_b]
+
+    # -- batch scoring -------------------------------------------------------
+
+    def _ensure_id_vectors(self):
+        """Token-interned (ids, weights) arrays per URI, in vector order.
+
+        The arrays preserve each vector's insertion order — cosine_many
+        accumulates dot products in exactly the order :meth:`cosine`
+        iterates them, which is what keeps the two bit-identical.
+        """
+        if self._id_vectors is None:
+            token_ids: dict[str, int] = {}
+            id_vectors: dict[str, tuple] = {}
+            for uri, vector in self._vectors.items():
+                ids = [
+                    token_ids.setdefault(token, len(token_ids)) for token in vector
+                ]
+                id_vectors[uri] = (
+                    _np.array(ids, dtype=_np.int64),
+                    _np.fromiter(
+                        vector.values(), dtype=_np.float64, count=len(vector)
+                    ),
+                )
+            self._token_ids = token_ids
+            self._id_vectors = id_vectors
+        return self._id_vectors
+
+    def cosine_many(self, left: Sequence[str], right: Sequence[str]):
+        """TF-IDF cosine of ``zip(left, right)`` pairs in one vectorized pass.
+
+        The hot loop of matching scores every pruned edge; calling
+        :meth:`cosine` per pair re-walks two Python dicts each time.
+        This method joins all pairs' sparse vectors at once: token ids of
+        both sides are matched with one sort + searchsorted, the matched
+        products are accumulated per pair with ``bincount`` in each left
+        vector's insertion order, so every score is **bit-identical** to
+        the scalar :meth:`cosine` result.  Returns a ``float64`` array
+        (a plain list when numpy is unavailable).
+
+        Raises:
+            ValueError: when the two sequences differ in length.
+            KeyError: for unindexed URIs.
+        """
+        if len(left) != len(right):
+            raise ValueError("left and right must have equal length")
+        if _np is None:
+            return [self.cosine(a, b) for a, b in zip(left, right)]
+        count = len(left)
+        if count == 0:
+            return _np.empty(0, dtype=_np.float64)
+        vectors = self._ensure_id_vectors()
+        norms = _np.fromiter(
+            (self._norms[a] * self._norms[b] for a, b in zip(left, right)),
+            _np.float64,
+            count,
+        )
+        assert self._token_ids is not None
+        return cosine_many_vectors(
+            [vectors[uri] for uri in left],
+            [vectors[uri] for uri in right],
+            norms,
+            len(self._token_ids),
+        )
+
+
+def cosine_many_vectors(left_vecs: list, right_vecs: list, norms, vocab_size: int):
+    """Vectorized pairwise sparse cosine over (token-ids, weights) arrays.
+
+    Args:
+        left_vecs / right_vecs: per-pair ``(int64 ids, float64 weights)``
+            tuples, ids in vector insertion order and distinct within
+            each vector.
+        norms: per-pair product of the two endpoint norms (float64).
+        vocab_size: exclusive upper bound on token ids.
+
+    Tokens being distinct within a vector, each (pair, token) key occurs
+    at most once per side; one sorted-side searchsorted join finds every
+    match, and ``bincount`` accumulates the matched products in the left
+    vector's insertion order — mirroring the scalar dot's running sum
+    (whose unmatched terms add exact zeros), which keeps the result
+    bit-identical to per-pair scoring.  Requires numpy.
+    """
+    np = _np
+    count = len(left_vecs)
+    sizes_l = np.fromiter((len(v[0]) for v in left_vecs), np.int64, count)
+    sizes_r = np.fromiter((len(v[0]) for v in right_vecs), np.int64, count)
+    pair_l = np.repeat(np.arange(count), sizes_l)
+    tok_l = (
+        np.concatenate([v[0] for v in left_vecs])
+        if len(pair_l)
+        else np.empty(0, dtype=np.int64)
+    )
+    w_l = (
+        np.concatenate([v[1] for v in left_vecs])
+        if len(pair_l)
+        else np.empty(0, dtype=np.float64)
+    )
+    pair_r = np.repeat(np.arange(count), sizes_r)
+    tok_r = (
+        np.concatenate([v[0] for v in right_vecs])
+        if len(pair_r)
+        else np.empty(0, dtype=np.int64)
+    )
+    w_r = (
+        np.concatenate([v[1] for v in right_vecs])
+        if len(pair_r)
+        else np.empty(0, dtype=np.float64)
+    )
+    vocab = max(vocab_size, 1)
+    key_l = pair_l * vocab + tok_l
+    key_r = pair_r * vocab + tok_r
+    order_r = np.argsort(key_r, kind="stable")
+    sorted_r = key_r[order_r]
+    slot = np.searchsorted(sorted_r, key_l)
+    slot_clipped = np.minimum(slot, max(len(sorted_r) - 1, 0))
+    matched = (
+        (sorted_r[slot_clipped] == key_l)
+        if len(sorted_r)
+        else np.zeros(len(key_l), dtype=bool)
+    )
+    products = w_l[matched] * w_r[order_r[slot_clipped[matched]]]
+    dots = np.bincount(pair_l[matched], weights=products, minlength=count)
+    scores = np.zeros(count, dtype=np.float64)
+    np.divide(dots, norms, out=scores, where=(dots != 0.0) & (norms != 0.0))
+    return scores

@@ -1,0 +1,59 @@
+"""Streaming entity resolution.
+
+The batch pipeline freezes its inputs: blocks, the pair table and the
+blocking graph are all built once from a finished
+:class:`~repro.model.collection.EntityCollection`, so a single new
+description forces a full rebuild.  This package makes the same
+structures *maintainable under inserts*:
+
+* :class:`~repro.stream.store.StreamingEntityStore` — append-only entity
+  store accepting descriptions one at a time or in micro-batches;
+* :class:`~repro.stream.index.IncrementalBlockIndex` — a mutable
+  inverted blocking index whose posting lists are updated per insert
+  instead of re-running the blocker;
+* :class:`~repro.stream.pairs.DeltaPairTable` — packed-pair
+  ``(common, arcs)`` statistics maintained from the delta pairs each
+  insert generates, keeping all six weighting schemes evaluable per
+  pair without a global rebuild;
+* :class:`~repro.stream.resolver.StreamResolver` — query-time
+  resolution of one incoming description against the live index, with
+  latency accounting;
+* :mod:`~repro.stream.workload` — a dbworkload-style driver replaying
+  synthetic arrival + query scenarios.
+
+**Equivalence contract:** after ingesting a corpus stream-wise — in any
+arrival order, with duplicates merged — the snapshot blocks, the pair
+statistics and the pruned edges are *bit-identical* to the batch
+pipeline run over the same final corpus.  The streaming layer changes
+*when* work happens, never *what* is computed.
+"""
+
+from repro.stream.index import IncrementalBlockIndex
+from repro.stream.pairs import DeltaPairTable
+from repro.stream.resolver import StreamMatch, StreamQueryResult, StreamResolver
+from repro.stream.similarity import StreamingSimilarityIndex
+from repro.stream.store import StreamingEntityStore
+from repro.stream.workload import (
+    WorkloadDriver,
+    WorkloadEvent,
+    WorkloadStats,
+    bursty_workload,
+    skewed_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "DeltaPairTable",
+    "IncrementalBlockIndex",
+    "StreamMatch",
+    "StreamQueryResult",
+    "StreamResolver",
+    "StreamingEntityStore",
+    "StreamingSimilarityIndex",
+    "WorkloadDriver",
+    "WorkloadEvent",
+    "WorkloadStats",
+    "bursty_workload",
+    "skewed_workload",
+    "uniform_workload",
+]

@@ -1,0 +1,387 @@
+"""The incremental inverted blocking index.
+
+The batch blocker groups a frozen corpus by key in one pass; this index
+maintains the same grouping under inserts.  Each insert computes the
+description's blocking keys (token keys by default; pass a q-grams or
+composite blocker for other key spaces), appends the entity to the
+touched posting lists, and emits the **delta** — new comparison cells,
+placements and block activations — to attached consumers (the
+:class:`~repro.stream.pairs.DeltaPairTable`).
+
+Per-insert work is proportional to the delta the entity generates (its
+keys plus the co-members it newly pairs with), never to the corpus.
+Global concerns are deferred, not dropped:
+
+* posting lists are kept in per-source arrival order; an entity that
+  gains a key *late* (attribute merge) is re-sorted **lazily, only for
+  the touched key**, on the next snapshot;
+* purging/filtering thresholds are global functions of the whole
+  collection, so they are enforced lazily at :meth:`snapshot_processed`
+  time (and, per-query, via the resolver's selectivity caps) rather
+  than on every insert.
+
+:meth:`snapshot` materializes a
+:class:`~repro.blocking.block.BlockCollection` **bit-identical** to
+``blocker.build(...)`` over the store's final collections — same keys,
+same member order, same primed id views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blocking.base import Blocker
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.model.description import EntityDescription
+from repro.model.interner import EntityInterner
+from repro.stream.store import StreamingEntityStore
+
+
+class DeltaConsumer:
+    """Interface for delta-maintained structures attached to the index.
+
+    The index calls these hooks *during* each insert, in a fixed order:
+    cells first (so pair statistics see the partner set as it was before
+    the entity joined), then placements/activations.
+    """
+
+    def on_cell(self, id_a: int, id_b: int) -> None:
+        """One new comparison cell between two distinct entities."""
+
+    def on_placement(self, entity_id: int) -> None:
+        """One new placement of an entity in a comparison-bearing block."""
+
+    def on_block_activated(self, key: str) -> None:
+        """A block crossed from singleton/one-sided to comparison-bearing."""
+
+
+class IncrementalBlockIndex(DeltaConsumer):
+    """Mutable inverted index: blocking key → per-source posting lists.
+
+    Args:
+        store: the streaming store to index; the index subscribes itself
+            and reflects every insert from then on.
+        blocker: key extractor (default: token blocking, the paper's
+            stage-1 choice).  Any :class:`~repro.blocking.base.Blocker`
+            whose ``keys_for`` grows monotonically under attribute
+            merges is supported (token, q-grams, prefix-infix-suffix,
+            composites thereof).
+    """
+
+    def __init__(
+        self,
+        store: StreamingEntityStore,
+        blocker: Blocker | None = None,
+    ) -> None:
+        self.store = store
+        self.blocker = blocker or TokenBlocking()
+        self.two_sided = store.clean_clean
+        #: key → (side-0 ids, side-1 ids); dirty stores use side 0 only
+        self._postings: dict[str, tuple[list[int], list[int]]] = {}
+        #: keys whose posting lists need a lazy re-sort (merge stragglers)
+        self._unsorted: set[str] = set()
+        #: entity id → {key: side bitmask}
+        self._key_mask: dict[int, dict[str, int]] = {}
+        #: per-source arrival rank of each entity id
+        self._side_seq: list[dict[int, int]] = [{} for _ in store.collections]
+        #: key → number of ids present on both sides (bipartite overlap)
+        self._overlap: dict[str, int] = {}
+        self._consumers: list[DeltaConsumer] = []
+        self._snapshots: dict[str, tuple[int, BlockCollection]] = {}
+        store.subscribe(self._on_insert)
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, consumer: DeltaConsumer) -> None:
+        """Attach a delta consumer (no replay: attach before inserting)."""
+        self._consumers.append(consumer)
+
+    def replay_store(self) -> None:
+        """Index everything already in the store (attach consumers first).
+
+        Idempotent: descriptions whose keys are already posted are
+        skipped by the per-(entity, side, key) guard, so replaying after
+        live inserts cannot double-count.  Called by the resolver when
+        it wires onto a non-empty store.
+        """
+        store = self.store
+        for source, collection in enumerate(store.collections):
+            for description in collection:
+                self._on_insert(
+                    description,
+                    source,
+                    store.interner.id_of(description.uri),
+                    False,
+                )
+
+    # -- insert path ---------------------------------------------------------
+
+    def _on_insert(
+        self,
+        description: EntityDescription,
+        source: int,
+        entity_id: int,
+        was_present: bool,
+    ) -> None:
+        seq = self._side_seq[source]
+        if entity_id not in seq:
+            seq[entity_id] = len(seq)
+        my_seq = seq[entity_id]
+        mask = self._key_mask.setdefault(entity_id, {})
+        bit = 1 << source
+        self._snapshots.clear()
+        consumers = self._consumers
+        for key in self.blocker.keys_for(description):
+            if mask.get(key, 0) & bit:
+                continue  # already posted on this side
+            sides = self._postings.get(key)
+            if sides is None:
+                sides = ([], [])
+                self._postings[key] = sides
+            side = sides[source]
+            if side and seq[side[-1]] > my_seq:
+                # A merge granted this key after later arrivals claimed
+                # it; ordering is restored lazily at snapshot time.
+                self._unsorted.add(key)
+            had_mask = mask.get(key, 0)
+            mask[key] = had_mask | bit
+            if had_mask:
+                self._overlap[key] = self._overlap.get(key, 0) + 1
+
+            if self.two_sided:
+                other = sides[1 - source]
+                was_active = bool(side) and bool(other)
+                side.append(entity_id)
+                for partner in other:
+                    if partner != entity_id:
+                        for consumer in consumers:
+                            consumer.on_cell(entity_id, partner)
+                if not was_active and side and other:
+                    # The block just became comparison-bearing: every
+                    # member (this one included) gains its placement now.
+                    for consumer in consumers:
+                        consumer.on_block_activated(key)
+                        for member in sides[0]:
+                            consumer.on_placement(member)
+                        for member in sides[1]:
+                            consumer.on_placement(member)
+                elif was_active:
+                    for consumer in consumers:
+                        consumer.on_placement(entity_id)
+            else:
+                was_active = len(side) >= 2
+                for partner in side:
+                    for consumer in consumers:
+                        consumer.on_cell(entity_id, partner)
+                side.append(entity_id)
+                if len(side) == 2:
+                    for consumer in consumers:
+                        consumer.on_block_activated(key)
+                        consumer.on_placement(side[0])
+                        consumer.on_placement(side[1])
+                elif was_active:
+                    for consumer in consumers:
+                        consumer.on_placement(entity_id)
+
+    # -- interrogation -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of keys with at least one posting (active or not)."""
+        return len(self._postings)
+
+    def keys_of(self, entity_id: int) -> dict[str, int]:
+        """Key → side-bitmask map of *entity_id* (live; do not mutate)."""
+        return self._key_mask.get(entity_id, {})
+
+    def postings(self, key: str) -> tuple[list[int], list[int]]:
+        """The live posting lists of *key* (empty lists when absent)."""
+        return self._postings.get(key, ([], []))
+
+    def members_of(self, key: str) -> int:
+        """Total postings of *key* across sides."""
+        sides = self._postings.get(key)
+        if sides is None:
+            return 0
+        return len(sides[0]) + len(sides[1])
+
+    def is_active(self, key: str) -> bool:
+        """True when *key*'s block would survive ``drop_singletons``."""
+        sides = self._postings.get(key)
+        if sides is None:
+            return False
+        if self.two_sided:
+            return bool(sides[0]) and bool(sides[1])
+        return len(sides[0]) >= 2
+
+    def cardinality_of(self, key: str) -> int:
+        """Comparisons the key's block implies right now (0 when absent).
+
+        Matches :meth:`repro.blocking.block.Block.cardinality` — the
+        bipartite product is corrected by the cross-side overlap.
+        """
+        sides = self._postings.get(key)
+        if sides is None:
+            return 0
+        if self.two_sided:
+            if not sides[0] or not sides[1]:
+                return 0
+            return len(sides[0]) * len(sides[1]) - self._overlap.get(key, 0)
+        n = len(sides[0])
+        return n * (n - 1) // 2 if n >= 2 else 0
+
+    def cells_between(self, key: str, id_a: int, id_b: int) -> int:
+        """Comparison cells of the (distinct) pair inside *key*'s block.
+
+        0, 1 — or 2 for bipartite blocks holding both entities on both
+        sides, matching the repetition count the batch enumeration
+        yields.
+        """
+        if id_a == id_b:
+            return 0
+        mask_a = self._key_mask.get(id_a, {}).get(key, 0)
+        mask_b = self._key_mask.get(id_b, {}).get(key, 0)
+        if not mask_a or not mask_b:
+            return 0
+        if not self.two_sided:
+            return 1
+        return int(bool(mask_a & 1) and bool(mask_b & 2)) + int(
+            bool(mask_b & 1) and bool(mask_a & 2)
+        )
+
+    def partners_of(
+        self,
+        entity_id: int,
+        max_key_cardinality: int | None = None,
+        key_ratio: float | None = None,
+    ) -> list[int]:
+        """Candidate co-occurring entities of *entity_id*, id-deduplicated.
+
+        The lazy per-query counterparts of block post-processing bound
+        the work: *max_key_cardinality* skips oversized (stop-token-like)
+        blocks the way purging would, and *key_ratio* keeps only that
+        fraction of the entity's most selective keys the way filtering
+        keeps an entity's smallest blocks.  Both default to off.
+        """
+        keys = self._key_mask.get(entity_id, {})
+        selected: Iterator[str] | list[str] = list(keys)
+        if key_ratio is not None:
+            limit = max(1, int(key_ratio * len(keys) + 0.5))
+            selected = sorted(
+                selected, key=lambda key: (self.cardinality_of(key), key)
+            )[:limit]
+        seen: dict[int, None] = {}
+        for key in selected:
+            if not self.is_active(key):
+                continue
+            if (
+                max_key_cardinality is not None
+                and self.cardinality_of(key) > max_key_cardinality
+            ):
+                continue
+            mask = keys[key]
+            sides = self._postings[key]
+            if not self.two_sided:
+                for member in sides[0]:
+                    if member != entity_id:
+                        seen.setdefault(member)
+            else:
+                # Valid partners sit on the opposite side of any side the
+                # entity occupies.
+                if mask & 1:
+                    for member in sides[1]:
+                        if member != entity_id:
+                            seen.setdefault(member)
+                if mask & 2:
+                    for member in sides[0]:
+                        if member != entity_id:
+                            seen.setdefault(member)
+        return list(seen)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def _resort_lazy(self) -> None:
+        for key in self._unsorted:
+            sides = self._postings.get(key)
+            if sides is None:
+                continue
+            for source in range(len(self._side_seq)):
+                sides[source].sort(key=self._side_seq[source].__getitem__)
+        self._unsorted.clear()
+
+    def snapshot(self) -> BlockCollection:
+        """The current blocks as a batch-identical ``BlockCollection``.
+
+        Bit-identical to ``self.blocker.build(*store.collections)`` over
+        the store's present state: sorted keys, members in per-source
+        arrival order, singletons dropped, id views primed in
+        first-placement order.  Cached until the next insert.
+        """
+        cached = self._snapshots.get("raw")
+        if cached is not None and cached[0] == self.store.version:
+            return cached[1]
+        self._resort_lazy()
+        uris = self.store.interner.uri_table()
+        names = [collection.name for collection in self.store.collections]
+        if self.two_sided:
+            name = f"{self.blocker.name}({names[0]},{names[1]})"
+        else:
+            name = f"{self.blocker.name}({names[0]})"
+        blocks = BlockCollection(name=name)
+        interner = EntityInterner()
+        intern = interner.intern
+        id_blocks: list[tuple[list[int], list[int] | None, int]] = []
+        for key in sorted(self._postings):
+            sides = self._postings[key]
+            if self.two_sided:
+                if not sides[0] or not sides[1]:
+                    continue
+                block = Block(
+                    key,
+                    [uris[i] for i in sides[0]],
+                    [uris[i] for i in sides[1]],
+                )
+            else:
+                if len(sides[0]) < 2:
+                    continue
+                block = Block(key, [uris[i] for i in sides[0]])
+            blocks.add(block)
+            # Side 1 before side 2 — first-placement id order, matching
+            # what the batch blocker primes.
+            ids1 = list(map(intern, block.entities1))
+            ids2 = (
+                list(map(intern, block.entities2))
+                if block.entities2 is not None
+                else None
+            )
+            id_blocks.append((ids1, ids2, block.cardinality()))
+        blocks.prime_id_views(interner, id_blocks)
+        self._snapshots["raw"] = (self.store.version, blocks)
+        return blocks
+
+    def snapshot_processed(
+        self,
+        purging: BlockPurging | None = None,
+        filtering: BlockFiltering | None = None,
+    ) -> BlockCollection:
+        """Post-processed snapshot: the lazily-enforced global thresholds.
+
+        Purging and filtering thresholds depend on the *whole* block-size
+        distribution, so exact enforcement per insert is impossible; they
+        are applied here, on demand, over the raw snapshot — which is
+        precisely what the batch pipeline's ``MinoanER.block()`` does,
+        keeping the result bit-identical.  Cached until the next insert.
+        """
+        defaults = purging is None and filtering is None
+        if defaults:
+            cached = self._snapshots.get("processed")
+            if cached is not None and cached[0] == self.store.version:
+                return cached[1]
+        processed = self.snapshot()
+        processed = (purging or BlockPurging()).process(processed)
+        processed = (filtering or BlockFiltering()).process(processed)
+        if defaults:
+            self._snapshots["processed"] = (self.store.version, processed)
+        return processed

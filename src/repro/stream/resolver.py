@@ -1,0 +1,320 @@
+"""Query-time entity resolution against the live streaming state.
+
+:class:`StreamResolver` is the serving layer: descriptions arrive (one
+at a time or in micro-batches) and queries resolve an incoming
+description against everything ingested so far — candidate generation
+from the incremental block index, meta-blocking weights from the delta
+pair table, prioritization through the existing
+:class:`~repro.core.scheduler.ComparisonScheduler`, and decisions from
+the existing :class:`~repro.matching.matcher.ThresholdMatcher` over the
+streaming similarity index.  Every query returns per-phase latency so
+the workload driver can report where time goes.
+
+The resolver also exposes the batch bridge: :meth:`graph` /
+:meth:`pruned_edges` run the standard meta-blocking machinery over a
+snapshot of the streamed state, producing results bit-identical to the
+batch pipeline on the same corpus.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.blocking.base import Blocker
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.core.benefit import BenefitModel, QuantityBenefit
+from repro.core.engine import ResolutionContext
+from repro.core.scheduler import ComparisonScheduler
+from repro.matching.matcher import MatchGraph, Matcher, ThresholdMatcher
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.metablocking.pruning import make_pruner
+from repro.metablocking.weighting import make_scheme
+from repro.model.description import EntityDescription
+from repro.stream.index import IncrementalBlockIndex
+from repro.stream.pairs import DeltaPairTable
+from repro.stream.similarity import StreamingSimilarityIndex
+from repro.stream.store import StreamingEntityStore
+
+
+@dataclass(frozen=True)
+class StreamMatch:
+    """One positive decision returned by a query."""
+
+    uri: str
+    similarity: float
+    weight: float
+
+
+@dataclass
+class StreamQueryResult:
+    """Outcome of resolving one description, with latency accounting."""
+
+    uri: str
+    matches: list[StreamMatch]
+    candidates: int
+    scheduled: int
+    comparisons: int
+    skipped_decided: int
+    #: per-phase wall-clock seconds: ingest/candidates/weigh/match/total
+    latency: dict[str, float] = field(default_factory=dict)
+
+    def matched_uris(self) -> list[str]:
+        """URIs decided as matches, best first."""
+        return [match.uri for match in self.matches]
+
+
+class _StreamContext(ResolutionContext):
+    """A resolution context registered incrementally, never by scan."""
+
+    def __init__(self, store: StreamingEntityStore) -> None:
+        # Deliberately does NOT call super().__init__: the batch context
+        # scans every collection up front, which is exactly the O(corpus)
+        # cost a per-insert path cannot afford.
+        self.collections = store.collections
+        self.match_graph = MatchGraph()
+        self._home = {}
+        store.subscribe(self._register, replay=True)
+
+    def _register(self, description, source, entity_id, was_present) -> None:
+        self._home.setdefault(description.uri, self.collections[source])
+
+
+class StreamResolver:
+    """Streaming ER façade: ingest + query over one live store.
+
+    Args:
+        store: existing store to serve, or None to create one
+            (*clean_clean* picks one or two sources then).
+        blocker: key extractor for the incremental index.
+        clean_clean: with no *store*, build a two-source store.
+        threshold: match threshold of the default cosine matcher.
+        matcher: override the decision matcher (must handle the
+            streaming similarity index's URIs).
+        benefit: scheduler benefit model (default: quantity).
+        max_key_cardinality: per-query purging stand-in — candidate keys
+            whose current block implies more comparisons are skipped.
+        key_ratio: per-query filtering stand-in — only this fraction of
+            the query entity's most selective keys generate candidates.
+    """
+
+    def __init__(
+        self,
+        store: StreamingEntityStore | None = None,
+        blocker: Blocker | None = None,
+        clean_clean: bool = False,
+        threshold: float = 0.4,
+        matcher: Matcher | None = None,
+        benefit: BenefitModel | None = None,
+        max_key_cardinality: int | None = None,
+        key_ratio: float | None = None,
+    ) -> None:
+        if store is None:
+            sources = ("kb1", "kb2") if clean_clean else ("stream",)
+            store = StreamingEntityStore(sources=sources)
+        self.store = store
+        self.index = IncrementalBlockIndex(store, blocker)
+        self.pairs = DeltaPairTable(self.index)
+        # A pre-populated store is replayed into every derived structure
+        # (after the pair table attached, so no delta is lost); on an
+        # empty store these are no-ops.
+        self.index.replay_store()
+        self.similarity = StreamingSimilarityIndex(store)
+        self.context = _StreamContext(store)
+        self.matcher = matcher or ThresholdMatcher(
+            self.similarity, threshold=threshold, measure="cosine"
+        )
+        self.matcher.bind(self.context)
+        self.benefit = benefit or QuantityBenefit()
+        self.max_key_cardinality = max_key_cardinality
+        self.key_ratio = key_ratio
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, description: EntityDescription, source: int = 0) -> int:
+        """Ingest one description; returns its entity id."""
+        return self.store.insert(description, source)
+
+    def ingest_batch(self, descriptions, source: int = 0) -> list[int]:
+        """Ingest a micro-batch of descriptions."""
+        return self.store.insert_batch(descriptions, source)
+
+    @property
+    def match_graph(self) -> MatchGraph:
+        """Decisions accumulated across every query on this resolver."""
+        return self.context.match_graph
+
+    # -- query-time resolution -----------------------------------------------
+
+    def resolve(
+        self,
+        description: EntityDescription,
+        source: int = 0,
+        scheme: str = "ARCS",
+        pruner: str = "CNP",
+        budget: int | None = None,
+        ingest: bool = True,
+    ) -> StreamQueryResult:
+        """Resolve one incoming description against the ingested corpus.
+
+        Args:
+            description: the incoming entity.
+            source: its KB ordinal (clean-clean stores compare only
+                across sources).
+            scheme: weighting scheme scoring the candidate pairs (any of
+                the six batch schemes).
+            pruner: local pruning of the candidate neighbourhood —
+                ``"CNP"`` (top-k, k derived like batch CNP), ``"WNP"``
+                (neighbourhood-mean threshold, like batch WNP/WEP) or
+                ``"none"``.
+            budget: cap on comparisons actually executed (None: all
+                survivors).
+            ingest: insert the description first (the default); with
+                ``False`` the description must already be in the store.
+
+        Returns:
+            The query result with matches (weight-ordered execution,
+            similarity recorded) and per-phase latency.
+        """
+        t_total = time.perf_counter()
+        latency: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        if ingest:
+            entity_id = self.store.insert(description, source)
+        else:
+            entity_id = self.store.interner.id_of(description.uri)
+        latency["ingest_s"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        candidate_ids = self.index.partners_of(
+            entity_id, self.max_key_cardinality, self.key_ratio
+        )
+        latency["candidates_s"] = time.perf_counter() - t0
+
+        uris = self.store.interner.uri_table()
+        uri_q = description.uri
+
+        t0 = time.perf_counter()
+        weights: dict[int, float] = {}
+        pair_table = self.pairs
+        for candidate_id in candidate_ids:
+            uri_c = uris[candidate_id]
+            if uri_c < uri_q:
+                weight = pair_table.weight_ids(scheme, candidate_id, entity_id)
+            else:
+                weight = pair_table.weight_ids(scheme, entity_id, candidate_id)
+            weights[candidate_id] = weight
+        survivors = self._prune_local(weights, pruner, uris)
+        latency["weigh_s"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        scheduler = ComparisonScheduler(self.benefit, self.context)
+        for candidate_id, weight in survivors:
+            scheduler.schedule(uri_q, uris[candidate_id], weight)
+        scheduled = len(scheduler)
+        ordered: list[tuple[str, str]] = []
+        weight_of: dict[tuple[str, str], float] = {}
+        limit = len(scheduler) if budget is None else max(budget, 0)
+        skipped = 0
+        match_graph = self.context.match_graph
+        while scheduler and len(ordered) < limit:
+            pair, _priority = scheduler.pop()
+            if pair in match_graph:
+                skipped += 1
+                continue
+            ordered.append(pair)
+            weight_of[pair] = scheduler.base_weight(pair[0], pair[1])
+        decisions = self.matcher.decide_many(ordered)
+        matches: list[StreamMatch] = []
+        for decision in decisions:
+            match_graph.record(decision)
+            if decision.is_match:
+                other = (
+                    decision.right if decision.left == uri_q else decision.left
+                )
+                matches.append(
+                    StreamMatch(
+                        other, decision.similarity, weight_of[decision.pair]
+                    )
+                )
+        # Matches decided by earlier queries are still matches: a repeat
+        # lookup must report them, not silently skip them as "already
+        # decided".  They follow the fresh decisions, sorted by URI.
+        newly_matched = {match.uri for match in matches}
+        for partner in sorted(match_graph.partners(uri_q) - newly_matched):
+            known = match_graph.decision_for(uri_q, partner)
+            assert known is not None
+            matches.append(StreamMatch(partner, known.similarity, weights.get(
+                self.store.interner.get(partner), 0.0
+            )))
+        latency["match_s"] = time.perf_counter() - t0
+        latency["total_s"] = time.perf_counter() - t_total
+
+        return StreamQueryResult(
+            uri=uri_q,
+            matches=matches,
+            candidates=len(candidate_ids),
+            scheduled=scheduled,
+            comparisons=len(ordered),
+            skipped_decided=skipped,
+            latency=latency,
+        )
+
+    def _prune_local(
+        self, weights: dict[int, float], pruner: str, uris: list[str]
+    ) -> list[tuple[int, float]]:
+        """Node-centric pruning of the query neighbourhood.
+
+        Deterministic order everywhere: weight descending, partner URI
+        ascending — the ordering the batch pruners use.
+        """
+        if not weights:
+            return []
+        items = list(weights.items())
+        name = pruner.lower()
+        if name in ("none", "all", ""):
+            return sorted(items, key=lambda iw: (-iw[1], uris[iw[0]]))
+        if name in ("wnp", "wep"):
+            mean = sum(weights.values()) / len(weights)
+            kept = [iw for iw in items if iw[1] >= mean]
+            return sorted(kept, key=lambda iw: (-iw[1], uris[iw[0]]))
+        if name in ("cnp", "cep"):
+            entities = max(self.pairs.entities_placed, 1)
+            average = self.pairs.total_assignments / entities
+            k = max(1, math.ceil(average) - 1)
+            return heapq.nsmallest(k, items, key=lambda iw: (-iw[1], uris[iw[0]]))
+        raise KeyError(
+            f"unknown stream pruner {pruner!r}; choose CNP, WNP or none"
+        )
+
+    # -- the batch bridge ----------------------------------------------------
+
+    def graph(
+        self,
+        scheme: str = "ARCS",
+        processed: bool = True,
+        purging: BlockPurging | None = None,
+        filtering: BlockFiltering | None = None,
+    ) -> BlockingGraph:
+        """Standard blocking graph over the streamed state.
+
+        Built from the (processed) snapshot, so weights, pair table and
+        anything derived are bit-identical to the batch pipeline over
+        the same corpus.
+        """
+        blocks = (
+            self.index.snapshot_processed(purging, filtering)
+            if processed
+            else self.index.snapshot()
+        )
+        return BlockingGraph(blocks, make_scheme(scheme))
+
+    def pruned_edges(
+        self, scheme: str = "ARCS", pruner: str = "CNP", processed: bool = True
+    ) -> list[WeightedEdge]:
+        """Batch-identical pruned edge list over the streamed state."""
+        return make_pruner(pruner).prune(self.graph(scheme, processed=processed))

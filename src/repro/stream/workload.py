@@ -1,0 +1,286 @@
+"""dbworkload-style arrival + query scenario replay.
+
+A workload is a deterministic event sequence — ``insert`` events carry
+new descriptions, ``query`` events resolve a description against the
+state built so far.  Three canonical arrival shapes are generated from
+any (kb1, kb2) corpus pair:
+
+* **uniform** — inserts and queries interleaved at a fixed ratio, the
+  steady-state serving regime;
+* **bursty** — alternating insert bursts and query bursts, the
+  ingestion-heavy regime (bulk loads followed by read traffic);
+* **skewed** — inserts uniform, queries Zipf-skewed toward early
+  (popular) entities, the celebrity-lookup regime.
+
+The :class:`WorkloadDriver` replays events against a
+:class:`~repro.stream.resolver.StreamResolver`, recording per-event
+wall-clock latency, and :class:`WorkloadStats` aggregates throughput,
+percentiles and the **per-insert latency trajectory** (mean per stream
+quartile) — the flatness evidence that inserts stay O(delta) as the
+store grows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+from repro.stream.resolver import StreamQueryResult, StreamResolver
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One scripted event: ``insert`` or ``query``."""
+
+    kind: str
+    description: EntityDescription
+    source: int = 0
+
+
+def _interleaved(
+    kb1: EntityCollection, kb2: EntityCollection | None
+) -> list[tuple[EntityDescription, int]]:
+    """Arrival pool: both KBs' descriptions, round-robin interleaved."""
+    first = [(description, 0) for description in kb1]
+    second = [(description, 1) for description in kb2] if kb2 is not None else []
+    out: list[tuple[EntityDescription, int]] = []
+    for i in range(max(len(first), len(second))):
+        if i < len(first):
+            out.append(first[i])
+        if i < len(second):
+            out.append(second[i])
+    return out
+
+
+def uniform_workload(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None = None,
+    query_every: int = 4,
+    seed: int = 17,
+) -> list[WorkloadEvent]:
+    """Steady interleave: one query after every *query_every* inserts.
+
+    Queries re-resolve a uniformly random already-inserted description.
+    """
+    if query_every < 1:
+        raise ValueError("query_every must be >= 1")
+    rng = deterministic_rng(seed, "uniform-workload")
+    events: list[WorkloadEvent] = []
+    inserted: list[tuple[EntityDescription, int]] = []
+    for position, (description, source) in enumerate(_interleaved(kb1, kb2), 1):
+        events.append(WorkloadEvent("insert", description, source))
+        inserted.append((description, source))
+        if position % query_every == 0:
+            target, target_source = rng.choice(inserted)
+            events.append(WorkloadEvent("query", target, target_source))
+    return events
+
+
+def bursty_workload(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None = None,
+    burst_size: int = 25,
+    queries_per_burst: int = 8,
+    seed: int = 17,
+) -> list[WorkloadEvent]:
+    """Insert bursts followed by query bursts (bulk-load regime)."""
+    if burst_size < 1 or queries_per_burst < 0:
+        raise ValueError("burst_size must be >= 1, queries_per_burst >= 0")
+    rng = deterministic_rng(seed, "bursty-workload")
+    events: list[WorkloadEvent] = []
+    inserted: list[tuple[EntityDescription, int]] = []
+    pool = _interleaved(kb1, kb2)
+    for start in range(0, len(pool), burst_size):
+        burst = pool[start : start + burst_size]
+        for description, source in burst:
+            events.append(WorkloadEvent("insert", description, source))
+            inserted.append((description, source))
+        for _ in range(queries_per_burst):
+            target, target_source = rng.choice(inserted)
+            events.append(WorkloadEvent("query", target, target_source))
+    return events
+
+
+def skewed_workload(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None = None,
+    query_every: int = 4,
+    zipf_exponent: float = 1.2,
+    seed: int = 17,
+) -> list[WorkloadEvent]:
+    """Uniform inserts, Zipf-skewed queries toward early arrivals.
+
+    Rank r (1 = first inserted) is drawn with probability ∝ r^-s — the
+    heavy-hitter lookup pattern of real serving traffic.
+    """
+    if query_every < 1:
+        raise ValueError("query_every must be >= 1")
+    if zipf_exponent <= 0:
+        raise ValueError("zipf_exponent must be positive")
+    rng = deterministic_rng(seed, "skewed-workload")
+    events: list[WorkloadEvent] = []
+    inserted: list[tuple[EntityDescription, int]] = []
+    # Cumulative Zipf weights grown one rank per insert: generation stays
+    # O(n log n) overall (bisect per draw) instead of rebuilding the
+    # whole weight list per query.
+    cumulative: list[float] = []
+    for position, (description, source) in enumerate(_interleaved(kb1, kb2), 1):
+        events.append(WorkloadEvent("insert", description, source))
+        inserted.append((description, source))
+        weight = 1.0 / (len(inserted) ** zipf_exponent)
+        cumulative.append((cumulative[-1] if cumulative else 0.0) + weight)
+        if position % query_every == 0:
+            target, target_source = rng.choices(
+                inserted, cum_weights=cumulative, k=1
+            )[0]
+            events.append(WorkloadEvent("query", target, target_source))
+    return events
+
+
+SCENARIOS = {
+    "uniform": uniform_workload,
+    "bursty": bursty_workload,
+    "skewed": skewed_workload,
+}
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(fraction * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregated replay measurements."""
+
+    scenario: str
+    inserts: int = 0
+    queries: int = 0
+    matches_found: int = 0
+    comparisons: int = 0
+    elapsed_s: float = 0.0
+    insert_latencies_s: list[float] = field(default_factory=list)
+    query_latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def events(self) -> int:
+        """Total events replayed."""
+        return self.inserts + self.queries
+
+    @property
+    def throughput_eps(self) -> float:
+        """Events per second over the whole replay."""
+        return self.events / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_summary(self, kind: str = "insert") -> dict[str, float]:
+        """mean/p50/p95/p99/max (seconds) for ``insert`` or ``query``."""
+        values = (
+            self.insert_latencies_s if kind == "insert" else self.query_latencies_s
+        )
+        if not values:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        ordered = sorted(values)
+        return {
+            "mean": sum(values) / len(values),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+            "max": ordered[-1],
+        }
+
+    def insert_latency_by_quartile(self) -> list[float]:
+        """Mean insert latency per stream quartile (the flatness series).
+
+        A flat series is the amortized-O(delta) signature; an O(corpus)
+        insert path would grow linearly across quartiles.
+        """
+        values = self.insert_latencies_s
+        if not values:
+            return [0.0, 0.0, 0.0, 0.0]
+        quarter = max(1, len(values) // 4)
+        out = []
+        for start in range(0, 4 * quarter, quarter):
+            chunk = values[start : start + quarter]
+            out.append(sum(chunk) / len(chunk) if chunk else 0.0)
+        return out
+
+    def summary_rows(self) -> list[dict[str, str]]:
+        """Report-ready rows for ``format_table``."""
+        insert = self.latency_summary("insert")
+        query = self.latency_summary("query")
+        quartiles = self.insert_latency_by_quartile()
+        return [
+            {"metric": "events", "value": str(self.events)},
+            {"metric": "inserts", "value": str(self.inserts)},
+            {"metric": "queries", "value": str(self.queries)},
+            {"metric": "matches found", "value": str(self.matches_found)},
+            {"metric": "comparisons", "value": str(self.comparisons)},
+            {"metric": "throughput (events/s)", "value": f"{self.throughput_eps:.0f}"},
+            {"metric": "insert mean / p95 (ms)",
+             "value": f"{insert['mean'] * 1e3:.3f} / {insert['p95'] * 1e3:.3f}"},
+            {"metric": "query mean / p95 (ms)",
+             "value": f"{query['mean'] * 1e3:.3f} / {query['p95'] * 1e3:.3f}"},
+            {"metric": "insert mean by quartile (ms)",
+             "value": " ".join(f"{q * 1e3:.3f}" for q in quartiles)},
+        ]
+
+
+class WorkloadDriver:
+    """Replays a workload against one resolver, timing every event."""
+
+    def __init__(self, resolver: StreamResolver | None = None) -> None:
+        self.resolver = resolver or StreamResolver(clean_clean=True)
+
+    def run(
+        self,
+        events: list[WorkloadEvent],
+        scenario: str = "custom",
+        scheme: str = "ARCS",
+        pruner: str = "CNP",
+        budget: int | None = None,
+        on_query=None,
+    ) -> WorkloadStats:
+        """Replay *events*; returns the aggregated statistics.
+
+        Args:
+            events: the scripted sequence.
+            scenario: label recorded in the stats.
+            scheme / pruner / budget: forwarded to every query's
+                :meth:`~repro.stream.resolver.StreamResolver.resolve`.
+            on_query: optional callback receiving each
+                :class:`~repro.stream.resolver.StreamQueryResult`.
+        """
+        resolver = self.resolver
+        stats = WorkloadStats(scenario=scenario)
+        t_start = time.perf_counter()
+        for event in events:
+            if event.kind == "insert":
+                t0 = time.perf_counter()
+                resolver.ingest(event.description, event.source)
+                stats.insert_latencies_s.append(time.perf_counter() - t0)
+                stats.inserts += 1
+            elif event.kind == "query":
+                t0 = time.perf_counter()
+                result: StreamQueryResult = resolver.resolve(
+                    event.description,
+                    source=event.source,
+                    scheme=scheme,
+                    pruner=pruner,
+                    budget=budget,
+                    ingest=True,
+                )
+                stats.query_latencies_s.append(time.perf_counter() - t0)
+                stats.queries += 1
+                stats.matches_found += len(result.matches)
+                stats.comparisons += result.comparisons
+                if on_query is not None:
+                    on_query(result)
+            else:
+                raise ValueError(f"unknown event kind {event.kind!r}")
+        stats.elapsed_s = time.perf_counter() - t_start
+        return stats

@@ -50,7 +50,7 @@ class SchedulerMachine(RuleBasedStateMachine):
             # model priority only changes when the new base is larger.
             current_base = self.scheduler.base_weight(a, b)
             assert current_base >= weight or current_base >= self.queued[pair]
-            self.queued[pair] = self.scheduler._priority(pair)
+            self.queued[pair] = self.scheduler.priority(*pair)
         else:
             assert result is True
             self.queued[pair] = weight

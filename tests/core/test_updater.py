@@ -88,7 +88,7 @@ class TestPropagation:
         scheduler = ComparisonScheduler(QuantityBenefit(), context)
         propagator = NeighborEvidencePropagator()
         propagator.on_match(director_match(), scheduler, context)
-        for pair, _ in scheduler._heap.items():
+        for pair, _ in scheduler.queued_pairs():
             assert not context.same_source(pair[0], pair[1])
 
     def test_already_matched_neighbors_skipped(self):

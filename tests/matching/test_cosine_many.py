@@ -1,0 +1,122 @@
+"""The vectorized batch cosine path: bit-identity and wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_movies, load_restaurants
+from repro.matching.matcher import ThresholdMatcher
+from repro.matching.similarity import SimilarityIndex
+from repro.model.collection import EntityCollection
+from repro.model.description import EntityDescription
+
+
+@pytest.fixture(scope="module")
+def movie_index():
+    kb1, kb2, _ = load_movies()
+    return SimilarityIndex([kb1, kb2]), kb1, kb2
+
+
+def all_cross_pairs(kb1, kb2, limit=300):
+    pairs = [(a, b) for a in kb1.uris() for b in kb2.uris()]
+    return pairs[:limit]
+
+
+class TestCosineMany:
+    def test_bit_identical_to_scalar(self, movie_index):
+        index, kb1, kb2 = movie_index
+        pairs = all_cross_pairs(kb1, kb2)
+        scores = index.cosine_many([a for a, _ in pairs], [b for _, b in pairs])
+        for (a, b), score in zip(pairs, scores):
+            assert float(score) == index.cosine(a, b)
+
+    def test_symmetric_and_order_preserving(self, movie_index):
+        index, kb1, kb2 = movie_index
+        pairs = all_cross_pairs(kb1, kb2, limit=50)
+        forward = index.cosine_many([a for a, _ in pairs], [b for _, b in pairs])
+        backward = index.cosine_many([b for _, b in pairs], [a for a, _ in pairs])
+        assert [float(s) for s in forward] == pytest.approx(
+            [float(s) for s in backward]
+        )
+
+    def test_empty_input(self, movie_index):
+        index, _, _ = movie_index
+        assert len(index.cosine_many([], [])) == 0
+
+    def test_length_mismatch_rejected(self, movie_index):
+        index, kb1, _ = movie_index
+        with pytest.raises(ValueError):
+            index.cosine_many(kb1.uris()[:2], kb1.uris()[:1])
+
+    def test_unknown_uri_raises(self, movie_index):
+        index, kb1, _ = movie_index
+        with pytest.raises(KeyError):
+            index.cosine_many([kb1.uris()[0]], ["http://nope"])
+
+    def test_tokenless_description_scores_zero(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("http://e/a", {"p": ["!!"]}),
+                EntityDescription("http://e/b", {"p": ["alpha beta"]}),
+            ]
+        )
+        index = SimilarityIndex([collection])
+        scores = index.cosine_many(["http://e/a"], ["http://e/b"])
+        assert float(scores[0]) == 0.0 == index.cosine("http://e/a", "http://e/b")
+
+
+class TestMatcherBatchPath:
+    def test_decide_many_equals_decide(self, movie_index):
+        index, kb1, kb2 = movie_index
+        matcher = ThresholdMatcher(index, threshold=0.3, measure="cosine")
+        pairs = all_cross_pairs(kb1, kb2, limit=120)
+        batch = matcher.decide_many(pairs)
+        for pair, decision in zip(pairs, batch):
+            single = matcher.decide(*pair)
+            assert decision.similarity == single.similarity
+            assert decision.is_match == single.is_match
+
+    def test_prime_caches_bit_identical_scores(self, movie_index):
+        index, kb1, kb2 = movie_index
+        primed = ThresholdMatcher(index, threshold=0.3, measure="cosine")
+        plain = ThresholdMatcher(index, threshold=0.3, measure="cosine")
+        pairs = all_cross_pairs(kb1, kb2, limit=120)
+        primed.prime(pairs)
+        assert primed._primed  # the cache actually filled
+        for a, b in pairs:
+            assert primed.similarity(a, b) == plain.similarity(a, b)
+
+    def test_prime_skips_non_cosine_measures(self, movie_index):
+        index, kb1, kb2 = movie_index
+        matcher = ThresholdMatcher(index, threshold=0.3, measure="jaccard")
+        matcher.prime(all_cross_pairs(kb1, kb2, limit=10))
+        assert not matcher._primed
+
+    def test_prime_skips_unindexed_pairs(self, movie_index):
+        index, kb1, _ = movie_index
+        matcher = ThresholdMatcher(index, threshold=0.3, measure="cosine")
+        matcher.prime([(kb1.uris()[0], "http://nope")])
+        assert not matcher._primed
+
+    def test_primed_cache_invalidated_when_index_drifts(self):
+        from repro.model.description import EntityDescription
+        from repro.stream import StreamResolver
+
+        resolver = StreamResolver()
+        resolver.ingest(EntityDescription("http://e/x", {"p": ["kappa sigma"]}))
+        resolver.ingest(EntityDescription("http://e/y", {"p": ["kappa tau"]}))
+        matcher = ThresholdMatcher(resolver.similarity, threshold=0.1, measure="cosine")
+        pair = ("http://e/x", "http://e/y")
+        matcher.prime([pair])
+        # A later insert shifts IDF; the primed score must not survive it.
+        resolver.ingest(EntityDescription("http://e/z", {"p": ["kappa omega"]}))
+        assert matcher.similarity(*pair) == resolver.similarity.cosine(*pair)
+
+    def test_restaurants_decisions_stable_end_to_end(self):
+        # The primed batch path must not flip any pipeline decision.
+        from repro.core.pipeline import MinoanER
+
+        kb1, kb2, gold = load_restaurants()
+        result = MinoanER().resolve(kb1, kb2, gold=gold)
+        rerun = MinoanER().resolve(kb1, kb2, gold=gold)
+        assert result.matched_pairs() == rerun.matched_pairs()

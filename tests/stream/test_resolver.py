@@ -1,0 +1,147 @@
+"""Query-time resolution behaviour of the stream resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_movies, load_restaurants
+from repro.model.description import EntityDescription
+from repro.stream import StreamResolver
+
+
+@pytest.fixture()
+def restaurant_resolver():
+    kb1, kb2, gold = load_restaurants()
+    resolver = StreamResolver(clean_clean=True)
+    resolver.ingest_batch([d.copy() for d in kb1], 0)
+    resolver.ingest_batch([d.copy() for d in kb2], 1)
+    return resolver, kb1, kb2, gold
+
+
+class TestResolve:
+    def test_finds_gold_counterparts(self, restaurant_resolver):
+        resolver, kb1, kb2, gold = restaurant_resolver
+        found = 0
+        for left, right in sorted(gold.matches):
+            description = (kb1.get(left) or kb2.get(left)).copy()
+            source = 0 if left in kb1 else 1
+            result = resolver.resolve(description, source=source)
+            if right in result.matched_uris():
+                found += 1
+        # The cosine matcher at the default threshold recovers most of
+        # the gold pairs on this corpus; the exact count is pinned by
+        # determinism.
+        assert found >= len(gold.matches) // 2
+
+    def test_latency_accounting_complete(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        result = resolver.resolve(next(iter(kb1)).copy(), source=0)
+        for phase in ("ingest_s", "candidates_s", "weigh_s", "match_s", "total_s"):
+            assert phase in result.latency
+            assert result.latency[phase] >= 0.0
+        assert result.latency["total_s"] >= result.latency["match_s"]
+
+    def test_budget_caps_comparisons(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        description = next(iter(kb1)).copy()
+        result = resolver.resolve(description, source=0, pruner="none", budget=1)
+        assert result.comparisons <= 1
+
+    def test_clean_clean_never_compares_same_source(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        for description in kb1:
+            result = resolver.resolve(description.copy(), source=0, pruner="none")
+            for match in result.matches:
+                assert match.uri not in kb1
+
+    def test_all_schemes_and_pruners_accepted(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        description = next(iter(kb1)).copy()
+        for scheme in ("CBS", "ECBS", "JS", "EJS", "ARCS", "X2"):
+            for pruner in ("CNP", "WNP", "none"):
+                result = resolver.resolve(description, scheme=scheme, pruner=pruner)
+                assert result.comparisons >= 0
+
+    def test_unknown_scheme_and_pruner_rejected(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        description = next(iter(kb1)).copy()
+        with pytest.raises(KeyError):
+            resolver.resolve(description, scheme="nope")
+        with pytest.raises(KeyError):
+            resolver.resolve(description, pruner="nope")
+
+    def test_decisions_accumulate_across_queries(self, restaurant_resolver):
+        resolver, kb1, _, _ = restaurant_resolver
+        description = next(iter(kb1)).copy()
+        first = resolver.resolve(description, source=0, pruner="none")
+        second = resolver.resolve(description.copy(), source=0, pruner="none")
+        # Every pair decided by the first query is skipped by the second.
+        assert second.skipped_decided >= first.comparisons
+        assert second.comparisons == 0
+
+    def test_repeat_query_still_reports_known_matches(self, restaurant_resolver):
+        resolver, kb1, _, gold = restaurant_resolver
+        left, right = sorted(gold.matches)[0]
+        description = (kb1.get(left) or kb1.get(right)).copy()
+        first = resolver.resolve(description, source=0, pruner="none")
+        # Re-querying a resolved entity must surface the match found
+        # earlier, not hide it behind "already decided".
+        second = resolver.resolve(description.copy(), source=0, pruner="none")
+        assert set(second.matched_uris()) >= set(first.matched_uris())
+
+    def test_prepopulated_store_is_replayed(self):
+        from repro.stream import StreamingEntityStore
+
+        store = StreamingEntityStore()
+        store.insert(EntityDescription("http://e/a", {"p": ["alpha beta gamma"]}))
+        store.insert(EntityDescription("http://e/c", {"p": ["delta beta"]}))
+        late = StreamResolver(store=store)
+        fresh = StreamResolver()
+        fresh.ingest(EntityDescription("http://e/a", {"p": ["alpha beta gamma"]}))
+        fresh.ingest(EntityDescription("http://e/c", {"p": ["delta beta"]}))
+        probe = EntityDescription("http://e/b", {"p": ["alpha beta gamma"]})
+        late_result = late.resolve(probe.copy(), pruner="none")
+        fresh_result = fresh.resolve(probe.copy(), pruner="none")
+        assert late_result.candidates == fresh_result.candidates > 0
+        assert late_result.matched_uris() == fresh_result.matched_uris()
+        assert late.pairs.as_reference_stats() == fresh.pairs.as_reference_stats()
+
+    def test_resolve_without_ingest_requires_known_uri(self):
+        resolver = StreamResolver()
+        with pytest.raises(KeyError):
+            resolver.resolve(
+                EntityDescription("http://e/unknown", {"p": ["v"]}), ingest=False
+            )
+
+    def test_selectivity_caps_bound_candidates(self):
+        kb1, kb2, _ = load_movies()
+        capped = StreamResolver(clean_clean=True, max_key_cardinality=2, key_ratio=0.5)
+        full = StreamResolver(clean_clean=True)
+        for source, kb in enumerate((kb1, kb2)):
+            capped.ingest_batch([d.copy() for d in kb], source)
+            full.ingest_batch([d.copy() for d in kb], source)
+        description = next(iter(kb1)).copy()
+        capped_result = capped.resolve(description, source=0, pruner="none")
+        full_result = full.resolve(description, source=0, pruner="none")
+        assert capped_result.candidates <= full_result.candidates
+
+
+class TestIngestion:
+    def test_ingest_returns_stable_ids(self):
+        resolver = StreamResolver()
+        a = resolver.ingest(EntityDescription("http://e/a", {"p": ["x y"]}))
+        b = resolver.ingest(EntityDescription("http://e/b", {"p": ["y z"]}))
+        again = resolver.ingest(EntityDescription("http://e/a", {"p": ["w"]}))
+        assert (a, b) == (0, 1)
+        assert again == a
+
+    def test_store_length_counts_distinct(self):
+        resolver = StreamResolver()
+        resolver.ingest(EntityDescription("http://e/a", {"p": ["x"]}))
+        resolver.ingest(EntityDescription("http://e/a", {"p": ["y"]}))
+        assert len(resolver.store) == 1
+
+    def test_source_bounds_checked(self):
+        resolver = StreamResolver()
+        with pytest.raises(IndexError):
+            resolver.ingest(EntityDescription("http://e/a", {"p": ["x"]}), source=1)

@@ -1,0 +1,130 @@
+"""Workload scenario generation and driver replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_restaurants
+from repro.stream import (
+    StreamResolver,
+    WorkloadDriver,
+    bursty_workload,
+    skewed_workload,
+    uniform_workload,
+)
+from repro.stream.workload import SCENARIOS, WorkloadEvent
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    kb1, kb2, _ = load_restaurants()
+    return kb1, kb2
+
+
+class TestScenarios:
+    def test_every_description_is_inserted(self, corpus):
+        kb1, kb2 = corpus
+        for make_events in SCENARIOS.values():
+            events = make_events(kb1, kb2)
+            inserted = {e.description.uri for e in events if e.kind == "insert"}
+            assert inserted == set(kb1.uris()) | set(kb2.uris())
+
+    def test_queries_target_already_inserted(self, corpus):
+        kb1, kb2 = corpus
+        for make_events in SCENARIOS.values():
+            seen: set[str] = set()
+            for event in make_events(kb1, kb2):
+                if event.kind == "insert":
+                    seen.add(event.description.uri)
+                else:
+                    assert event.description.uri in seen
+
+    def test_deterministic_under_seed(self, corpus):
+        kb1, kb2 = corpus
+        for make_events in SCENARIOS.values():
+            first = make_events(kb1, kb2, seed=3)
+            second = make_events(kb1, kb2, seed=3)
+            assert [(e.kind, e.description.uri, e.source) for e in first] == [
+                (e.kind, e.description.uri, e.source) for e in second
+            ]
+
+    def test_bursty_shape(self, corpus):
+        kb1, kb2 = corpus
+        events = bursty_workload(kb1, kb2, burst_size=5, queries_per_burst=2)
+        kinds = [e.kind for e in events]
+        assert kinds[:5] == ["insert"] * 5
+        assert kinds[5:7] == ["query"] * 2
+
+    def test_uniform_ratio(self, corpus):
+        kb1, kb2 = corpus
+        events = uniform_workload(kb1, kb2, query_every=3)
+        inserts = sum(1 for e in events if e.kind == "insert")
+        queries = sum(1 for e in events if e.kind == "query")
+        assert queries == inserts // 3
+
+    def test_skewed_prefers_early_arrivals(self, corpus):
+        kb1, kb2 = corpus
+        events = skewed_workload(kb1, kb2, query_every=2, zipf_exponent=2.5, seed=1)
+        arrival_rank = {}
+        ranks = []
+        for event in events:
+            if event.kind == "insert":
+                arrival_rank.setdefault(event.description.uri, len(arrival_rank))
+            else:
+                ranks.append(arrival_rank[event.description.uri])
+        # With a strong exponent the median queried rank sits well below
+        # the median arrival rank.
+        assert sorted(ranks)[len(ranks) // 2] < len(arrival_rank) // 2
+
+    def test_validation(self, corpus):
+        kb1, kb2 = corpus
+        with pytest.raises(ValueError):
+            uniform_workload(kb1, kb2, query_every=0)
+        with pytest.raises(ValueError):
+            bursty_workload(kb1, kb2, burst_size=0)
+        with pytest.raises(ValueError):
+            skewed_workload(kb1, kb2, zipf_exponent=0)
+
+
+class TestDriver:
+    def test_replay_counts_and_latencies(self, corpus):
+        kb1, kb2 = corpus
+        events = uniform_workload(kb1, kb2, query_every=4)
+        stats = WorkloadDriver(StreamResolver(clean_clean=True)).run(
+            events, scenario="uniform"
+        )
+        assert stats.inserts == len(kb1) + len(kb2)
+        assert stats.queries == sum(1 for e in events if e.kind == "query")
+        assert len(stats.insert_latencies_s) == stats.inserts
+        assert len(stats.query_latencies_s) == stats.queries
+        assert stats.elapsed_s > 0
+        assert stats.throughput_eps > 0
+        assert len(stats.insert_latency_by_quartile()) == 4
+        summary = stats.latency_summary("query")
+        assert summary["p50"] <= summary["p95"] <= summary["max"]
+
+    def test_summary_rows_render(self, corpus):
+        from repro.evaluation.reporting import format_table
+
+        kb1, kb2 = corpus
+        stats = WorkloadDriver(StreamResolver(clean_clean=True)).run(
+            bursty_workload(kb1, kb2), scenario="bursty"
+        )
+        table = format_table(stats.summary_rows(), title="t", first_column="metric")
+        assert "throughput" in table
+
+    def test_unknown_event_kind_rejected(self, corpus):
+        kb1, _ = corpus
+        driver = WorkloadDriver(StreamResolver())
+        bad = [WorkloadEvent("mutate", next(iter(kb1)).copy())]
+        with pytest.raises(ValueError):
+            driver.run(bad)
+
+    def test_on_query_callback_sees_results(self, corpus):
+        kb1, kb2 = corpus
+        results = []
+        WorkloadDriver(StreamResolver(clean_clean=True)).run(
+            uniform_workload(kb1, kb2, query_every=5),
+            on_query=results.append,
+        )
+        assert results and all(r.latency["total_s"] >= 0 for r in results)

@@ -125,6 +125,35 @@ class TestResolve:
         assert main(["resolve", "--kb1", kb_a, "--threshold", "0.9"]) == 0
 
 
+class TestStream:
+    def test_clean_clean_replay(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(
+                [
+                    "stream", "--kb1", kb_a, "--kb2", kb_b,
+                    "--scenario", "bursty", "--weighting", "ARCS",
+                    "--pruning", "CNP",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Streaming workload: bursty" in out
+        assert "throughput" in out
+        assert "insert mean by quartile" in out
+
+    def test_dirty_replay_with_budget(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert main(["stream", "--kb1", kb_a, "--budget", "2"]) == 0
+        assert "Streaming workload: uniform" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, movies_paths):
+        kb_a, _, _ = movies_paths
+        with pytest.raises(SystemExit):
+            main(["stream", "--kb1", kb_a, "--scenario", "nope"])
+
+
 class TestSynthesize:
     def test_writes_workload(self, capsys, tmp_path):
         out_dir = str(tmp_path / "workload")

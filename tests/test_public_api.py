@@ -49,6 +49,7 @@ class TestSubpackageAll:
             "repro.baselines",
             "repro.datasets",
             "repro.evaluation",
+            "repro.stream",
             "repro.utils",
         ],
     )
