@@ -1,25 +1,42 @@
-"""An in-process MapReduce engine and the parallel ER algorithms on it.
+"""A MapReduce engine and the parallel ER algorithms on it.
 
 MinoanER "exploits the parallel processing power of a computer cluster via
-Hadoop MapReduce" for blocking and meta-blocking [4, 5].  With no cluster
-available, this package substitutes a faithful in-process engine that
-reproduces the MapReduce **programming model** — mappers, combiners,
-hash partitioning, sorted shuffle, reducers, counters — and simulates the
-cluster dimension (configurable worker count, per-worker task metrics,
-critical-path time model), so the parallel formulations of [4, 5] run
-unchanged and their scaling behaviour (E8) can be measured.
+Hadoop MapReduce" for blocking and meta-blocking [4, 5].  This package
+reproduces the MapReduce **programming model** — mappers, combiners, hash
+partitioning, sorted shuffle, reducers, counters — with a pluggable
+execution dimension:
 
-* :mod:`repro.mapreduce.engine` — the job runner;
+* the **serial executor** (default) runs every task in-process in
+  deterministic order and models the cluster through per-worker task
+  metrics and the critical-path time model, so the parallel formulations
+  of [4, 5] run unchanged and their scaling behaviour (E8) can be
+  simulated exactly;
+* the **process executor** runs map/reduce tasks in real
+  ``multiprocessing`` workers, so wall-clock speedup is measured.
+
+Two formulations of meta-blocking coexist: the seed's string-tuple jobs
+(retained as the readable reference) and the int-ID rebuild whose
+mappers exchange packed-``a << 32 | b`` columnar numpy batches — the
+production path, bit-identical to the sequential int-ID graph.
+
+* :mod:`repro.mapreduce.engine` — the job runner + executors;
+* :mod:`repro.mapreduce.records` — columnar shuffle batches;
 * :mod:`repro.mapreduce.parallel_blocking` — MapReduce token blocking [5];
-* :mod:`repro.mapreduce.parallel_metablocking` — MapReduce meta-blocking
-  [4], edge-centric and entity-centric strategies.
+* :mod:`repro.mapreduce.parallel_metablocking` — string-tuple meta-blocking
+  [4], edge-centric and entity-centric strategies (reference);
+* :mod:`repro.mapreduce.parallel_metablocking_ids` — the int-ID rebuild;
+* :mod:`repro.mapreduce.parallel_postprocessing` — purging/filtering jobs.
 """
 
 from repro.mapreduce.engine import (
+    ArrayMapReduceJob,
     MapReduceEngine,
     MapReduceJob,
     JobMetrics,
+    ProcessExecutor,
+    SerialExecutor,
     hash_partitioner,
+    make_executor,
 )
 from repro.mapreduce.parallel_blocking import parallel_token_blocking
 from repro.mapreduce.parallel_metablocking import (
@@ -27,20 +44,30 @@ from repro.mapreduce.parallel_metablocking import (
     parallel_metablocking,
     parallel_node_pruning,
 )
+from repro.mapreduce.parallel_metablocking_ids import (
+    parallel_metablocking_ids,
+    parallel_pair_table,
+)
 from repro.mapreduce.parallel_postprocessing import (
     parallel_block_purging,
     parallel_block_filtering,
 )
 
 __all__ = [
+    "ArrayMapReduceJob",
     "MapReduceEngine",
     "MapReduceJob",
     "JobMetrics",
+    "ProcessExecutor",
+    "SerialExecutor",
     "hash_partitioner",
+    "make_executor",
     "parallel_token_blocking",
     "parallel_pair_statistics",
     "parallel_metablocking",
     "parallel_node_pruning",
+    "parallel_metablocking_ids",
+    "parallel_pair_table",
     "parallel_block_purging",
     "parallel_block_filtering",
 ]

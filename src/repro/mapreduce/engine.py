@@ -1,4 +1,4 @@
-"""The in-process MapReduce job runner.
+"""The MapReduce job runner: one programming model, two executors.
 
 The engine executes a classic Hadoop-style job:
 
@@ -9,19 +9,38 @@ The engine executes a classic Hadoop-style job:
    partitions and each partition is **sorted by key** (the shuffle);
 4. each reduce task runs the **reducer** over its groups.
 
-Everything happens in one process, but the data movement is real: the
-engine counts records and (approximate) bytes crossing the shuffle, and a
-critical-path time model — the slowest map task plus the slowest reduce
-task, in record-cost units — lets experiments measure skew and speedup
-exactly the way the parallel meta-blocking paper does.
+Where the work actually happens is pluggable:
+
+* the :class:`SerialExecutor` (default) runs every task in-process in
+  deterministic order — the oracle the equivalence suite trusts, with the
+  critical-path *time model* (slowest map task plus slowest reduce task,
+  in record-cost units) standing in for cluster wall time;
+* the :class:`ProcessExecutor` runs map and reduce tasks in real
+  ``multiprocessing`` worker processes (fork start method), so wall-clock
+  speedup is **measured**, not simulated.  Outputs are identical either
+  way: partitioning, key sorting and output ordering are all decided by
+  deterministic driver-side logic.
+
+Either way the data movement is real: the engine counts records and
+(approximate) bytes crossing the shuffle, so experiments can measure skew
+and shuffle volume exactly the way the parallel meta-blocking paper does.
+
+Two job shapes are supported: the record-at-a-time :class:`MapReduceJob`
+(any Python key/value types, closure mappers welcome) and the array-native
+:class:`ArrayMapReduceJob` whose tasks exchange columnar numpy record
+batches (see :mod:`repro.mapreduce.records`) — the int-ID formulation of
+parallel meta-blocking runs on the latter.
 """
 
 from __future__ import annotations
 
+import time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.utils.rng import stable_hash
+from repro.utils.rng import stable_hash, stable_hash_int
 
 #: mapper: (key, value) -> iterable of (key, value)
 Mapper = Callable[[Any, Any], Iterable[tuple[Any, Any]]]
@@ -30,15 +49,211 @@ Reducer = Callable[[Any, list], Iterable[tuple[Any, Any]]]
 #: partitioner: (key, partitions) -> partition index
 Partitioner = Callable[[Any, int], int]
 
+#: seconds a single executor phase may take before a deadlock is assumed
+DEFAULT_TASK_TIMEOUT_S = 600.0
+
 
 def hash_partitioner(key: Any, partitions: int) -> int:
-    """Hadoop-style deterministic hash partitioning on ``repr(key)``."""
+    """Hadoop-style deterministic hash partitioning.
+
+    Integer keys (packed int64 pairs, dense entity ids, cardinalities)
+    are hashed directly through the splitmix64
+    :func:`~repro.utils.rng.stable_hash_int` — no ``repr`` string is
+    allocated on the hot path.  Every other key type keeps the historical
+    ``stable_hash(repr(key))`` route, so partitioning of string-keyed
+    jobs is unchanged (asserted by a regression test).
+
+    ``bool`` is an ``int`` subclass but has a distinct ``repr``; the
+    exact type check keeps bool keys on the legacy path.
+    """
+    if type(key) is int:
+        return stable_hash_int(key, partitions)
     return stable_hash(repr(key), partitions)
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class Executor(ABC):
+    """Runs a phase's tasks and returns their results in task order."""
+
+    #: label recorded in job metrics
+    name = "executor"
+
+    @abstractmethod
+    def run_tasks(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        """Run zero-argument task callables; results in task order.
+
+        Tasks may be closures over arbitrary driver state.
+        """
+
+    def run_specs(self, specs: list[tuple[Callable, tuple]]) -> list[Any]:
+        """Run ``(function, args)`` task specs; results in spec order.
+
+        Specs must be picklable (module-level function, array/scalar
+        args) — the contract array jobs honour so process pools can ship
+        them without fork-inheritance tricks.
+        """
+        return self.run_tasks([_bind_spec(fn, args) for fn, args in specs])
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+
+
+def _bind_spec(fn: Callable, args: tuple) -> Callable[[], Any]:
+    return lambda: fn(*args)
+
+
+class SerialExecutor(Executor):
+    """The deterministic in-process oracle: tasks run inline, in order."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+#: fork-inherited task table for closure tasks (set just before the pool
+#: forks, so children see it without pickling the closures)
+_FORK_TASK_TABLE: list[Callable[[], Any]] | None = None
+
+
+def _run_fork_task(index: int) -> Any:
+    assert _FORK_TASK_TABLE is not None
+    return _FORK_TASK_TABLE[index]()
+
+
+def _apply_spec(spec: tuple[Callable, tuple]) -> Any:
+    fn, args = spec
+    return fn(*args)
+
+
+class ProcessExecutor(Executor):
+    """Real ``multiprocessing`` workers (fork start method, POSIX only).
+
+    Two dispatch routes, one per task shape:
+
+    * **specs** (picklable module-level functions + array args) run on a
+      persistent worker pool created lazily on first use — the hot route
+      the array jobs take, amortizing pool start-up across jobs;
+    * **closure tasks** are not picklable, so each phase stashes them in
+      a module global and forks a fresh pool whose children inherit it.
+
+    Every phase waits with a hard *timeout* so a deadlocked worker fails
+    the job instead of hanging the driver (the CI smoke step relies on
+    this).
+
+    Args:
+        workers: worker process count (also the pool size).
+        task_timeout_s: per-phase timeout in seconds.
+
+    Raises:
+        RuntimeError: on construction when the platform has no ``fork``
+            start method (use :meth:`available` to probe first).
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int, task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S
+    ) -> None:
+        if not self.available():
+            raise RuntimeError(
+                "ProcessExecutor needs the 'fork' multiprocessing start "
+                "method (POSIX); use SerialExecutor on this platform"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.task_timeout_s = task_timeout_s
+        self._pool = None
+
+    @staticmethod
+    def available() -> bool:
+        """True when the fork start method exists on this platform."""
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run_specs(self, specs: list[tuple[Callable, tuple]]) -> list[Any]:
+        if len(specs) <= 1 or self.workers <= 1:
+            return [fn(*args) for fn, args in specs]
+        pool = self._ensure_pool()
+        result = pool.map_async(_apply_spec, specs, chunksize=1)
+        return self._get(result)
+
+    def run_tasks(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        if len(tasks) <= 1 or self.workers <= 1:
+            return [task() for task in tasks]
+        global _FORK_TASK_TABLE
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        _FORK_TASK_TABLE = tasks
+        try:
+            with ctx.Pool(min(self.workers, len(tasks))) as pool:
+                result = pool.map_async(
+                    _run_fork_task, range(len(tasks)), chunksize=1
+                )
+                return self._get(result)
+        finally:
+            _FORK_TASK_TABLE = None
+
+    def _get(self, async_result) -> list[Any]:
+        import multiprocessing
+
+        try:
+            return async_result.get(self.task_timeout_s)
+        except multiprocessing.TimeoutError:
+            self.close()
+            raise RuntimeError(
+                f"MapReduce phase exceeded {self.task_timeout_s:.0f}s "
+                "(deadlocked or stuck worker)"
+            ) from None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
+def make_executor(executor: str | Executor, workers: int) -> Executor:
+    """Resolve an executor argument: an instance, ``"serial"`` or ``"process"``."""
+    if isinstance(executor, Executor):
+        return executor
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor {executor!r}; choose 'serial' or 'process'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Jobs and metrics
+# ---------------------------------------------------------------------------
 
 
 @dataclass
 class MapReduceJob:
-    """A single MapReduce job description.
+    """A single record-at-a-time MapReduce job description.
 
     Args:
         name: label for metrics and logs.
@@ -56,11 +271,36 @@ class MapReduceJob:
 
 
 @dataclass
+class ArrayMapReduceJob:
+    """An array-native MapReduce job over columnar record batches.
+
+    Mappers and reducers are **module-level functions** (picklable, so
+    process pools ship them directly) operating on whole chunks:
+
+    * ``mapper(chunk, partitions, params)`` →
+      ``(list of (partition, batch), input_rows)`` — the mapper combines
+      locally (sort + bincount fold) and routes each output batch by
+      vectorized integer hashing;
+    * ``reducer(batches, params)`` → ``(output, output_rows)`` — folds
+      one partition's batches.
+
+    Batches expose ``__len__`` (rows crossing the shuffle) and
+    ``nbytes`` (shuffle bytes); see :mod:`repro.mapreduce.records`.
+    """
+
+    name: str
+    mapper: Callable[[Any, int, dict], tuple[list[tuple[int, Any]], int]]
+    reducer: Callable[[list, dict], tuple[Any, int]]
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
 class JobMetrics:
     """Execution metrics of one job run (the paper's cluster counters)."""
 
     job_name: str
     workers: int
+    executor: str = "serial"
     map_input_records: int = 0
     map_output_records: int = 0
     combine_output_records: int = 0
@@ -70,6 +310,16 @@ class JobMetrics:
     reduce_output_records: int = 0
     map_task_costs: list[int] = field(default_factory=list)
     reduce_task_costs: list[int] = field(default_factory=list)
+    #: measured wall-clock seconds of the map / reduce phases (real time,
+    #: meaningful for comparing executors; the critical path below stays
+    #: the simulated cluster model)
+    map_wall_s: float = 0.0
+    reduce_wall_s: float = 0.0
+
+    @property
+    def wall_s(self) -> float:
+        """Measured wall-clock seconds of both phases combined."""
+        return self.map_wall_s + self.reduce_wall_s
 
     @property
     def critical_path_cost(self) -> int:
@@ -93,18 +343,74 @@ class JobMetrics:
         return max(costs) / (sum(costs) / len(costs))
 
 
+def _run_record_map_task(
+    job: MapReduceJob, split: list[tuple[Any, Any]]
+) -> tuple[int, list[tuple[Any, Any]]]:
+    """One map task: mapper over the split, then the optional combiner.
+
+    Returns ``(pre_combine_record_count, task_output)``.
+    """
+    task_output: list[tuple[Any, Any]] = []
+    for key, value in split:
+        for out in job.mapper(key, value):
+            task_output.append(out)
+    raw_count = len(task_output)
+    if job.combiner is not None:
+        grouped = _group(task_output)
+        combined: list[tuple[Any, Any]] = []
+        for key in grouped:
+            combined.extend(job.combiner(key, grouped[key]))
+        task_output = combined
+    return raw_count, task_output
+
+
+def _run_record_reduce_task(
+    job: MapReduceJob, grouped: dict[Any, list[Any]]
+) -> tuple[list[tuple[Any, Any]], int, int]:
+    """One reduce task over a partition's groups, in sorted key order.
+
+    Returns ``(output, task_cost, group_count)``.
+    """
+    output: list[tuple[Any, Any]] = []
+    task_cost = 0
+    groups = 0
+    for key in sorted(grouped, key=repr):
+        values = grouped[key]
+        task_cost += len(values)
+        groups += 1
+        for out in job.reducer(key, values):
+            output.append(out)
+            task_cost += 1
+    return output, task_cost, groups
+
+
 class MapReduceEngine:
-    """Runs :class:`MapReduceJob` descriptions over in-memory records.
+    """Runs job descriptions over in-memory records.
 
     Args:
-        workers: number of simulated cluster workers (map and reduce
-            parallelism).  Must be >= 1.
+        workers: cluster worker count (map and reduce parallelism).
+            Must be >= 1.
+        executor: where tasks run — ``"serial"`` (deterministic
+            in-process oracle, the default), ``"process"`` (real
+            ``multiprocessing`` workers) or an :class:`Executor`
+            instance.  Results are identical across executors.
     """
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(self, workers: int = 4, executor: str | Executor = "serial") -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.executor = make_executor(executor, workers)
+
+    def close(self) -> None:
+        """Release the executor's resources (worker pools)."""
+        self.executor.close()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,
@@ -116,49 +422,49 @@ class MapReduceEngine:
         Returns:
             ``(output_records, metrics)``.  Output records are ordered by
             reduce partition then sorted key, mirroring part-file order on
-            a real cluster.
+            a real cluster — identically for every executor.
         """
         record_list = list(records)
-        metrics = JobMetrics(job_name=job.name, workers=self.workers)
+        metrics = JobMetrics(
+            job_name=job.name, workers=self.workers, executor=self.executor.name
+        )
         metrics.map_input_records = len(record_list)
 
         # -- map phase (with per-task combining) --------------------------
-        splits = self._split(record_list)
+        # Record jobs carry closure mappers/reducers (not picklable), so
+        # they dispatch as bound tasks: the serial executor calls them
+        # inline, the process executor fork-inherits them.
+        splits = list(self._split(record_list))
+        started = time.perf_counter()
+        map_results = self.executor.run_tasks(
+            [partial(_run_record_map_task, job, split) for split in splits]
+        )
+        metrics.map_wall_s = time.perf_counter() - started
+
+        # -- shuffle (driver-side, deterministic) -------------------------
         partitions: list[dict[Any, list[Any]]] = [dict() for _ in range(self.workers)]
-        for split in splits:
-            task_output: list[tuple[Any, Any]] = []
-            for key, value in split:
-                for out_key, out_value in job.mapper(key, value):
-                    task_output.append((out_key, out_value))
-            metrics.map_output_records += len(task_output)
-            metrics.map_task_costs.append(len(split) + len(task_output))
-
+        for split, (raw_count, task_output) in zip(splits, map_results):
+            metrics.map_output_records += raw_count
+            metrics.map_task_costs.append(len(split) + raw_count)
             if job.combiner is not None:
-                grouped = _group(task_output)
-                combined: list[tuple[Any, Any]] = []
-                for key in grouped:
-                    combined.extend(job.combiner(key, grouped[key]))
-                task_output = combined
                 metrics.combine_output_records += len(task_output)
-
             for key, value in task_output:
                 partition = job.partitioner(key, self.workers)
                 partitions[partition].setdefault(key, []).append(value)
                 metrics.shuffle_records += 1
                 metrics.shuffle_bytes += _record_size(key, value)
 
-        # -- reduce phase ----------------------------------------------------
+        # -- reduce phase --------------------------------------------------
+        started = time.perf_counter()
+        reduce_results = self.executor.run_tasks(
+            [partial(_run_record_reduce_task, job, grouped) for grouped in partitions]
+        )
+        metrics.reduce_wall_s = time.perf_counter() - started
         output: list[tuple[Any, Any]] = []
-        for grouped in partitions:
-            task_cost = 0
-            for key in sorted(grouped, key=repr):
-                values = grouped[key]
-                task_cost += len(values)
-                metrics.reduce_groups += 1
-                for out in job.reducer(key, values):
-                    output.append(out)
-                    task_cost += 1
+        for partition_output, task_cost, groups in reduce_results:
+            output.extend(partition_output)
             metrics.reduce_task_costs.append(task_cost)
+            metrics.reduce_groups += groups
         metrics.reduce_output_records = len(output)
         return output, metrics
 
@@ -174,6 +480,64 @@ class MapReduceEngine:
             current, metrics = self.run(job, current)
             all_metrics.append(metrics)
         return current, all_metrics
+
+    def run_array(
+        self,
+        job: ArrayMapReduceJob,
+        chunks: list[Any],
+        chunk_rows: list[int] | None = None,
+    ) -> tuple[list[Any], JobMetrics]:
+        """Execute an array-native *job* over pre-split input *chunks*.
+
+        Args:
+            job: the batch job description.
+            chunks: one opaque (picklable) payload per map task.
+            chunk_rows: optional per-chunk input row counts for the
+                metrics (defaults to the mapper-reported counts).
+
+        Returns:
+            ``(per_partition_reduce_outputs, metrics)`` with one output
+            per partition, in partition order (empty partitions yield
+            the reducer's output over zero batches).
+        """
+        metrics = JobMetrics(
+            job_name=job.name, workers=self.workers, executor=self.executor.name
+        )
+        started = time.perf_counter()
+        map_results = self.executor.run_specs(
+            [(job.mapper, (chunk, self.workers, job.params)) for chunk in chunks]
+        )
+        metrics.map_wall_s = time.perf_counter() - started
+
+        partitions: list[list[Any]] = [[] for _ in range(self.workers)]
+        for index, (routed, input_rows) in enumerate(map_results):
+            if chunk_rows is not None:
+                input_rows = chunk_rows[index]
+            metrics.map_input_records += input_rows
+            task_out = 0
+            for partition, batch in routed:
+                rows = len(batch)
+                partitions[partition].append(batch)
+                task_out += rows
+                metrics.shuffle_records += rows
+                metrics.shuffle_bytes += batch.nbytes
+            metrics.map_output_records += task_out
+            metrics.combine_output_records += task_out
+            metrics.map_task_costs.append(input_rows + task_out)
+
+        started = time.perf_counter()
+        reduce_results = self.executor.run_specs(
+            [(job.reducer, (batches, job.params)) for batches in partitions]
+        )
+        metrics.reduce_wall_s = time.perf_counter() - started
+        outputs: list[Any] = []
+        for batches, (output, output_rows) in zip(partitions, reduce_results):
+            input_rows = sum(len(batch) for batch in batches)
+            metrics.reduce_task_costs.append(input_rows + output_rows)
+            metrics.reduce_groups += output_rows
+            metrics.reduce_output_records += output_rows
+            outputs.append(output)
+        return outputs, metrics
 
     def _split(self, records: list[tuple[Any, Any]]) -> Iterator[list[tuple[Any, Any]]]:
         """Round-robin input splits, as contiguous ranges (like HDFS splits)."""

@@ -7,10 +7,12 @@ The parallel formulation of token blocking is the canonical one:
 * **reduce** — each token group becomes a block; singleton and one-sided
   groups are discarded exactly as in the sequential algorithm.
 
-The output is byte-for-byte equivalent (same blocks, same members) to
-:class:`repro.blocking.TokenBlocking` — asserted by the integration tests —
-while the engine's metrics expose the shuffle volume and per-worker skew
-the paper reports.
+The output is byte-for-byte equivalent (same blocks, same members, same
+primed id views) to :class:`repro.blocking.TokenBlocking` — asserted by
+the integration tests — while the engine's metrics expose the shuffle
+volume and per-worker skew the paper reports.  The job runs on whichever
+executor the engine carries: serially simulated by default, or in real
+worker processes (mapper/reducer closures are fork-inherited).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.blocking.block import Block, BlockCollection
 from repro.mapreduce.engine import JobMetrics, MapReduceEngine, MapReduceJob
 from repro.model.collection import EntityCollection
 from repro.model.description import EntityDescription
+from repro.model.interner import EntityInterner
 from repro.model.tokenizer import Tokenizer
 
 
@@ -71,7 +74,22 @@ def parallel_token_blocking(
     names = collection1.name if collection2 is None else f"{collection1.name},{collection2.name}"
     blocks = BlockCollection(name=f"mr-token-blocking({names})")
     # Reduce partitions arrive in partition order; normalize to sorted key
-    # order so the result is identical to the sequential builder.
+    # order so the result is identical to the sequential builder — and
+    # prime the id views in the same pass, exactly as Blocker.build does,
+    # so int-ID meta-blocking starts warm on MapReduce-built blocks too.
+    interner = EntityInterner()
+    intern = interner.intern
+    id_blocks: list[tuple[list[int], list[int] | None, int]] = []
     for _token, block in sorted(output, key=lambda kv: kv[0]):
         blocks.add(block)
+        id_blocks.append(
+            (
+                list(map(intern, block.entities1)),
+                list(map(intern, block.entities2))
+                if block.entities2 is not None
+                else None,
+                block.cardinality(),
+            )
+        )
+    blocks.prime_id_views(interner, id_blocks)
     return blocks, metrics

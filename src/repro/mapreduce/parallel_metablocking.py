@@ -19,6 +19,14 @@ Both produce the same surviving comparisons as the sequential
 :mod:`repro.metablocking` implementations (asserted in tests), while the
 engine metrics expose their very different shuffle volumes — the trade-off
 the paper's evaluation measures.
+
+This module is the retained **string-tuple reference formulation**: one
+Python tuple per shuffled record, readable and close to the paper's
+pseudocode.  The production path is the int-ID rebuild in
+:mod:`repro.mapreduce.parallel_metablocking_ids`, which ships packed
+``a << 32 | b`` columnar batches instead and is bit-identical to the
+sequential fast path; ``benchmarks/bench_mapreduce.py`` measures the two
+formulations against each other.
 """
 
 from __future__ import annotations
@@ -120,7 +128,7 @@ def parallel_metablocking(
     if isinstance(pruner, CEP):
         # Global top-K: each map task pre-selects its local top-K (the
         # standard distributed top-K trick), a single reduce group merges.
-        k = pruner.k if pruner.k is not None else max(1, blocks.total_assignments() // 2)
+        k = pruner.budget_from_blocks(blocks)
 
         def cep_mapper(pair, weight) -> Iterator[tuple[str, tuple[float, tuple[str, str]]]]:
             yield "topk", (weight, pair)

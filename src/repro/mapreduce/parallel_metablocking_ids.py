@@ -1,0 +1,511 @@
+"""Int-ID MapReduce meta-blocking: the array-native parallel formulation.
+
+The retained string-tuple formulation in
+:mod:`repro.mapreduce.parallel_metablocking` ships one Python tuple per
+implied comparison through the shuffle.  This module is the rebuild on
+PR 1's integer backbone: mappers expand each map split's comparison
+cells straight from the collection's CSR id views into flat numpy
+arrays, pack every pair into a single ``a << 32 | b`` int64 key, combine
+with a sort + bincount fold, and route columnar record batches by
+vectorized splitmix64 hashing — no per-record Python objects anywhere
+between map input and reduce output.
+
+**Bit-identity contract.**  Every result — pair statistics, weights,
+surviving edges — is bit-identical to the sequential
+:class:`~repro.metablocking.graph.BlockingGraph` fast path, for any
+worker count and either executor.  Floating-point addition is not
+associative, so this needs care at two points:
+
+* **ARCS sums** — map-side combining folds cells per ``(pair, block)``
+  incidence (contributions inside one incidence are equal values of one
+  block, so their fold is order-free *within* the incidence), and the
+  reducer re-expands incidences ordered by each pair's global
+  first-cell index, reproducing the sequential enumeration's value
+  sequence exactly;
+* **global/neighbourhood means** — the WEP threshold is folded
+  driver-side in pair-table row order (first-seen order, recovered from
+  the shuffled statistics via the carried first-cell indices), and the
+  entity-centric reducers fold each node's weights in the interleaved
+  directed-edge order the sequential pruners use.
+
+Everything a worker touches is a module-level function over arrays, so
+the multiprocessing executor ships tasks by pickle with no fork
+inheritance tricks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+try:  # pragma: no cover - exercised throughout this module
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None  # type: ignore[assignment]
+
+from repro.blocking.block import BlockCollection
+from repro.mapreduce.engine import ArrayMapReduceJob, JobMetrics, MapReduceEngine
+from repro.mapreduce.records import RecordBatch, concat_batches, partition_batch
+from repro.metablocking.graph import (
+    PairTable,
+    WeightedEdge,
+    expand_comparison_cells,
+    finish_pair_table,
+    pack_pair_arrays,
+)
+from repro.metablocking.pruning import CEP, CNP, PruningScheme, WEP, WNP
+from repro.metablocking.weighting import WeightingScheme, weight_pair_table
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - the container ships numpy
+        raise RuntimeError(
+            "the int-ID MapReduce formulation requires numpy; "
+            "use repro.mapreduce.parallel_metablocking instead"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Input splits: contiguous block ranges, balanced by implied comparisons
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ChunkCSR:
+    """A self-contained CSR slice of one map split's blocks.
+
+    Shaped exactly like :class:`~repro.blocking.block.BlockIdArrays` as
+    far as :func:`expand_comparison_cells` is concerned, but carrying
+    only the split's spans — what crosses the process boundary is the
+    split, not the collection.
+    """
+
+    cardinality: "np.ndarray"
+    offsets1: "np.ndarray"
+    offsets2_abs: "np.ndarray"
+    bipartite: "np.ndarray"
+    sides: "np.ndarray"
+
+
+def _slice_csr(csr, start: int, stop: int) -> _ChunkCSR:
+    side1_lo = int(csr.offsets1[start])
+    side1_hi = int(csr.offsets1[stop])
+    side2_lo = int(csr.offsets2_abs[start])
+    side2_hi = int(csr.offsets2_abs[stop])
+    side1_span = side1_hi - side1_lo
+    return _ChunkCSR(
+        cardinality=csr.cardinality[start:stop],
+        offsets1=csr.offsets1[start : stop + 1] - side1_lo,
+        offsets2_abs=csr.offsets2_abs[start : stop + 1] - side2_lo + side1_span,
+        bipartite=csr.bipartite[start:stop],
+        sides=np.concatenate(
+            [csr.sides[side1_lo:side1_hi], csr.sides[side2_lo:side2_hi]]
+        ),
+    )
+
+
+def _block_chunks(blocks: BlockCollection, workers: int) -> list[tuple]:
+    """Contiguous block-range splits, work-balanced by comparison count.
+
+    Token frequencies are Zipfian, so splitting by block *count* leaves
+    one mapper holding the stop-word blocks; splitting on the cumulative
+    cardinality curve keeps map tasks within one cell-count of even.
+    """
+    csr = blocks.id_arrays()
+    assert csr is not None
+    count = len(csr.cardinality)
+    if count == 0:
+        return []
+    cumulative = np.cumsum(csr.cardinality)
+    total = int(cumulative[-1])
+    targets = [(total * (i + 1)) // workers for i in range(workers)]
+    boundaries = np.searchsorted(cumulative, targets, side="left") + 1
+    chunks: list[tuple] = []
+    start = 0
+    for boundary in boundaries.tolist():
+        stop = min(max(boundary, start), count)
+        if stop == start:
+            continue
+        cell_base = int(cumulative[start - 1]) if start else 0
+        chunks.append((_slice_csr(csr, start, stop), start, cell_base))
+        start = stop
+    return chunks
+
+
+def _row_chunks(arrays: tuple, workers: int) -> list[tuple]:
+    """Even contiguous row-range splits of parallel edge arrays."""
+    rows = len(arrays[0])
+    if rows == 0:
+        return []
+    size, remainder = divmod(rows, workers)
+    chunks: list[tuple] = []
+    start = 0
+    for worker in range(workers):
+        length = size + (1 if worker < remainder else 0)
+        if length == 0:
+            continue
+        chunks.append((start, *(a[start : start + length] for a in arrays)))
+        start += length
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Job 1 — pair statistics (edge-centric aggregation)
+# ---------------------------------------------------------------------------
+
+
+def _map_pair_cells(chunk, partitions: int, params: dict):
+    """Expand one split's cells; combine per (pair, block); route by pair.
+
+    Batch columns: packed key, block ordinal, cell count, first global
+    cell index, per-cell contribution (``1/‖b‖``).
+    """
+    chunk_csr, ordinal_base, cell_base = chunk
+    expanded = expand_comparison_cells(chunk_csr, with_provenance=True)
+    left, right, contribution, ordinals, cell_index = expanded
+    rows = len(left)
+    if not rows:
+        return [], 0
+    keys = pack_pair_arrays(left, right)
+    ordinals = ordinals + ordinal_base
+    cell_index = cell_index + cell_base
+    # Sort + fold (the PairTable aggregation, scoped to this task): a
+    # stable lexsort groups cells by (pair, block); the group's first row
+    # keeps the earliest cell index, its size is the cell count.
+    order = np.lexsort((ordinals, keys))
+    keys_s = keys[order]
+    ordinals_s = ordinals[order]
+    new_group = np.concatenate(
+        ([True], (keys_s[1:] != keys_s[:-1]) | (ordinals_s[1:] != ordinals_s[:-1]))
+    )
+    starts = np.flatnonzero(new_group)
+    cells = np.diff(np.append(starts, rows))
+    columns = (
+        keys_s[starts],
+        ordinals_s[starts],
+        cells.astype(np.int64),
+        cell_index[order][starts],
+        contribution[order][starts],
+    )
+    return partition_batch(columns, columns[0], partitions), rows
+
+
+def _reduce_pair_stats(batches: list[RecordBatch], params: dict):
+    """Fold one partition's (pair, block) incidences into exact statistics.
+
+    Incidences are ordered by each pair's first-cell index and re-expanded
+    to per-cell contributions, so the bincount accumulates every pair's
+    ARCS terms in the sequential enumeration order — bit-identical floats.
+    """
+    keys, ordinals, cells, first_cell, contribution = concat_batches(batches, 5)
+    rows = len(keys)
+    empty = (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.int64),
+    )
+    if not rows:
+        return empty, 0
+    order = np.lexsort((first_cell, keys))
+    keys_s = keys[order]
+    first_s = first_cell[order]
+    cells_s = cells[order]
+    contrib_s = contribution[order]
+    new_pair = np.concatenate(([True], keys_s[1:] != keys_s[:-1]))
+    group = np.cumsum(new_pair) - 1
+    groups = int(group[-1]) + 1
+    starts = np.flatnonzero(new_pair)
+    per_cell_group = np.repeat(group, cells_s)
+    per_cell_contrib = np.repeat(contrib_s, cells_s)
+    arcs = np.bincount(per_cell_group, weights=per_cell_contrib, minlength=groups)
+    common = np.bincount(group, weights=cells_s, minlength=groups).astype(np.int64)
+    return (keys_s[starts], common, arcs, first_s[starts]), groups
+
+
+def parallel_pair_table(
+    engine: MapReduceEngine, blocks: BlockCollection
+) -> tuple[PairTable, JobMetrics]:
+    """Edge-centric MapReduce aggregation into a batch-identical pair table.
+
+    The returned table — row order included — is bit-identical to the
+    sequential :func:`~repro.metablocking.graph.pair_table_for` result:
+    reducers carry each pair's first global cell index, so the driver can
+    restore first-seen enumeration order after the shuffle scattered it.
+    """
+    _require_numpy()
+    job = ArrayMapReduceJob(
+        name="pair-statistics-ids",
+        mapper=_map_pair_cells,
+        reducer=_reduce_pair_stats,
+    )
+    outputs, metrics = engine.run_array(job, _block_chunks(blocks, engine.workers))
+    parts = [out for out in outputs if out is not None and len(out[0])]
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        table = PairTable(
+            [], empty, empty, empty, np.empty(0, dtype=np.float64), empty
+        )
+        return table, metrics
+    keys = np.concatenate([p[0] for p in parts])
+    common = np.concatenate([p[1] for p in parts])
+    arcs = np.concatenate([p[2] for p in parts])
+    first_seen = np.concatenate([p[3] for p in parts])
+    order = np.argsort(first_seen, kind="stable")
+    return finish_pair_table(blocks, keys[order], common[order], arcs[order]), metrics
+
+
+# ---------------------------------------------------------------------------
+# Job 2a — global pruning (WEP threshold filter / CEP distributed top-K)
+# ---------------------------------------------------------------------------
+
+
+def _map_weight_filter(chunk, partitions: int, params: dict):
+    """WEP map: keep rows at or above the global mean threshold."""
+    rows_base, keys, weights = chunk
+    mask = weights >= params["threshold"]
+    kept = np.flatnonzero(mask)
+    columns = ((kept + rows_base).astype(np.int64), keys[mask])
+    return partition_batch(columns, columns[1], partitions), len(weights)
+
+
+def _reduce_row_identity(batches: list[RecordBatch], params: dict):
+    rows, _keys = concat_batches(batches, 2)
+    return rows, len(rows)
+
+
+def _map_topk(chunk, partitions: int, params: dict):
+    """CEP map: local top-K pre-selection (the distributed top-K trick)."""
+    rows_base, weights, rank_a, rank_b = chunk
+    top = np.lexsort((rank_b, rank_a, -weights))[: params["k"]]
+    columns = (
+        (top + rows_base).astype(np.int64),
+        weights[top],
+        rank_a[top],
+        rank_b[top],
+    )
+    # One logical reduce group, like the string formulation's "topk" key.
+    return partition_batch(columns, np.zeros(len(top), dtype=np.int64), partitions), len(
+        weights
+    )
+
+
+def _reduce_topk(batches: list[RecordBatch], params: dict):
+    rows, weights, rank_a, rank_b = concat_batches(batches, 4)
+    if not len(rows):
+        return np.empty(0, dtype=np.int64), 0
+    top = np.lexsort((rank_b, rank_a, -weights.astype(np.float64)))[: params["k"]]
+    return rows[top], len(top)
+
+
+# ---------------------------------------------------------------------------
+# Job 2b — entity-centric node retention + vote merge (WNP/CNP)
+# ---------------------------------------------------------------------------
+
+
+def _map_route_edges(chunk, partitions: int, params: dict):
+    """Route every weighted edge to both endpoints (entity-centric map).
+
+    Batch columns: node id, interleaved directed index (``2·edge`` for
+    the left endpoint, ``2·edge + 1`` for the right — the sequential
+    pruners' fold order), the *other* endpoint's URI rank, the weight and
+    the edge row index.
+    """
+    rows_base, ids_a, ids_b, rank_a, rank_b, weights = chunk
+    edge = np.arange(len(ids_a), dtype=np.int64) + rows_base
+    node = np.concatenate([ids_a, ids_b])
+    directed = np.concatenate([2 * edge, 2 * edge + 1])
+    neighbor_rank = np.concatenate([rank_b, rank_a])
+    weight = np.concatenate([weights, weights])
+    edges = np.concatenate([edge, edge])
+    columns = (node, directed, neighbor_rank, weight, edges)
+    return partition_batch(columns, node, partitions), len(ids_a)
+
+
+def _reduce_node_retention(batches: list[RecordBatch], params: dict):
+    """Apply the node-local retention rule to each complete neighbourhood.
+
+    Emits one retention vote (the edge row index) per kept directed
+    entry; WNP folds each node's weights in directed order so the mean
+    threshold is bit-identical to the sequential vectorized pruner.
+    """
+    node, directed, neighbor_rank, weight, edges = concat_batches(batches, 5)
+    if not len(node):
+        return np.empty(0, dtype=np.int64), 0
+    weight = weight.astype(np.float64, copy=False)
+    if params["mode"] == "CNP":
+        order = np.lexsort((neighbor_rank, -weight, node))
+        node_s = node[order]
+        boundary = np.concatenate(([True], node_s[1:] != node_s[:-1]))
+        group_start = np.flatnonzero(boundary)
+        position = (
+            np.arange(len(node_s)) - group_start[np.cumsum(boundary) - 1]
+        )
+        kept = position < params["k"]
+    else:  # WNP: per-node mean threshold, folded in directed order
+        order = np.lexsort((directed, node))
+        node_s = node[order]
+        weight_s = weight[order]
+        boundary = np.concatenate(([True], node_s[1:] != node_s[:-1]))
+        group = np.cumsum(boundary) - 1
+        groups = int(group[-1]) + 1
+        sums = np.bincount(group, weights=weight_s, minlength=groups)
+        counts = np.bincount(group, minlength=groups)
+        kept = weight_s >= (sums / counts)[group]
+    votes = edges[order][kept]
+    return votes, len(votes)
+
+
+def _map_votes(chunk, partitions: int, params: dict):
+    (votes,) = chunk
+    return partition_batch((votes,), votes, partitions), len(votes)
+
+
+def _reduce_votes(batches: list[RecordBatch], params: dict):
+    """Union/reciprocal merge: count endpoint votes per edge."""
+    (votes,) = concat_batches(batches, 1)
+    if not len(votes):
+        return np.empty(0, dtype=np.int64), 0
+    edges, counts = np.unique(votes, return_counts=True)
+    survivors = edges[counts >= params["required"]]
+    return survivors, len(survivors)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def _ranked_edges(table: PairTable, weights, rows) -> list[WeightedEdge]:
+    """Surviving rows as WeightedEdges in (-weight, pair) order."""
+    rank = table.uri_rank
+    rows = np.asarray(rows, dtype=np.int64)
+    kept_w = weights[rows]
+    order = np.lexsort(
+        (rank[table.ids_b[rows]], rank[table.ids_a[rows]], -kept_w)
+    )
+    pairs = table.pairs
+    weight_list = kept_w.tolist()
+    row_list = rows.tolist()
+    return [
+        WeightedEdge(pairs[row_list[i]][0], pairs[row_list[i]][1], weight_list[i])
+        for i in order.tolist()
+    ]
+
+
+def parallel_metablocking_ids(
+    engine: MapReduceEngine,
+    blocks: BlockCollection,
+    scheme: WeightingScheme,
+    pruner: PruningScheme,
+) -> tuple[list[WeightedEdge], list[JobMetrics]]:
+    """Int-ID parallel meta-blocking: statistics, weighting, pruning.
+
+    Stage 1 aggregates the pair table edge-centrically; weights are then
+    evaluated through the shared
+    :func:`~repro.metablocking.weighting.weight_pair_table` path; stage 2
+    prunes — WEP/CEP as edge-centric array jobs, WNP/CNP (and their
+    reciprocal variants) through the entity-centric retention + vote
+    merge chain.  Results are bit-identical to the sequential
+    ``pruner.prune(BlockingGraph(blocks, scheme))`` for every worker
+    count and executor.
+
+    Returns:
+        ``(surviving_edges, [job_metrics...])`` with edges in the
+        pruner's deterministic (-weight, pair) order.
+
+    Raises:
+        TypeError: for pruning schemes with neither global nor
+            node-centric parallel semantics.
+    """
+    _require_numpy()
+    table, stats_metrics = parallel_pair_table(engine, blocks)
+    metrics = [stats_metrics]
+    weights = weight_pair_table(scheme, blocks, table)
+    row_count = len(weights)
+    rank = table.uri_rank
+
+    if isinstance(pruner, (WNP, CNP)):
+        if isinstance(pruner, CNP):
+            params = {
+                "mode": "CNP",
+                "k": pruner.node_budget_from_blocks(blocks),
+                "required": pruner.required_votes,
+            }
+        else:
+            params = {"mode": "WNP", "required": pruner.required_votes}
+        rank_a = rank[table.ids_a] if row_count else np.empty(0, dtype=np.int64)
+        rank_b = rank[table.ids_b] if row_count else np.empty(0, dtype=np.int64)
+        retention_job = ArrayMapReduceJob(
+            name="node-retention-ids",
+            mapper=_map_route_edges,
+            reducer=_reduce_node_retention,
+            params=params,
+        )
+        vote_chunks, retention_metrics = engine.run_array(
+            retention_job,
+            _row_chunks(
+                (table.ids_a, table.ids_b, rank_a, rank_b, weights), engine.workers
+            ),
+        )
+        vote_job = ArrayMapReduceJob(
+            name="vote-merge-ids",
+            mapper=_map_votes,
+            reducer=_reduce_votes,
+            params={"required": pruner.required_votes},
+        )
+        survivor_parts, vote_metrics = engine.run_array(
+            vote_job, [(votes,) for votes in vote_chunks if len(votes)]
+        )
+        metrics.extend([retention_metrics, vote_metrics])
+        survivors = (
+            np.concatenate([part for part in survivor_parts])
+            if survivor_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        return _ranked_edges(table, weights, survivors), metrics
+
+    if isinstance(pruner, WEP):
+        # The global mean must reproduce graph.average_weight(): a plain
+        # left-to-right Python fold over table-row (first-seen) order.
+        weight_list = weights.tolist()
+        mean = sum(weight_list) / len(weight_list) if weight_list else 0.0
+        job = ArrayMapReduceJob(
+            name="wep-pruning-ids",
+            mapper=_map_weight_filter,
+            reducer=_reduce_row_identity,
+            params={"threshold": mean * pruner.threshold_factor},
+        )
+        keys = (table.ids_a << 32) | table.ids_b if row_count else np.empty(
+            0, dtype=np.int64
+        )
+        outputs, prune_metrics = engine.run_array(
+            job, _row_chunks((keys, weights), engine.workers)
+        )
+        metrics.append(prune_metrics)
+        survivors = (
+            np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
+        )
+        return _ranked_edges(table, weights, survivors), metrics
+
+    if isinstance(pruner, CEP):
+        k = pruner.budget_from_blocks(blocks)
+        rank_a = rank[table.ids_a] if row_count else np.empty(0, dtype=np.int64)
+        rank_b = rank[table.ids_b] if row_count else np.empty(0, dtype=np.int64)
+        job = ArrayMapReduceJob(
+            name="cep-pruning-ids",
+            mapper=_map_topk,
+            reducer=_reduce_topk,
+            params={"k": k},
+        )
+        outputs, prune_metrics = engine.run_array(
+            job, _row_chunks((weights, rank_a, rank_b), engine.workers)
+        )
+        metrics.append(prune_metrics)
+        survivors = (
+            np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
+        )
+        return _ranked_edges(table, weights, survivors), metrics
+
+    raise TypeError(
+        f"{pruner.name} has no parallel formulation (expected WEP/CEP/WNP/CNP)"
+    )

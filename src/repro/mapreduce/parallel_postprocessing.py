@@ -16,7 +16,10 @@ blocking and meta-blocking [5].  Both are reproduced here:
 
 Outputs are identical to the sequential implementations (asserted in
 tests), with the engine metrics exposing the extra shuffle rounds a
-cluster pays for post-processing.
+cluster pays for post-processing.  The purging statistics job keys its
+shuffle by integer cardinality levels, which the engine now routes
+through the allocation-free integer hash; both jobs run on either
+executor (closures are fork-inherited by the process executor).
 """
 
 from __future__ import annotations

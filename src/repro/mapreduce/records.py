@@ -1,0 +1,107 @@
+"""Columnar record batches for the array-native MapReduce jobs.
+
+The int-ID formulation of parallel meta-blocking never ships Python
+tuples through the shuffle: mappers emit *record batches* — parallel
+numpy arrays, one row per logical record — and the shuffle routes whole
+batches by vectorized integer hashing.  A batch knows its row count
+(``len``) and serialized size (``nbytes``), which is what the engine's
+shuffle counters read.
+
+The partition hash is the same splitmix64 finalizer as the scalar
+:func:`repro.utils.rng.stable_hash_int`, evaluated elementwise over a
+uint64 array — bit-compatible by construction (asserted in tests), so a
+record lands on the same reducer whether it is routed one at a time or a
+million rows at once.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised wherever the int-ID jobs run
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None  # type: ignore[assignment]
+
+from repro.utils.rng import MIX_GAMMA, MIX_M1, MIX_M2
+
+
+def stable_hash_int_array(values: np.ndarray, buckets: int) -> np.ndarray:
+    """Vectorized splitmix64 bucket assignment over an int64/uint64 array.
+
+    Elementwise identical to ``stable_hash_int(v, buckets)`` for every
+    row — the bit-compatibility contract the partitioner relies on.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    z = values.astype(np.uint64, copy=True)
+    z += np.uint64(MIX_GAMMA)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(MIX_M1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(MIX_M2)
+    z = z ^ (z >> np.uint64(31))
+    return (z % np.uint64(buckets)).astype(np.int64)
+
+
+class RecordBatch:
+    """A fixed set of parallel column arrays; rows are logical records."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, *columns: np.ndarray) -> None:
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized payload size crossing the shuffle."""
+        return sum(column.nbytes for column in self.columns)
+
+
+def partition_batch(
+    columns: tuple[np.ndarray, ...],
+    route_keys: np.ndarray,
+    partitions: int,
+) -> list[tuple[int, RecordBatch]]:
+    """Split columnar rows into per-partition batches by key hash.
+
+    Args:
+        columns: parallel row arrays to ship.
+        route_keys: int64 routing key per row (hashed, not modulo'd).
+        partitions: partition count.
+
+    Returns:
+        ``(partition, batch)`` entries for non-empty partitions, in
+        ascending partition order; row order within a partition preserves
+        input order (the stability downstream float folds rely on).
+    """
+    if not len(route_keys):
+        return []
+    assignment = stable_hash_int_array(route_keys, partitions)
+    order = np.argsort(assignment, kind="stable")
+    sorted_assignment = assignment[order]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_assignment[1:] != sorted_assignment[:-1]))
+    )
+    out: list[tuple[int, RecordBatch]] = []
+    ends = np.append(boundaries[1:], len(order))
+    for start, end in zip(boundaries.tolist(), ends.tolist()):
+        rows = order[start:end]
+        partition = int(sorted_assignment[start])
+        out.append(
+            (partition, RecordBatch(*(column[rows] for column in columns)))
+        )
+    return out
+
+
+def concat_batches(batches: list[RecordBatch], columns: int) -> tuple[np.ndarray, ...]:
+    """Concatenate same-shaped batches column-wise (task arrival order).
+
+    Returns *columns* empty int64 arrays when no batches arrived — the
+    caller decides dtypes only when rows exist.
+    """
+    if not batches:
+        return tuple(np.empty(0, dtype=np.int64) for _ in range(columns))
+    return tuple(
+        np.concatenate([batch.columns[i] for batch in batches])
+        for i in range(columns)
+    )

@@ -49,8 +49,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metablocking.weighting import WeightingScheme
 
 
-def _expand_comparison_cells(csr: BlockIdArrays):
-    """All implied comparisons as flat (left, right, contribution) arrays.
+def expand_comparison_cells(
+    csr: BlockIdArrays,
+    start: int = 0,
+    stop: int | None = None,
+    with_provenance: bool = False,
+):
+    """Implied comparisons of blocks ``[start, stop)`` as flat arrays.
 
     Fully vectorized — no Python-level loop over blocks: every block of
     ``n`` side-1 members spans a rectangular grid of ``n x width`` cells
@@ -61,10 +66,19 @@ def _expand_comparison_cells(csr: BlockIdArrays):
     The surviving cells appear in exactly the reference enumeration order
     (blocks in insertion order, nested pair order inside each block), so
     downstream float accumulations stay bit-identical to the string path.
+
+    Returns ``(left, right, contribution)`` arrays, plus — when
+    *with_provenance* is set — the **global** block ordinal of each kept
+    cell and its global kept-cell index (its position in the whole
+    collection's comparison enumeration).  Provenance is what lets the
+    MapReduce formulation reassemble the exact sequential fold order
+    across map-task boundaries.
     """
     np = _np
-    card = csr.cardinality
-    active = np.flatnonzero(card > 0)
+    if stop is None:
+        stop = len(csr.cardinality)
+    card = csr.cardinality[start:stop]
+    active = np.flatnonzero(card > 0) + start
     off1 = csr.offsets1[active]
     n1 = csr.offsets1[active + 1] - off1
     off2 = csr.offsets2_abs[active]
@@ -82,7 +96,19 @@ def _expand_comparison_cells(csr: BlockIdArrays):
     right = csr.sides[right_off[cell_block] + col]
     keep = np.where(bipartite[cell_block], left != right, row < col)
     contribution = np.repeat(1.0 / card[active], cells)
-    return left[keep], right[keep], contribution[keep]
+    if not with_provenance:
+        return left[keep], right[keep], contribution[keep]
+    ordinals = active[cell_block][keep]
+    # Kept cells per block == block cardinality, so the range's first kept
+    # cell sits at the cumulative cardinality of the preceding blocks.
+    cell_base = int(csr.cardinality[:start].sum())
+    cell_index = cell_base + np.arange(int(keep.sum()), dtype=np.int64)
+    return left[keep], right[keep], contribution[keep], ordinals, cell_index
+
+
+def _expand_comparison_cells(csr: BlockIdArrays):
+    """Whole-collection cells (the array fast path's historical entry)."""
+    return expand_comparison_cells(csr)
 
 
 class PairTable:
@@ -110,16 +136,44 @@ class PairTable:
         self.uri_rank = uri_rank
 
 
+def pack_pair_arrays(left, right):
+    """Vectorized canonical ``min << 32 | max`` packing of id pair arrays."""
+    return _np.where(
+        left < right,
+        (left << PAIR_SHIFT) | right,
+        (right << PAIR_SHIFT) | left,
+    )
+
+
+def finish_pair_table(blocks: BlockCollection, unique_keys, common, arcs) -> PairTable:
+    """Assemble a :class:`PairTable` from aggregated per-pair statistics.
+
+    *unique_keys* must already be in first-seen enumeration order (the
+    reference dict's insertion order); this resolves packed keys to URI
+    pairs in canonical string order via integer ranks — one O(n log n)
+    sort over the n entities instead of a string compare per edge.
+    Shared by the sequential array fast path and the MapReduce int-ID
+    formulation, which reassembles the same inputs from reducer output.
+    """
+    np = _np
+    uris = np.array(blocks.interner().uri_table(), dtype=object)
+    rank = np.empty(len(uris), dtype=np.int64)
+    rank[np.argsort(uris)] = np.arange(len(uris))
+    ids_a = unique_keys >> PAIR_SHIFT
+    ids_b = unique_keys & PAIR_MASK
+    swap = rank[ids_a] > rank[ids_b]
+    if swap.any():
+        ids_a, ids_b = np.where(swap, ids_b, ids_a), np.where(swap, ids_a, ids_b)
+    pairs = list(zip(uris[ids_a].tolist(), uris[ids_b].tolist()))
+    return PairTable(pairs, ids_a, ids_b, common, arcs, rank)
+
+
 def _build_pair_table(blocks: BlockCollection) -> PairTable:
     np = _np
     csr = blocks.id_arrays()
     assert csr is not None
     left, right, contribution = _expand_comparison_cells(csr)
-    keys = np.where(
-        left < right,
-        (left << PAIR_SHIFT) | right,
-        (right << PAIR_SHIFT) | left,
-    )
+    keys = pack_pair_arrays(left, right)
     if not len(keys):
         empty = np.empty(0, dtype=np.int64)
         return PairTable([], empty, empty, empty, np.empty(0, dtype=np.float64), empty)
@@ -145,18 +199,7 @@ def _build_pair_table(blocks: BlockCollection) -> PairTable:
     unique_keys = sorted_keys[starts][seen_order]
     common = common[seen_order]
     arcs = arcs[seen_order]
-    # Canonical string order via integer ranks: one O(n log n) sort over
-    # the n entities replaces a string compare per edge.
-    uris = np.array(blocks.interner().uri_table(), dtype=object)
-    rank = np.empty(len(uris), dtype=np.int64)
-    rank[np.argsort(uris)] = np.arange(len(uris))
-    ids_a = unique_keys >> PAIR_SHIFT
-    ids_b = unique_keys & PAIR_MASK
-    swap = rank[ids_a] > rank[ids_b]
-    if swap.any():
-        ids_a, ids_b = np.where(swap, ids_b, ids_a), np.where(swap, ids_a, ids_b)
-    pairs = list(zip(uris[ids_a].tolist(), uris[ids_b].tolist()))
-    return PairTable(pairs, ids_a, ids_b, common, arcs, rank)
+    return finish_pair_table(blocks, unique_keys, common, arcs)
 
 
 def pair_table_for(blocks: BlockCollection) -> PairTable:
@@ -275,28 +318,14 @@ class BlockingGraph:
         return common, arcs
 
     def _materialize_arrays(self) -> dict[tuple[str, str], float]:
+        from repro.metablocking.weighting import weight_pair_table
+
         table = pair_table_for(self.blocks)
         self._pair_table = table
         if not table.pairs:
             return {}
-        scheme = self.scheme
-        if scheme.prepare_arrays(self.blocks, table.ids_a, table.ids_b, table.common):
-            weights = scheme.weight_array(
-                table.ids_a, table.ids_b, table.common, table.arcs
-            )
-            return dict(zip(table.pairs, weights.tolist()))
-        # Scheme without a vectorized path: go through the string API.
-        stats = {
-            pair: (count, arc)
-            for pair, count, arc in zip(
-                table.pairs, table.common.tolist(), table.arcs.tolist()
-            )
-        }
-        scheme.prepare(self.blocks, stats)
-        return {
-            pair: scheme.weight(pair[0], pair[1], count, arc)
-            for pair, (count, arc) in stats.items()
-        }
+        weights = weight_pair_table(self.scheme, self.blocks, table)
+        return dict(zip(table.pairs, weights.tolist()))
 
     def _materialize_slow(self) -> dict[tuple[str, str], float]:
         stats = self._pair_statistics()

@@ -127,9 +127,17 @@ class CEP(PruningScheme):
 
     def budget(self, graph: BlockingGraph) -> int:
         """The K used for *graph*."""
+        return self.budget_from_blocks(graph.blocks)
+
+    def budget_from_blocks(self, blocks) -> int:
+        """The K derived from a block collection's statistics.
+
+        Shared with the parallel formulations so their budget can never
+        drift from the sequential derivation.
+        """
         if self.k is not None:
             return self.k
-        return max(1, graph.blocks.total_assignments() // 2)
+        return max(1, blocks.total_assignments() // 2)
 
     def prune(self, graph: BlockingGraph) -> list[WeightedEdge]:
         return graph.top_edges(self.budget(graph))

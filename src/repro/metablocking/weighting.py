@@ -467,6 +467,38 @@ class ChiSquare(WeightingScheme):
         return statistic
 
 
+def weight_pair_table(scheme: WeightingScheme, blocks: BlockCollection, table):
+    """Per-row weights of a pair table under *scheme* (float64 array).
+
+    The one place the "prepare globals, then weight each pair" dance is
+    spelled out for array-shaped statistics: schemes with a vectorized
+    path are evaluated as array expressions; schemes without one fall
+    back to the string API row by row.  Shared by the sequential
+    :meth:`~repro.metablocking.graph.BlockingGraph.materialize` fast path
+    and the MapReduce int-ID formulation, which guarantees both produce
+    bit-identical weights from identical statistics.
+    """
+    assert _np is not None
+    if not table.pairs:
+        return _np.empty(0, dtype=_np.float64)
+    if scheme.prepare_arrays(blocks, table.ids_a, table.ids_b, table.common):
+        return scheme.weight_array(table.ids_a, table.ids_b, table.common, table.arcs)
+    stats = {
+        pair: (count, arc)
+        for pair, count, arc in zip(
+            table.pairs, table.common.tolist(), table.arcs.tolist()
+        )
+    }
+    scheme.prepare(blocks, stats)
+    return _np.array(
+        [
+            scheme.weight(pair[0], pair[1], count, arc)
+            for pair, (count, arc) in stats.items()
+        ],
+        dtype=_np.float64,
+    )
+
+
 #: registry used by experiment sweeps
 SCHEMES: dict[str, type[WeightingScheme]] = {
     cls.name: cls for cls in (CBS, ECBS, JS, EJS, ARCS, ChiSquare)

@@ -28,6 +28,7 @@ same member order, same primed id views.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator
 
 from repro.blocking.base import Blocker
@@ -40,6 +41,21 @@ from repro.model.interner import EntityInterner
 from repro.stream.store import StreamingEntityStore
 
 
+#: typecode of the posting-list arrays (signed 64-bit entity ids)
+_POSTING_TYPECODE = "q"
+
+
+def _posting_pair() -> tuple[array, array]:
+    """A fresh (side-0, side-1) pair of array-backed posting lists.
+
+    Postings are contiguous C int64 buffers (``array('q')``) with
+    amortized-doubling appends — 8 bytes per entry instead of a pointer
+    plus a boxed int, and iteration/`.tolist()` run at C speed.  Dirty
+    stores use side 0 only.
+    """
+    return (array(_POSTING_TYPECODE), array(_POSTING_TYPECODE))
+
+
 class DeltaConsumer:
     """Interface for delta-maintained structures attached to the index.
 
@@ -47,6 +63,8 @@ class DeltaConsumer:
     cells first (so pair statistics see the partner set as it was before
     the entity joined), then placements/activations.
     """
+
+    __slots__ = ()
 
     def on_cell(self, id_a: int, id_b: int) -> None:
         """One new comparison cell between two distinct entities."""
@@ -79,10 +97,16 @@ class IncrementalBlockIndex(DeltaConsumer):
         self.store = store
         self.blocker = blocker or TokenBlocking()
         self.two_sided = store.clean_clean
-        #: key → (side-0 ids, side-1 ids); dirty stores use side 0 only
-        self._postings: dict[str, tuple[list[int], list[int]]] = {}
-        #: keys whose posting lists need a lazy re-sort (merge stragglers)
-        self._unsorted: set[str] = set()
+        #: key → (side-0 ids, side-1 ids) array-backed posting lists;
+        #: dirty stores use side 0 only
+        self._postings: dict[str, tuple[array, array]] = {}
+        #: key → bitmask of sides needing a lazy re-sort (merge
+        #: stragglers); cleared per side once that side is sorted, so a
+        #: snapshot never re-sorts a key no straggler touched
+        self._unsorted: dict[str, int] = {}
+        #: posting-list sorts performed so far (observability: the
+        #: no-redundant-sorts property test reads this)
+        self.resort_count = 0
         #: entity id → {key: side bitmask}
         self._key_mask: dict[int, dict[str, int]] = {}
         #: per-source arrival rank of each entity id
@@ -91,6 +115,11 @@ class IncrementalBlockIndex(DeltaConsumer):
         self._overlap: dict[str, int] = {}
         self._consumers: list[DeltaConsumer] = []
         self._snapshots: dict[str, tuple[int, BlockCollection]] = {}
+        #: key → (Block, side-0 store ids, side-1 store ids | None,
+        #: cardinality) reused across snapshots until the key is touched
+        self._block_cache: dict[
+            str, tuple[Block, list[int], list[int] | None, int]
+        ] = {}
         store.subscribe(self._on_insert)
 
     # -- wiring --------------------------------------------------------------
@@ -137,15 +166,16 @@ class IncrementalBlockIndex(DeltaConsumer):
         for key in self.blocker.keys_for(description):
             if mask.get(key, 0) & bit:
                 continue  # already posted on this side
+            self._block_cache.pop(key, None)
             sides = self._postings.get(key)
             if sides is None:
-                sides = ([], [])
+                sides = _posting_pair()
                 self._postings[key] = sides
             side = sides[source]
             if side and seq[side[-1]] > my_seq:
                 # A merge granted this key after later arrivals claimed
                 # it; ordering is restored lazily at snapshot time.
-                self._unsorted.add(key)
+                self._unsorted[key] = self._unsorted.get(key, 0) | bit
             had_mask = mask.get(key, 0)
             mask[key] = had_mask | bit
             if had_mask:
@@ -196,9 +226,13 @@ class IncrementalBlockIndex(DeltaConsumer):
         """Key → side-bitmask map of *entity_id* (live; do not mutate)."""
         return self._key_mask.get(entity_id, {})
 
-    def postings(self, key: str) -> tuple[list[int], list[int]]:
-        """The live posting lists of *key* (empty lists when absent)."""
-        return self._postings.get(key, ([], []))
+    def postings(self, key: str) -> tuple[array, array]:
+        """The live posting lists of *key* (empty arrays when absent).
+
+        Returned values are the index's own int64 arrays — iterate or
+        copy, do not mutate.
+        """
+        return self._postings.get(key) or _posting_pair()
 
     def members_of(self, key: str) -> int:
         """Total postings of *key* across sides."""
@@ -303,13 +337,51 @@ class IncrementalBlockIndex(DeltaConsumer):
     # -- snapshots -----------------------------------------------------------
 
     def _resort_lazy(self) -> None:
-        for key in self._unsorted:
+        """Restore arrival order on straggler-touched posting sides.
+
+        Only the sides a merge straggler actually disturbed are sorted;
+        each marker is cleared once its side is sorted, so repeated
+        snapshots never repeat the work (``resort_count`` counts real
+        sorts for the property test asserting exactly that).
+        """
+        if not self._unsorted:
+            return
+        for key, stale in self._unsorted.items():
             sides = self._postings.get(key)
             if sides is None:
                 continue
-            for source in range(len(self._side_seq)):
-                sides[source].sort(key=self._side_seq[source].__getitem__)
+            self._block_cache.pop(key, None)
+            for source, seq in enumerate(self._side_seq):
+                if not stale & (1 << source):
+                    continue
+                side = sides[source]
+                side[:] = array(
+                    _POSTING_TYPECODE, sorted(side, key=seq.__getitem__)
+                )
+                self.resort_count += 1
         self._unsorted.clear()
+
+    def _block_for(
+        self, key: str, sides: tuple[array, array], uris: list[str]
+    ) -> tuple[Block, list[int], list[int] | None, int]:
+        """The key's (block, store ids, cardinality) entry, cache-reused.
+
+        Untouched keys keep their entry across snapshots — URI
+        translation and cardinality run again only for keys that gained
+        members (or were re-sorted) since the last snapshot.
+        """
+        entry = self._block_cache.get(key)
+        if entry is None:
+            ids1 = sides[0].tolist()
+            if self.two_sided:
+                ids2 = sides[1].tolist()
+                block = Block(key, [uris[i] for i in ids1], [uris[i] for i in ids2])
+            else:
+                ids2 = None
+                block = Block(key, [uris[i] for i in ids1])
+            entry = (block, ids1, ids2, block.cardinality())
+            self._block_cache[key] = entry
+        return entry
 
     def snapshot(self) -> BlockCollection:
         """The current blocks as a batch-identical ``BlockCollection``.
@@ -317,7 +389,10 @@ class IncrementalBlockIndex(DeltaConsumer):
         Bit-identical to ``self.blocker.build(*store.collections)`` over
         the store's present state: sorted keys, members in per-source
         arrival order, singletons dropped, id views primed in
-        first-placement order.  Cached until the next insert.
+        first-placement order.  Cached until the next insert; per-key
+        blocks survive across snapshots until their key is touched, and
+        the primed id views are remapped with integer lookups instead of
+        re-interning a URI per placement.
         """
         cached = self._snapshots.get("raw")
         if cached is not None and cached[0] == self.store.version:
@@ -330,34 +405,39 @@ class IncrementalBlockIndex(DeltaConsumer):
         else:
             name = f"{self.blocker.name}({names[0]})"
         blocks = BlockCollection(name=name)
-        interner = EntityInterner()
-        intern = interner.intern
+        # Store id → snapshot id, assigned in first-placement order over
+        # the key-sorted traversal — the same dense ids the batch blocker
+        # primes, recovered without hashing a URI string per placement.
+        snap_ids: dict[int, int] = {}
+        ordered_uris: list[str] = []
+
+        def remap(store_ids: list[int]) -> list[int]:
+            out = []
+            for store_id in store_ids:
+                snapped = snap_ids.get(store_id)
+                if snapped is None:
+                    snapped = len(ordered_uris)
+                    snap_ids[store_id] = snapped
+                    ordered_uris.append(uris[store_id])
+                out.append(snapped)
+            return out
+
         id_blocks: list[tuple[list[int], list[int] | None, int]] = []
         for key in sorted(self._postings):
             sides = self._postings[key]
             if self.two_sided:
                 if not sides[0] or not sides[1]:
                     continue
-                block = Block(
-                    key,
-                    [uris[i] for i in sides[0]],
-                    [uris[i] for i in sides[1]],
-                )
-            else:
-                if len(sides[0]) < 2:
-                    continue
-                block = Block(key, [uris[i] for i in sides[0]])
+            elif len(sides[0]) < 2:
+                continue
+            block, ids1, ids2, cardinality = self._block_for(key, sides, uris)
             blocks.add(block)
             # Side 1 before side 2 — first-placement id order, matching
             # what the batch blocker primes.
-            ids1 = list(map(intern, block.entities1))
-            ids2 = (
-                list(map(intern, block.entities2))
-                if block.entities2 is not None
-                else None
+            id_blocks.append(
+                (remap(ids1), remap(ids2) if ids2 is not None else None, cardinality)
             )
-            id_blocks.append((ids1, ids2, block.cardinality()))
-        blocks.prime_id_views(interner, id_blocks)
+        blocks.prime_id_views(EntityInterner(ordered_uris), id_blocks)
         self._snapshots["raw"] = (self.store.version, blocks)
         return blocks
 

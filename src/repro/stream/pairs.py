@@ -39,6 +39,17 @@ class DeltaPairTable(DeltaConsumer):
             the first insert — deltas are not replayed.
     """
 
+    __slots__ = (
+        "index",
+        "common",
+        "placements",
+        "degrees",
+        "active_blocks",
+        "total_assignments",
+        "entities_placed",
+        "edge_count",
+    )
+
     def __init__(self, index: IncrementalBlockIndex) -> None:
         self.index = index
         #: packed pair → number of common blocks (counting repeated cells)
@@ -107,8 +118,11 @@ class DeltaPairTable(DeltaConsumer):
         if len(keys_b) < len(keys_a):
             keys_a, keys_b = keys_b, keys_a
         shared = [key for key in keys_a if key in keys_b]
+        if not shared:
+            return 0.0
+        shared.sort()
         arcs = 0.0
-        for key in sorted(shared):
+        for key in shared:
             cells = index.cells_between(key, id_a, id_b)
             if not cells:
                 continue

@@ -36,3 +36,29 @@ def stable_hash(value: str, buckets: int) -> int:
         raise ValueError("buckets must be positive")
     digest = hashlib.md5(value.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % buckets
+
+
+_U64 = (1 << 64) - 1
+#: splitmix64 round constants (Steele et al.); shared with the vectorized
+#: batch hashing in :mod:`repro.mapreduce.records` — the two must agree.
+MIX_GAMMA = 0x9E3779B97F4A7C15
+MIX_M1 = 0xBF58476D1CE4E5B9
+MIX_M2 = 0x94D049BB133111EB
+
+
+def stable_hash_int(value: int, buckets: int) -> int:
+    """Hash an integer into ``[0, buckets)`` stably across processes.
+
+    A splitmix64 finalizer over the value's low 64 bits: no string
+    formatting, no digest allocation — the cheap path MapReduce
+    partitioning takes for packed int64 pair keys and dense entity ids.
+    Bit-compatible with the vectorized
+    :func:`repro.mapreduce.records.stable_hash_int_array`.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    z = (value + MIX_GAMMA) & _U64
+    z = ((z ^ (z >> 30)) * MIX_M1) & _U64
+    z = ((z ^ (z >> 27)) * MIX_M2) & _U64
+    z = z ^ (z >> 31)
+    return z % buckets

@@ -1,4 +1,4 @@
-"""Tests for the in-process MapReduce engine."""
+"""Tests for the MapReduce engine and its executors."""
 
 from __future__ import annotations
 
@@ -8,8 +8,12 @@ from repro.mapreduce.engine import (
     JobMetrics,
     MapReduceEngine,
     MapReduceJob,
+    ProcessExecutor,
+    SerialExecutor,
     hash_partitioner,
+    make_executor,
 )
+from repro.utils.rng import stable_hash, stable_hash_int
 
 
 def word_count_job(with_combiner: bool = False) -> MapReduceJob:
@@ -127,6 +131,33 @@ class TestPartitioner:
         for key in ("a", ("tuple", "key"), 42):
             assert 0 <= hash_partitioner(key, 5) < 5
 
+    def test_string_keys_keep_legacy_partitioning(self):
+        # Regression: non-int keys must route exactly as the historical
+        # repr-based partitioner did (int keys took a new fast path).
+        for key in ("a", "token", "", ("pair", "tuple"), 3.5, None, True):
+            for buckets in (1, 2, 5, 8):
+                assert hash_partitioner(key, buckets) == stable_hash(
+                    repr(key), buckets
+                ), (key, buckets)
+
+    def test_int_keys_avoid_repr(self):
+        for key in (0, 7, 1 << 40, (3 << 32) | 9):
+            for buckets in (1, 3, 8):
+                assert hash_partitioner(key, buckets) == stable_hash_int(
+                    key, buckets
+                )
+
+    def test_scalar_matches_vectorized(self):
+        np = pytest.importorskip("numpy")
+        from repro.mapreduce.records import stable_hash_int_array
+
+        keys = np.array([0, 1, 7, (5 << 32) | 2, (1 << 62) + 13], dtype=np.int64)
+        for buckets in (1, 2, 7, 16):
+            vector = stable_hash_int_array(keys, buckets)
+            assert vector.tolist() == [
+                stable_hash_int(int(k), buckets) for k in keys
+            ]
+
     def test_partitioning_respected(self):
         # All records of one key land in the same reduce group exactly once.
         def mapper(_k, v):
@@ -138,3 +169,59 @@ class TestPartitioner:
         job = MapReduceJob(name="mod", mapper=mapper, reducer=reducer)
         output, _ = MapReduceEngine(workers=4).run(job, [(i, i) for i in range(100)])
         assert dict(output) == {r: 20 for r in range(5)}
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial", 2), SerialExecutor)
+        serial = SerialExecutor()
+        assert make_executor(serial, 2) is serial
+        with pytest.raises(ValueError):
+            make_executor("bogus", 2)
+
+    def test_process_executor_word_count(self):
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        with MapReduceEngine(workers=2, executor="process") as engine:
+            output, metrics = engine.run(word_count_job(True), LINES)
+        assert dict(output) == EXPECTED
+        assert metrics.executor == "process"
+
+    def test_executors_produce_identical_output(self):
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        serial_out, _ = MapReduceEngine(workers=3).run(word_count_job(), LINES)
+        with MapReduceEngine(workers=3, executor="process") as engine:
+            process_out, _ = engine.run(word_count_job(), LINES)
+        assert serial_out == process_out  # order included
+
+    def test_wall_clock_measured(self):
+        _, metrics = MapReduceEngine(workers=2).run(word_count_job(), LINES)
+        assert metrics.map_wall_s >= 0.0
+        assert metrics.reduce_wall_s >= 0.0
+        assert metrics.wall_s == metrics.map_wall_s + metrics.reduce_wall_s
+
+    def test_single_worker_process_runs_inline(self):
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        with MapReduceEngine(workers=1, executor="process") as engine:
+            output, _ = engine.run(word_count_job(), LINES)
+        assert dict(output) == EXPECTED
+
+    def test_process_pool_close_idempotent(self):
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        executor = ProcessExecutor(workers=2)
+        executor.run_specs([(sorted, ([3, 1],)), (sorted, ([2, 0],))])
+        executor.close()
+        executor.close()
+
+    def test_timeout_raises(self):
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        import time
+
+        executor = ProcessExecutor(workers=2, task_timeout_s=0.2)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            executor.run_specs([(time.sleep, (30,)), (time.sleep, (30,))])
+        executor.close()

@@ -248,6 +248,50 @@ class TestWorkflow:
             main(["workflow", "blocking", "--kb1", kb_a])
 
 
+class TestMapReduce:
+    def test_serial_sweep(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(
+                [
+                    "mapreduce", "--kb1", kb_a, "--kb2", kb_b,
+                    "--workers", "1", "2",
+                    "--executor", "serial", "--formulation", "both",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MapReduce meta-blocking sweep" in out
+        assert "string" in out and "int" in out
+        assert "speedup" in out
+
+    def test_process_executor(self, capsys, movies_paths):
+        from repro.mapreduce import ProcessExecutor
+
+        if not ProcessExecutor.available():
+            pytest.skip("fork start method unavailable")
+        kb_a, _, _ = movies_paths
+        assert (
+            main(
+                [
+                    "mapreduce", "--kb1", kb_a,
+                    "--workers", "2",
+                    "--executor", "process",
+                    "--weighting", "CBS", "--pruning", "WEP",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "process" in out
+
+    def test_unknown_executor_rejected(self, movies_paths):
+        kb_a, _, _ = movies_paths
+        with pytest.raises(SystemExit):
+            main(["mapreduce", "--kb1", kb_a, "--executor", "gpu"])
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
