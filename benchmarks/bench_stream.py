@@ -12,6 +12,16 @@ measuring throughput and per-event latency.  Two properties are gated:
   blocks and ARCS/CNP pruned edges must be bit-identical to the batch
   pipeline over the same corpus.
 
+A third section measures the **incremental processed view**: per query,
+the amortized cost of serving purge/filter survivors from
+``IncrementalProcessedView`` (serve + its share of periodic exact
+reconciliation) against recomputing ``purge + filter`` from a fresh
+snapshot — the pre-view query-time path.  Gated: the view's amortized
+per-query cost stays flat across stream quartiles
+(``VIEW_FLATNESS_BAR``) and cheaper in total than the recompute
+baseline, whose cost grows with stream length; the reconciled view
+must be bit-identical to ``snapshot_processed()``.
+
 Results are printed, persisted under ``benchmarks/output/`` and written
 as a ``BENCH_stream.json`` artifact at the repository root (CI uploads
 it per run).  Run either way::
@@ -39,6 +49,12 @@ from repro.stream.workload import SCENARIOS
 #: at most this factor (generous: shared runners are noisy, and block
 #: sizes legitimately grow a little with the corpus)
 FLATNESS_BAR = 10.0
+#: the view's amortized per-query processed cost (serve + reconcile
+#: share) may drift across stream quartiles by at most this factor
+VIEW_FLATNESS_BAR = 2.0
+#: the recompute baseline must grow at least this much across quartiles
+#: (it is O(corpus) per query; ~4x is typical at this stream length)
+RECOMPUTE_GROWTH_MIN = 1.2
 CENTER = SyntheticConfig(entities=300, overlap=0.7, seed=42)
 
 
@@ -76,6 +92,139 @@ def _check_equivalence(resolver: StreamResolver) -> bool:
             return False
     batch_edges = make_pruner("CNP").prune(BlockingGraph(processed, make_scheme("ARCS")))
     return resolver.pruned_edges("ARCS", "CNP") == batch_edges
+
+
+def _quartile_means(values: list[float]) -> list[float]:
+    if not values:
+        return [0.0, 0.0, 0.0, 0.0]
+    quarter = max(1, len(values) // 4)
+    out = []
+    for start in range(0, 4 * quarter, quarter):
+        chunk = values[start : start + quarter]
+        out.append(sum(chunk) / len(chunk) if chunk else 0.0)
+    return out
+
+
+def run_processed_view_benchmark() -> dict:
+    """Amortized processed-view query cost vs per-query recompute.
+
+    Replays the uniform arrival/query sequence against two independent
+    stream states: one maintaining an ``IncrementalProcessedView``
+    (with an attached ``SurvivorPairTable``, so the measured cost
+    includes survivor-stat upkeep), one recomputing purge + filter from
+    a fresh snapshot per query — the pre-view serving path.  Each
+    reconciliation's cost is spread over the queries it covered
+    (amortization), then per-query costs are summarized by stream
+    quartile.
+    """
+    import time
+
+    from repro.stream import (
+        IncrementalBlockIndex,
+        IncrementalProcessedView,
+        StreamingEntityStore,
+        SurvivorPairTable,
+    )
+
+    dataset = synthesize_pair(CENTER)
+    events = SCENARIOS["uniform"](dataset.kb1, dataset.kb2)
+
+    store_v = StreamingEntityStore(sources=(dataset.kb1.name, dataset.kb2.name))
+    index_v = IncrementalBlockIndex(store_v)
+    view = IncrementalProcessedView(index_v)
+    SurvivorPairTable(view)
+
+    store_b = StreamingEntityStore(sources=(dataset.kb1.name, dataset.kb2.name))
+    index_b = IncrementalBlockIndex(store_b)
+
+    serve_costs: list[float] = []
+    recompute_costs: list[float] = []
+    #: (query ordinal at reconcile time, reconcile seconds)
+    reconcile_events: list[tuple[int, float]] = []
+    for event in events:
+        if event.kind == "insert":
+            store_v.insert(event.description, event.source)
+            store_b.insert(event.description.copy(), event.source)
+            continue
+        target_id = store_v.interner.id_of(event.description.uri)
+        t0 = time.perf_counter()
+        if view.due:
+            view.reconcile()
+            reconcile_events.append(
+                (len(serve_costs), time.perf_counter() - t0)
+            )
+            t0 = time.perf_counter()
+        view.partners_of(target_id)
+        serve_costs.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        BlockFiltering().process(BlockPurging().process(index_b.snapshot()))
+        recompute_costs.append(time.perf_counter() - t0)
+
+    # Amortize: spread each reconcile over the queries since the
+    # previous one (the staleness window it repaired).
+    amortized = list(serve_costs)
+    previous = 0
+    for ordinal, cost in reconcile_events:
+        if ordinal > previous:
+            share = cost / (ordinal - previous)
+            for i in range(previous, ordinal):
+                amortized[i] += share
+            previous = ordinal
+        elif amortized:
+            # No queries since the last reconcile: charge the adjacent one.
+            amortized[min(ordinal, len(amortized) - 1)] += cost
+
+    view_quartiles = _quartile_means(amortized)
+    recompute_quartiles = _quartile_means(recompute_costs)
+    view_flatness = (
+        view_quartiles[-1] / view_quartiles[0] if view_quartiles[0] > 0 else 0.0
+    )
+    recompute_growth = (
+        recompute_quartiles[-1] / recompute_quartiles[0]
+        if recompute_quartiles[0] > 0
+        else 0.0
+    )
+
+    # Equivalence: the reconciled view is bit-identical to the exact
+    # processed snapshot (same keys, members, cardinalities, id views).
+    view.reconcile()
+    exact = index_v.snapshot_processed()
+    rebuilt = view._build_collection()
+    equivalence_ok = rebuilt.keys() == exact.keys()
+    if equivalence_ok:
+        for key in exact.keys():
+            ours, theirs = rebuilt[key], exact[key]
+            if (
+                ours.entities1 != theirs.entities1
+                or ours.entities2 != theirs.entities2
+                or ours.cardinality() != theirs.cardinality()
+            ):
+                equivalence_ok = False
+                break
+    equivalence_ok = equivalence_ok and rebuilt.id_blocks() == exact.id_blocks()
+
+    return {
+        "queries": len(serve_costs),
+        "reconciles": len(reconcile_events),
+        "reconcile_total_ms": round(
+            sum(cost for _, cost in reconcile_events) * 1e3, 4
+        ),
+        "amortized_query_cost_us_by_quartile": [
+            round(q * 1e6, 2) for q in view_quartiles
+        ],
+        "recompute_cost_us_by_quartile": [
+            round(q * 1e6, 2) for q in recompute_quartiles
+        ],
+        "view_total_ms": round(
+            (sum(serve_costs) + sum(c for _, c in reconcile_events)) * 1e3, 4
+        ),
+        "recompute_total_ms": round(sum(recompute_costs) * 1e3, 4),
+        "view_flatness_ratio": round(view_flatness, 2),
+        "view_flatness_bar": VIEW_FLATNESS_BAR,
+        "recompute_growth_ratio": round(recompute_growth, 2),
+        "recompute_growth_min": RECOMPUTE_GROWTH_MIN,
+        "equivalence_ok": equivalence_ok,
+    }
 
 
 def run_benchmark() -> dict:
@@ -117,7 +266,19 @@ def run_benchmark() -> dict:
     results["flatness_ratio"] = uniform["flatness_ratio"]
     results["flatness_bar"] = FLATNESS_BAR
     results["equivalence_ok"] = uniform["equivalence_ok"]
+    results["processed_view"] = run_processed_view_benchmark()
     return results
+
+
+def processed_view_ok(results: dict) -> bool:
+    """All processed-view gates: flat, cheaper than recompute, exact."""
+    section = results["processed_view"]
+    return (
+        section["equivalence_ok"]
+        and section["view_flatness_ratio"] <= VIEW_FLATNESS_BAR
+        and section["recompute_growth_ratio"] >= RECOMPUTE_GROWTH_MIN
+        and section["view_total_ms"] < section["recompute_total_ms"]
+    )
 
 
 def format_report(results: dict) -> str:
@@ -145,6 +306,31 @@ def format_report(results: dict) -> str:
         f"{results['flatness_ratio']:.2f}x"
     )
     lines.append(f"stream == batch equivalence: {results['equivalence_ok']}")
+    view = results["processed_view"]
+    lines.append("")
+    lines.append(
+        f"[processed view] {view['queries']} queries, "
+        f"{view['reconciles']} reconciles "
+        f"({view['reconcile_total_ms']:.2f} ms total)"
+    )
+    lines.append(
+        "  amortized view cost by quartile (us):  "
+        + " ".join(f"{q:9.2f}" for q in view["amortized_query_cost_us_by_quartile"])
+        + f"   (ratio {view['view_flatness_ratio']:.2f}x, "
+        f"bar <= {view['view_flatness_bar']:.1f}x)"
+    )
+    lines.append(
+        "  recompute baseline by quartile (us):   "
+        + " ".join(f"{q:9.2f}" for q in view["recompute_cost_us_by_quartile"])
+        + f"   (grows {view['recompute_growth_ratio']:.2f}x)"
+    )
+    lines.append(
+        f"  totals: view {view['view_total_ms']:.2f} ms vs "
+        f"recompute {view['recompute_total_ms']:.2f} ms"
+    )
+    lines.append(
+        f"  reconciled view == snapshot_processed: {view['equivalence_ok']}"
+    )
     return "\n".join(lines)
 
 
@@ -164,6 +350,7 @@ def test_perf_stream():
     write_artifact(results)
     assert results["equivalence_ok"]
     assert results["flatness_ratio"] <= FLATNESS_BAR
+    assert processed_view_ok(results), results["processed_view"]
 
 
 def main() -> int:
@@ -171,7 +358,11 @@ def main() -> int:
     print(format_report(results))
     path = write_artifact(results)
     print(f"\n[artifact written to {path}]")
-    ok = results["equivalence_ok"] and results["flatness_ratio"] <= FLATNESS_BAR
+    ok = (
+        results["equivalence_ok"]
+        and results["flatness_ratio"] <= FLATNESS_BAR
+        and processed_view_ok(results)
+    )
     return 0 if ok else 1
 
 

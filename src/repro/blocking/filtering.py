@@ -11,7 +11,36 @@ speeds meta-blocking up and improves its precision.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable
+
 from repro.blocking.block import Block, BlockCollection
+
+
+def retention_limit(key_count: int, ratio: float) -> int:
+    """Blocks an entity with *key_count* blocks keeps under *ratio*.
+
+    ``ceil``-like rounding with a floor of one: every placed entity
+    keeps at least its single most selective block.
+    """
+    return max(1, int(ratio * key_count + 0.5))
+
+
+def retained_keys(
+    keys: Iterable[str],
+    cardinality_of: Callable[[str], int],
+    ratio: float,
+) -> list[str]:
+    """The keys of an entity's retained (most selective) blocks, ranked.
+
+    Ranks *keys* by increasing block cardinality (ties broken on the
+    key, so the result is deterministic) and keeps the leading
+    :func:`retention_limit` fraction.  This is the per-entity decision
+    at the heart of block filtering, factored out so the streaming
+    processed view can re-apply it to one touched entity at a time with
+    its live cardinalities.
+    """
+    ranked = sorted(keys, key=lambda key: (cardinality_of(key), key))
+    return ranked[: retention_limit(len(ranked), ratio)]
 
 
 class BlockFiltering:
@@ -29,19 +58,23 @@ class BlockFiltering:
             raise ValueError("ratio must be in (0, 1]")
         self.ratio = ratio
 
+    def signature(self) -> tuple:
+        """Hashable identity of this operator's parameterization.
+
+        Snapshot caches key processed results by operator signature, so
+        two equal-parameter instances share a cache entry while a
+        subclass (different qualname) never collides with the base.
+        """
+        return (type(self).__qualname__, self.ratio)
+
     def process(self, blocks: BlockCollection) -> BlockCollection:
         """Return a new collection with entities removed from their largest blocks."""
         cardinality: dict[str, int] = {
             block.key: block.cardinality() for block in blocks
         }
-        # Rank each entity's blocks by increasing cardinality; keep the
-        # ceil(ratio * count) smallest.  Ties break on block key so the
-        # result is deterministic.
         keep: dict[str, set[str]] = {}
         for uri, keys in blocks.entity_index().items():
-            limit = max(1, int(self.ratio * len(keys) + 0.5))
-            ranked = sorted(keys, key=lambda key: (cardinality[key], key))
-            keep[uri] = set(ranked[:limit])
+            keep[uri] = set(retained_keys(keys, cardinality.__getitem__, self.ratio))
 
         filtered: list[Block] = []
         for block in blocks:

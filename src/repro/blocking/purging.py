@@ -22,6 +22,63 @@ from __future__ import annotations
 from repro.blocking.block import BlockCollection
 
 
+def cardinality_histogram(blocks: BlockCollection) -> dict[int, tuple[int, int]]:
+    """Per-cardinality-level ``(comparisons, assignments)`` totals.
+
+    The block-size distribution the adaptive purging policy consumes:
+    level ``c`` maps to the summed comparisons and block assignments of
+    every block whose cardinality is exactly ``c``.  The streaming
+    processed view maintains the same histogram incrementally (one
+    level update per touched key) and feeds it to
+    :func:`threshold_from_histogram`, so batch and streaming purge from
+    the identical distribution.
+    """
+    by_cardinality: dict[int, tuple[int, int]] = {}
+    for block in blocks:
+        cardinality = block.cardinality()
+        comps, assigns = by_cardinality.get(cardinality, (0, 0))
+        by_cardinality[cardinality] = (
+            comps + cardinality,
+            assigns + len(block),
+        )
+    return by_cardinality
+
+
+def threshold_from_histogram(
+    histogram: dict[int, tuple[int, int]], smoothing: float
+) -> int:
+    """The adaptive cardinality cutoff for a block-size *histogram*.
+
+    Accumulates comparisons (CC) and assignments (BC) over the sorted
+    levels, then scans from the **largest** level downwards, purging a
+    level while its inclusion inflates the collection-wide CC/BC ratio
+    by more than *smoothing* relative to the collection without it.
+    Returns the largest surviving level (1 for an empty histogram).
+    """
+    if not histogram:
+        return 1
+    levels = sorted(histogram)
+    cum_comparisons = [0] * len(levels)
+    cum_assignments = [0] * len(levels)
+    running_comps = 0
+    running_assigns = 0
+    for i, level in enumerate(levels):
+        comps, assigns = histogram[level]
+        running_comps += comps
+        running_assigns += assigns
+        cum_comparisons[i] = running_comps
+        cum_assignments[i] = running_assigns
+
+    cut = len(levels) - 1
+    while cut > 0:
+        ratio_with = cum_comparisons[cut] / max(cum_assignments[cut], 1)
+        ratio_without = cum_comparisons[cut - 1] / max(cum_assignments[cut - 1], 1)
+        if ratio_with <= smoothing * ratio_without:
+            break
+        cut -= 1
+    return levels[cut]
+
+
 class BlockPurging:
     """Remove blocks whose comparison cardinality exceeds a threshold.
 
@@ -45,6 +102,15 @@ class BlockPurging:
         self.max_cardinality = max_cardinality
         self.smoothing = smoothing
 
+    def signature(self) -> tuple:
+        """Hashable identity of this operator's parameterization.
+
+        Snapshot caches key processed results by operator signature, so
+        two equal-parameter instances share a cache entry while a
+        subclass (different qualname) never collides with the base.
+        """
+        return (type(self).__qualname__, self.max_cardinality, self.smoothing)
+
     def process(self, blocks: BlockCollection) -> BlockCollection:
         """Return a new collection without the purged blocks."""
         threshold = (
@@ -66,34 +132,11 @@ class BlockPurging:
         without it — the signature of stop-token blocks, which contribute
         quadratically many comparisons but only linearly many assignments
         (matching evidence).  The threshold is the largest surviving level.
-        """
-        if len(blocks) == 0:
-            return 1
-        by_cardinality: dict[int, tuple[int, int]] = {}
-        for block in blocks:
-            cardinality = block.cardinality()
-            comps, assigns = by_cardinality.get(cardinality, (0, 0))
-            by_cardinality[cardinality] = (
-                comps + cardinality,
-                assigns + len(block),
-            )
-        levels = sorted(by_cardinality)
-        cum_comparisons = [0] * len(levels)
-        cum_assignments = [0] * len(levels)
-        running_comps = 0
-        running_assigns = 0
-        for i, level in enumerate(levels):
-            comps, assigns = by_cardinality[level]
-            running_comps += comps
-            running_assigns += assigns
-            cum_comparisons[i] = running_comps
-            cum_assignments[i] = running_assigns
 
-        cut = len(levels) - 1
-        while cut > 0:
-            ratio_with = cum_comparisons[cut] / max(cum_assignments[cut], 1)
-            ratio_without = cum_comparisons[cut - 1] / max(cum_assignments[cut - 1], 1)
-            if ratio_with <= self.smoothing * ratio_without:
-                break
-            cut -= 1
-        return levels[cut]
+        Delegates to the module-level :func:`cardinality_histogram` /
+        :func:`threshold_from_histogram` pair so incremental maintainers
+        can reuse the exact policy over their own live histograms.
+        """
+        return threshold_from_histogram(
+            cardinality_histogram(blocks), self.smoothing
+        )

@@ -8,6 +8,8 @@ Four subcommands cover the adoption path end to end::
                                [--budget N] [--benefit MODEL] [--out M.csv]
     python -m repro stream     --kb1 A.nt [--kb2 B.nt]
                                [--scenario uniform|bursty|skewed]
+                               [--processed-view]
+                               [--reconcile-interval adaptive|K[,K2,...]]
     python -m repro mapreduce  --kb1 A.nt [--kb2 B.nt] [--workers 1 2 4]
                                [--executor serial|process|both]
                                [--formulation int|string|both]
@@ -155,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--threshold", type=float, default=0.4, help="match threshold")
     stream.add_argument("--budget", type=int, help="per-query comparison cap")
     stream.add_argument("--seed", type=int, default=17)
+    stream.add_argument(
+        "--processed-view", action="store_true",
+        help="serve queries from the incrementally-maintained processed "
+        "(purged+filtered) view instead of the raw index",
+    )
+    stream.add_argument(
+        "--reconcile-interval", default=None,
+        help="processed-view reconcile cadence in inserts: 'adaptive' "
+        "(the default), an integer, or a comma-separated sweep (each "
+        "value replays the workload against a fresh resolver); implies "
+        "--processed-view",
+    )
 
     mapreduce = sub.add_parser(
         "mapreduce", help="parallel meta-blocking worker/executor sweep"
@@ -371,25 +385,58 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
-    resolver = StreamResolver(clean_clean=kb2 is not None, threshold=args.threshold)
-    events = SCENARIOS[args.scenario](kb1, kb2, seed=args.seed)
-    stats = WorkloadDriver(resolver).run(
-        events,
-        scenario=args.scenario,
-        scheme=args.weighting,
-        pruner=args.pruning,
-        budget=args.budget,
-    )
-    print(
-        format_table(
-            stats.summary_rows(),
-            title=(
-                f"Streaming workload: {args.scenario} "
-                f"({args.weighting}/{args.pruning})"
-            ),
-            first_column="metric",
+
+    use_view = args.processed_view or args.reconcile_interval is not None
+    intervals: list[int | None] = [None]
+    if use_view:
+        intervals = []
+        for token in (args.reconcile_interval or "adaptive").split(","):
+            token = token.strip()
+            if not token or token == "adaptive":
+                intervals.append(None)
+                continue
+            try:
+                parsed = int(token)
+            except ValueError:
+                print(
+                    f"invalid reconcile interval {token!r}: expected "
+                    "'adaptive' or an integer >= 1"
+                )
+                return 1
+            if parsed < 1:
+                print(f"reconcile interval must be >= 1, got {parsed}")
+                return 1
+            intervals.append(parsed)
+
+    for interval in intervals:
+        resolver = StreamResolver(
+            clean_clean=kb2 is not None,
+            threshold=args.threshold,
+            processed_view=use_view,
+            reconcile_every=interval,
         )
-    )
+        events = SCENARIOS[args.scenario](kb1, kb2, seed=args.seed)
+        stats = WorkloadDriver(resolver).run(
+            events,
+            scenario=args.scenario,
+            scheme=args.weighting,
+            pruner=args.pruning,
+            budget=args.budget,
+        )
+        title = (
+            f"Streaming workload: {args.scenario} "
+            f"({args.weighting}/{args.pruning})"
+        )
+        if use_view:
+            label = "adaptive" if interval is None else str(interval)
+            title += f" — processed view, reconcile interval {label}"
+        print(
+            format_table(
+                stats.summary_rows(),
+                title=title,
+                first_column="metric",
+            )
+        )
     return 0
 
 

@@ -15,6 +15,12 @@ structures *maintainable under inserts*:
   ``(common, arcs)`` statistics maintained from the delta pairs each
   insert generates, keeping all six weighting schemes evaluable per
   pair without a global rebuild;
+* :class:`~repro.stream.processed_view.IncrementalProcessedView` — the
+  purge/filter-surviving block set maintained under inserts (exact
+  histogram-derived purging threshold, per-touched-entity filtering,
+  periodic exact reconciliation), with
+  :class:`~repro.stream.processed_view.SurvivorPairTable` keeping pair
+  statistics aligned with the survivors;
 * :class:`~repro.stream.resolver.StreamResolver` — query-time
   resolution of one incoming description against the live index, with
   latency accounting;
@@ -30,6 +36,11 @@ pipeline run over the same final corpus.  The streaming layer changes
 
 from repro.stream.index import IncrementalBlockIndex
 from repro.stream.pairs import DeltaPairTable
+from repro.stream.processed_view import (
+    IncrementalProcessedView,
+    ReconcileReport,
+    SurvivorPairTable,
+)
 from repro.stream.resolver import StreamMatch, StreamQueryResult, StreamResolver
 from repro.stream.similarity import StreamingSimilarityIndex
 from repro.stream.store import StreamingEntityStore
@@ -45,6 +56,9 @@ from repro.stream.workload import (
 __all__ = [
     "DeltaPairTable",
     "IncrementalBlockIndex",
+    "IncrementalProcessedView",
+    "ReconcileReport",
+    "SurvivorPairTable",
     "StreamMatch",
     "StreamQueryResult",
     "StreamResolver",

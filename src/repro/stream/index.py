@@ -75,6 +75,16 @@ class DeltaConsumer:
     def on_block_activated(self, key: str) -> None:
         """A block crossed from singleton/one-sided to comparison-bearing."""
 
+    def on_key_update(self, key: str, entity_id: int, source: int) -> None:
+        """The entity was newly posted under *key* on side *source*.
+
+        Fired once per (insert, key, side) **after** the posting append
+        and the cell/placement hooks, so a consumer reading the index
+        back sees the post-insert state of the key.  This is the hook
+        cardinality-sensitive maintainers (the incremental processed
+        view) subscribe to; pair-statistics consumers can ignore it.
+        """
+
 
 class IncrementalBlockIndex(DeltaConsumer):
     """Mutable inverted index: blocking key → per-source posting lists.
@@ -114,7 +124,9 @@ class IncrementalBlockIndex(DeltaConsumer):
         #: key → number of ids present on both sides (bipartite overlap)
         self._overlap: dict[str, int] = {}
         self._consumers: list[DeltaConsumer] = []
-        self._snapshots: dict[str, tuple[int, BlockCollection]] = {}
+        #: snapshot cache: "raw" or ("processed", purge sig, filter sig)
+        #: → (store version, collection); cleared on every insert
+        self._snapshots: dict[object, tuple[int, BlockCollection]] = {}
         #: key → (Block, side-0 store ids, side-1 store ids | None,
         #: cardinality) reused across snapshots until the key is touched
         self._block_cache: dict[
@@ -215,6 +227,8 @@ class IncrementalBlockIndex(DeltaConsumer):
                 elif was_active:
                     for consumer in consumers:
                         consumer.on_placement(entity_id)
+            for consumer in consumers:
+                consumer.on_key_update(key, entity_id, source)
 
     # -- interrogation -------------------------------------------------------
 
@@ -225,6 +239,14 @@ class IncrementalBlockIndex(DeltaConsumer):
     def keys_of(self, entity_id: int) -> dict[str, int]:
         """Key → side-bitmask map of *entity_id* (live; do not mutate)."""
         return self._key_mask.get(entity_id, {})
+
+    def entity_ids(self) -> list[int]:
+        """Ids of every entity posted under at least one key."""
+        return list(self._key_mask)
+
+    def arrival_rank(self, entity_id: int, source: int) -> int:
+        """Per-source arrival rank of the entity (the snapshot sort key)."""
+        return self._side_seq[source][entity_id]
 
     def postings(self, key: str) -> tuple[array, array]:
         """The live posting lists of *key* (empty arrays when absent).
@@ -452,16 +474,18 @@ class IncrementalBlockIndex(DeltaConsumer):
         distribution, so exact enforcement per insert is impossible; they
         are applied here, on demand, over the raw snapshot — which is
         precisely what the batch pipeline's ``MinoanER.block()`` does,
-        keeping the result bit-identical.  Cached until the next insert.
+        keeping the result bit-identical.  Cached until the next insert,
+        **per operator parameterization**: the cache is keyed by the
+        operators' ``signature()`` tuples, so non-default purging or
+        filtering arguments get their own correctly-invalidated entry
+        instead of a recompute (or, worse, a stale default-keyed hit).
         """
-        defaults = purging is None and filtering is None
-        if defaults:
-            cached = self._snapshots.get("processed")
-            if cached is not None and cached[0] == self.store.version:
-                return cached[1]
-        processed = self.snapshot()
-        processed = (purging or BlockPurging()).process(processed)
-        processed = (filtering or BlockFiltering()).process(processed)
-        if defaults:
-            self._snapshots["processed"] = (self.store.version, processed)
+        purging = purging or BlockPurging()
+        filtering = filtering or BlockFiltering()
+        cache_key = ("processed", purging.signature(), filtering.signature())
+        cached = self._snapshots.get(cache_key)
+        if cached is not None and cached[0] == self.store.version:
+            return cached[1]
+        processed = filtering.process(purging.process(self.snapshot()))
+        self._snapshots[cache_key] = (self.store.version, processed)
         return processed

@@ -31,129 +31,64 @@ from repro.stream.index import DeltaConsumer, IncrementalBlockIndex
 SCHEME_NAMES = ("CBS", "ECBS", "JS", "EJS", "ARCS", "X2")
 
 
-class DeltaPairTable(DeltaConsumer):
-    """Packed-pair statistics maintained under inserts.
+class PairStatsView:
+    """Scheme evaluation over maintained per-pair + global statistics.
 
-    Args:
-        index: the incremental block index to attach to.  Attach before
-            the first insert — deltas are not replayed.
+    The six weighting schemes are pure functions of ``(common, arcs)``
+    plus a handful of global factors; this mixin holds those expressions
+    once so every incrementally-maintained statistics table — the raw
+    :class:`DeltaPairTable` and the processed-view
+    :class:`~repro.stream.processed_view.SurvivorPairTable` — evaluates
+    them identically.  Subclasses provide:
+
+    * :meth:`common_of` / :meth:`arcs_of` — per-pair statistics;
+    * ``placements`` (entity id → block placements), ``degrees``
+      (entity id → distinct partners), ``active_blocks`` and
+      ``edge_count`` — the global factors;
+    * :meth:`interner` — the URI ↔ id mapping behind :meth:`weight`.
+
+    The expressions mirror the reference
+    :meth:`~repro.metablocking.weighting.WeightingScheme.weight`
+    implementations term for term (float products associate
+    left-to-right with the lexicographically smaller URI first), so the
+    results equal what a freshly built batch graph over the subclass's
+    block universe would assign.
     """
 
-    __slots__ = (
-        "index",
-        "common",
-        "placements",
-        "degrees",
-        "active_blocks",
-        "total_assignments",
-        "entities_placed",
-        "edge_count",
-    )
+    __slots__ = ()
 
-    def __init__(self, index: IncrementalBlockIndex) -> None:
-        self.index = index
-        #: packed pair → number of common blocks (counting repeated cells)
-        self.common: dict[int, int] = {}
-        #: entity id → placements in comparison-bearing blocks
-        self.placements: dict[int, int] = {}
-        #: entity id → distinct comparison partners (EJS degrees)
-        self.degrees: dict[int, int] = {}
-        #: number of comparison-bearing blocks
-        self.active_blocks = 0
-        #: total placements (the CEP/CNP budget numerator)
-        self.total_assignments = 0
-        #: entities with at least one placement
-        self.entities_placed = 0
-        #: number of distinct pairs (the blocking graph's edge count)
-        self.edge_count = 0
-        index.attach(self)
+    # -- subclass contract ---------------------------------------------------
 
-    # -- delta hooks ---------------------------------------------------------
-
-    def on_cell(self, id_a: int, id_b: int) -> None:
-        key = pack_pair(id_a, id_b)
-        count = self.common.get(key, 0)
-        if count == 0:
-            self.edge_count += 1
-            self.degrees[id_a] = self.degrees.get(id_a, 0) + 1
-            self.degrees[id_b] = self.degrees.get(id_b, 0) + 1
-        self.common[key] = count + 1
-
-    def on_placement(self, entity_id: int) -> None:
-        count = self.placements.get(entity_id, 0)
-        if count == 0:
-            self.entities_placed += 1
-        self.placements[entity_id] = count + 1
-        self.total_assignments += 1
-
-    def on_block_activated(self, key: str) -> None:
-        self.active_blocks += 1
-
-    # -- statistics ----------------------------------------------------------
-
-    def __len__(self) -> int:
-        """Number of distinct pairs tracked."""
-        return len(self.common)
+    placements: dict[int, int]
+    degrees: dict[int, int]
+    active_blocks: int
+    edge_count: int
 
     def common_of(self, id_a: int, id_b: int) -> int:
         """Common-block count of the pair (0 when never co-blocked)."""
-        if id_a == id_b:
-            return 0
-        return self.common.get(pack_pair(id_a, id_b), 0)
+        raise NotImplementedError
 
     def arcs_of(self, id_a: int, id_b: int) -> float:
-        """Lazy ARCS sum of the pair, bit-identical to the batch path.
+        """Lazy ARCS sum of the pair, bit-identical to the batch path."""
+        raise NotImplementedError
 
-        The batch reference walks blocks in sorted-key order and adds
-        ``1 / cardinality`` once per comparison cell; this walks the
-        pair's shared keys in the same order, reading each block's
-        *current* cardinality — identical terms, identical order,
-        identical floats.
-        """
-        if id_a == id_b:
-            return 0.0
-        index = self.index
-        keys_a = index.keys_of(id_a)
-        keys_b = index.keys_of(id_b)
-        if len(keys_b) < len(keys_a):
-            keys_a, keys_b = keys_b, keys_a
-        shared = [key for key in keys_a if key in keys_b]
-        if not shared:
-            return 0.0
-        shared.sort()
-        arcs = 0.0
-        for key in shared:
-            cells = index.cells_between(key, id_a, id_b)
-            if not cells:
-                continue
-            cardinality = index.cardinality_of(key)
-            if not cardinality:
-                continue
-            contribution = 1.0 / cardinality
-            for _ in range(cells):
-                arcs += contribution
-        return arcs
+    def interner(self):
+        """The URI ↔ dense-id mapping of the underlying store."""
+        raise NotImplementedError
+
+    # -- scheme evaluation ---------------------------------------------------
 
     def stats_of(self, id_a: int, id_b: int) -> tuple[int, float]:
         """(common, arcs) of the pair — the weighting schemes' inputs."""
         return self.common_of(id_a, id_b), self.arcs_of(id_a, id_b)
 
-    # -- scheme evaluation ---------------------------------------------------
-
     def weight(self, scheme_name: str, uri_a: str, uri_b: str) -> float:
         """Edge weight of a pair under *scheme_name*, batch-identical.
-
-        The expressions mirror the reference
-        :meth:`~repro.metablocking.weighting.WeightingScheme.weight`
-        implementations term for term (float products associate
-        left-to-right with the lexicographically smaller URI first), so
-        the result equals what a freshly built batch graph over the raw
-        snapshot would assign.
 
         Raises:
             KeyError: for unknown scheme or unknown URIs.
         """
-        interner = self.index.store.interner
+        interner = self.interner()
         if uri_b < uri_a:
             uri_a, uri_b = uri_b, uri_a
         return self.weight_ids(
@@ -219,21 +154,134 @@ class DeltaPairTable(DeltaConsumer):
                     statistic += deviation * deviation / expected
         return statistic
 
-    # -- equivalence helpers -------------------------------------------------
-
     def as_reference_stats(self) -> dict[tuple[str, str], tuple[int, float]]:
         """URI-keyed (common, arcs) map, comparable to the batch oracle.
 
-        Matches ``BlockingGraph(index.snapshot(), ...)._pair_statistics()``
-        — the retained string-tuple reference — entry for entry.  Meant
-        for the equivalence suite and for audits; cost is O(pairs).
+        Matches ``BlockingGraph(blocks, ...)._pair_statistics()`` over
+        the subclass's block universe — entry for entry.  Meant for the
+        equivalence suite and for audits; cost is O(pairs).
         """
-        uris = self.index.store.interner.uri_table()
+        uris = self.interner().uri_table()
         out: dict[tuple[str, str], tuple[int, float]] = {}
-        for key, count in self.common.items():
+        for key, count in self._common_items():
             id_a, id_b = key >> PAIR_SHIFT, key & PAIR_MASK
             uri_a, uri_b = uris[id_a], uris[id_b]
             if uri_b < uri_a:
                 uri_a, uri_b = uri_b, uri_a
             out[(uri_a, uri_b)] = (count, self.arcs_of(id_a, id_b))
         return out
+
+    def _common_items(self):
+        """Iterate ``(packed pair, common)`` entries with ``common > 0``."""
+        raise NotImplementedError
+
+
+class DeltaPairTable(PairStatsView, DeltaConsumer):
+    """Packed-pair statistics maintained under inserts.
+
+    Args:
+        index: the incremental block index to attach to.  Attach before
+            the first insert — deltas are not replayed.
+    """
+
+    __slots__ = (
+        "index",
+        "common",
+        "placements",
+        "degrees",
+        "active_blocks",
+        "total_assignments",
+        "entities_placed",
+        "edge_count",
+    )
+
+    def __init__(self, index: IncrementalBlockIndex) -> None:
+        self.index = index
+        #: packed pair → number of common blocks (counting repeated cells)
+        self.common: dict[int, int] = {}
+        #: entity id → placements in comparison-bearing blocks
+        self.placements: dict[int, int] = {}
+        #: entity id → distinct comparison partners (EJS degrees)
+        self.degrees: dict[int, int] = {}
+        #: number of comparison-bearing blocks
+        self.active_blocks = 0
+        #: total placements (the CEP/CNP budget numerator)
+        self.total_assignments = 0
+        #: entities with at least one placement
+        self.entities_placed = 0
+        #: number of distinct pairs (the blocking graph's edge count)
+        self.edge_count = 0
+        index.attach(self)
+
+    # -- delta hooks ---------------------------------------------------------
+
+    def on_cell(self, id_a: int, id_b: int) -> None:
+        key = pack_pair(id_a, id_b)
+        count = self.common.get(key, 0)
+        if count == 0:
+            self.edge_count += 1
+            self.degrees[id_a] = self.degrees.get(id_a, 0) + 1
+            self.degrees[id_b] = self.degrees.get(id_b, 0) + 1
+        self.common[key] = count + 1
+
+    def on_placement(self, entity_id: int) -> None:
+        count = self.placements.get(entity_id, 0)
+        if count == 0:
+            self.entities_placed += 1
+        self.placements[entity_id] = count + 1
+        self.total_assignments += 1
+
+    def on_block_activated(self, key: str) -> None:
+        self.active_blocks += 1
+
+    # -- statistics ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct pairs tracked."""
+        return len(self.common)
+
+    def interner(self):
+        """The store's URI ↔ dense-id mapping."""
+        return self.index.store.interner
+
+    def _common_items(self):
+        return self.common.items()
+
+    def common_of(self, id_a: int, id_b: int) -> int:
+        """Common-block count of the pair (0 when never co-blocked)."""
+        if id_a == id_b:
+            return 0
+        return self.common.get(pack_pair(id_a, id_b), 0)
+
+    def arcs_of(self, id_a: int, id_b: int) -> float:
+        """Lazy ARCS sum of the pair, bit-identical to the batch path.
+
+        The batch reference walks blocks in sorted-key order and adds
+        ``1 / cardinality`` once per comparison cell; this walks the
+        pair's shared keys in the same order, reading each block's
+        *current* cardinality — identical terms, identical order,
+        identical floats.
+        """
+        if id_a == id_b:
+            return 0.0
+        index = self.index
+        keys_a = index.keys_of(id_a)
+        keys_b = index.keys_of(id_b)
+        if len(keys_b) < len(keys_a):
+            keys_a, keys_b = keys_b, keys_a
+        shared = [key for key in keys_a if key in keys_b]
+        if not shared:
+            return 0.0
+        shared.sort()
+        arcs = 0.0
+        for key in shared:
+            cells = index.cells_between(key, id_a, id_b)
+            if not cells:
+                continue
+            cardinality = index.cardinality_of(key)
+            if not cardinality:
+                continue
+            contribution = 1.0 / cardinality
+            for _ in range(cells):
+                arcs += contribution
+        return arcs

@@ -1,0 +1,768 @@
+"""The incrementally-maintained processed (purged + filtered) view.
+
+:meth:`~repro.stream.index.IncrementalBlockIndex.snapshot_processed`
+pays batch prices at query time: purging and filtering thresholds are
+global functions of the whole block-size distribution, so every
+post-insert call re-runs both operators over a fresh snapshot.  This
+module maintains the surviving block set **under inserts** instead:
+
+* the block-cardinality distribution is tracked in a mergeable
+  histogram (one level update per touched key), so the adaptive purging
+  threshold is recomputed from the histogram — never from the blocks —
+  and is **exact at all times**;
+* filtering ratios are re-applied **per touched entity**: the inserted
+  entity's retained (most selective) key set is recomputed from live
+  cardinalities, while untouched entities keep their last ranking;
+* the resulting view is therefore *approximate between reconciliations*
+  — drift comes only from the per-entity filtering rankings of
+  untouched entities — with a **bounded staleness counter** (inserts
+  since the last reconciliation) and an exact
+  :meth:`~IncrementalProcessedView.reconcile` that diffs the view
+  against ``snapshot_processed()`` and repairs the drift in place,
+  every K inserts (see :attr:`~IncrementalProcessedView.due`) or on
+  demand.
+
+Consumers (:class:`SurvivorPairTable`) receive placement-level deltas
+as survivors enter and leave, so pair statistics follow the processed
+view the same way :class:`~repro.stream.pairs.DeltaPairTable` follows
+the raw index.
+
+**Contract:** immediately after :meth:`reconcile`, the view is
+bit-identical to ``snapshot_processed(purging, filtering)`` — same
+blocks, members, cardinalities and id views — and attached survivor
+statistics equal a batch graph built over that processed collection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering, retained_keys
+from repro.blocking.purging import BlockPurging, threshold_from_histogram
+from repro.model.interner import pack_pair
+from repro.stream.index import DeltaConsumer, IncrementalBlockIndex
+from repro.stream.pairs import PairStatsView
+
+
+class ViewConsumer:
+    """Interface for structures maintained from processed-view deltas.
+
+    Hooks fire as survivors enter or leave the view, during insert
+    application and during reconciliation repair alike — a consumer that
+    folds them in is always consistent with the view's current content.
+    ``delta`` is always ``+1`` or ``-1``.
+    """
+
+    __slots__ = ()
+
+    def on_view_cell(self, id_a: int, id_b: int, delta: int) -> None:
+        """One comparison cell between distinct survivors (dis)appeared."""
+
+    def on_view_placement(self, entity_id: int, delta: int) -> None:
+        """One placement of an entity in a surviving block (dis)appeared."""
+
+    def on_view_block(self, key: str, delta: int) -> None:
+        """A block entered (+1) or left (-1) the surviving set."""
+
+
+@dataclass(frozen=True)
+class ReconcileReport:
+    """Outcome of one exact reconciliation pass."""
+
+    #: inserts the view absorbed approximately since the last reconcile
+    staleness: int
+    wall_s: float
+    blocks_added: int
+    blocks_removed: int
+    placements_added: int
+    placements_removed: int
+    #: surviving blocks after the repair
+    exact_blocks: int
+
+    @property
+    def drift(self) -> int:
+        """Total structural difference repaired (blocks + placements)."""
+        return (
+            self.blocks_added
+            + self.blocks_removed
+            + self.placements_added
+            + self.placements_removed
+        )
+
+
+class IncrementalProcessedView(DeltaConsumer):
+    """Purge/filter-surviving block set maintained under inserts.
+
+    Args:
+        index: the incremental block index to subscribe to.  Attach
+            before the first insert (or replay the store afterwards, as
+            :class:`~repro.stream.resolver.StreamResolver` does).
+        purging: the purging operator whose policy the view enforces
+            (adaptive threshold by default; ``max_cardinality`` pins it).
+        filtering: the filtering operator (ratio) applied per entity.
+        reconcile_every: reconcile cadence in inserts; ``None`` (the
+            default) adapts the cadence to the corpus —
+            ``max(16, keys // 4)`` — which keeps the *amortized*
+            per-query reconciliation cost flat as the stream grows.
+    """
+
+    def __init__(
+        self,
+        index: IncrementalBlockIndex,
+        purging: BlockPurging | None = None,
+        filtering: BlockFiltering | None = None,
+        reconcile_every: int | None = None,
+    ) -> None:
+        if reconcile_every is not None and reconcile_every < 1:
+            raise ValueError("reconcile_every must be >= 1 (or None for adaptive)")
+        self.index = index
+        self.purging = purging or BlockPurging()
+        self.filtering = filtering or BlockFiltering()
+        self.reconcile_every = reconcile_every
+        #: exact reconciliations performed so far
+        self.reconcile_count = 0
+        #: report of the most recent :meth:`reconcile` (None before any)
+        self.last_report: ReconcileReport | None = None
+        #: keys touched since the last application (ordered, deduplicated)
+        self._pending_keys: dict[str, None] = {}
+        #: entities touched since the last application
+        self._pending_entities: dict[int, None] = {}
+        #: key → (cardinality, assignments) for currently-active keys
+        self._card: dict[str, tuple[int, int]] = {}
+        #: cardinality level → [total assignments, keys at this level];
+        #: the mergeable histogram the purging threshold is derived from
+        self._hist: dict[int, list] = {}
+        self._threshold = (
+            self.purging.max_cardinality
+            if self.purging.max_cardinality is not None
+            else 1
+        )
+        self._threshold_dirty = False
+        #: entity id → retained key set, as of the entity's last touch
+        self._retained: dict[int, frozenset[str]] = {}
+        #: key → per-side candidate member sets (entities retaining it)
+        self._members: dict[str, tuple[set[int], set[int]]] = {}
+        #: keys currently exposed by the view (purge + member floors met)
+        self._present: set[str] = set()
+        #: entity id → {key: side bitmask} over present blocks only
+        self._entity_keys: dict[int, dict[str, int]] = {}
+        self._consumers: list[ViewConsumer] = []
+        self._reconciled_version = index.store.version
+        self._exact: tuple[int, BlockCollection] | None = None
+        self._approx: tuple[int, BlockCollection] | None = None
+        index.attach(self)
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, consumer: ViewConsumer) -> None:
+        """Attach a view-delta consumer (attach before inserting)."""
+        self._consumers.append(consumer)
+
+    def on_key_update(self, key: str, entity_id: int, source: int) -> None:
+        """Index hook: buffer the touched key/entity for lazy application."""
+        self._pending_keys[key] = None
+        self._pending_entities[entity_id] = None
+
+    # -- staleness contract --------------------------------------------------
+
+    @property
+    def staleness(self) -> int:
+        """Inserts absorbed since the last reconciliation (0 = exact)."""
+        return self.index.store.version - self._reconciled_version
+
+    @property
+    def reconcile_interval(self) -> int:
+        """The staleness bound that makes the view :attr:`due`."""
+        if self.reconcile_every is not None:
+            return self.reconcile_every
+        return max(16, len(self.index) // 4)
+
+    @property
+    def due(self) -> bool:
+        """True when the staleness bound is reached."""
+        return self.staleness >= self.reconcile_interval
+
+    @property
+    def threshold(self) -> int:
+        """The current (histogram-exact) purging cardinality threshold."""
+        self._apply_pending()
+        return self._current_threshold()
+
+    # -- histogram maintenance -----------------------------------------------
+
+    def _hist_add(self, key: str, cardinality: int, assignments: int) -> None:
+        entry = self._hist.get(cardinality)
+        if entry is None:
+            entry = [0, set()]
+            self._hist[cardinality] = entry
+        entry[0] += assignments
+        entry[1].add(key)
+
+    def _hist_remove(self, key: str, cardinality: int, assignments: int) -> None:
+        entry = self._hist[cardinality]
+        entry[0] -= assignments
+        entry[1].discard(key)
+        if not entry[1]:
+            del self._hist[cardinality]
+
+    def _histogram_now(self) -> dict[int, tuple[int, int]]:
+        """The maintained histogram projected to batch shape (no apply)."""
+        return {
+            level: (level * len(keys), assigns)
+            for level, (assigns, keys) in self._hist.items()
+        }
+
+    def histogram(self) -> dict[int, tuple[int, int]]:
+        """Level → (comparisons, assignments), batch-comparable.
+
+        Equals :func:`repro.blocking.purging.cardinality_histogram` over
+        the raw snapshot at all times (the exactness invariant the
+        property suite asserts).
+        """
+        self._apply_pending()
+        return self._histogram_now()
+
+    def _current_threshold(self) -> int:
+        if self.purging.max_cardinality is not None:
+            # Pinned policy: keep the presence checks' threshold in sync
+            # (they read self._threshold, not the operator).
+            self._threshold = self.purging.max_cardinality
+            return self._threshold
+        if self._threshold_dirty:
+            self._threshold = threshold_from_histogram(
+                self._histogram_now(), self.purging.smoothing
+            )
+            self._threshold_dirty = False
+        return self._threshold
+
+    # -- delta application ---------------------------------------------------
+
+    def _retained_for(self, entity_id: int, threshold: int) -> list[str]:
+        """The entity's retained keys under the live cardinalities."""
+        card = self._card
+        eligible = [
+            key
+            for key in self.index.keys_of(entity_id)
+            if key in card and card[key][0] <= threshold
+        ]
+        return retained_keys(
+            eligible, lambda key: card[key][0], self.filtering.ratio
+        )
+
+    def _member_mask(self, key: str, entity_id: int) -> int:
+        sides = self._members.get(key)
+        if sides is None:
+            return 0
+        mask = 1 if entity_id in sides[0] else 0
+        if entity_id in sides[1]:
+            mask |= 2
+        return mask
+
+    def _present_now(self, key: str) -> bool:
+        entry = self._card.get(key)
+        if entry is None or entry[0] > self._threshold:
+            return False
+        sides = self._members.get(key)
+        if sides is None:
+            return False
+        if self.index.two_sided:
+            return bool(sides[0]) and bool(sides[1])
+        return len(sides[0]) >= 2
+
+    def _view_of(self, key: str) -> tuple[frozenset, frozenset] | None:
+        """The view's current content for *key* (None when not exposed)."""
+        if key not in self._present:
+            return None
+        sides = self._members.get(key) or (set(), set())
+        return (frozenset(sides[0]), frozenset(sides[1]))
+
+    def _apply_pending(self) -> None:
+        """Fold buffered key/entity touches into the survivor state.
+
+        O(touched keys + touched entities' keys + membership deltas):
+        histogram levels update per touched key, the threshold comes
+        from the histogram, retained sets are recomputed only for the
+        touched entities, and presence is re-evaluated only for keys
+        whose inputs changed (touched, threshold-crossing, or
+        membership-diffed).
+        """
+        if not self._pending_keys and not self._pending_entities:
+            return
+        index = self.index
+        pending_keys = list(self._pending_keys)
+        pending_entities = list(self._pending_entities)
+        self._pending_keys = {}
+        self._pending_entities = {}
+
+        # 1. exact histogram + per-key cardinality bookkeeping
+        for key in pending_keys:
+            old = self._card.get(key)
+            new = (
+                (index.cardinality_of(key), index.members_of(key))
+                if index.is_active(key)
+                else None
+            )
+            if new == old:
+                continue
+            if old is not None:
+                self._hist_remove(key, old[0], old[1])
+            if new is not None:
+                self._hist_add(key, new[0], new[1])
+                self._card[key] = new
+            else:
+                self._card.pop(key, None)
+            self._threshold_dirty = True
+
+        # 2. threshold from the histogram; collect crossing keys
+        old_threshold = self._threshold
+        new_threshold = self._current_threshold()
+        crossing: set[str] = set()
+        if new_threshold != old_threshold:
+            low, high = sorted((old_threshold, new_threshold))
+            for level, (_assigns, keys) in self._hist.items():
+                if low < level <= high:
+                    crossing.update(keys)
+
+        # 3. retained-set recompute for touched entities → membership deltas
+        affected: dict[str, None] = dict.fromkeys(pending_keys)
+        affected.update(dict.fromkeys(crossing))
+        mem_delta: dict[str, list[tuple[int, int, int]]] = {}
+        for entity_id in pending_entities:
+            old_r = self._retained.get(entity_id, frozenset())
+            new_r = frozenset(self._retained_for(entity_id, new_threshold))
+            self._retained[entity_id] = new_r
+            masks = index.keys_of(entity_id)
+            for key in old_r | new_r:
+                desired = masks.get(key, 0) if key in new_r else 0
+                current = self._member_mask(key, entity_id)
+                if desired == current:
+                    continue
+                for source in (0, 1):
+                    bit = 1 << source
+                    if desired & bit and not current & bit:
+                        mem_delta.setdefault(key, []).append(
+                            (entity_id, source, 1)
+                        )
+                    elif current & bit and not desired & bit:
+                        mem_delta.setdefault(key, []).append(
+                            (entity_id, source, -1)
+                        )
+                affected[key] = None
+
+        # 4. presence transitions, key by key, in deterministic order
+        for key in sorted(affected):
+            old_view = self._view_of(key)
+            for entity_id, source, delta in mem_delta.get(key, ()):
+                sides = self._members.get(key)
+                if sides is None:
+                    sides = (set(), set())
+                    self._members[key] = sides
+                if delta > 0:
+                    sides[source].add(entity_id)
+                else:
+                    sides[source].discard(entity_id)
+            new_view = (
+                self._view_of_members(key) if self._present_now(key) else None
+            )
+            self._transition(key, old_view, new_view)
+
+    def _view_of_members(self, key: str) -> tuple[frozenset, frozenset]:
+        sides = self._members[key]
+        return (frozenset(sides[0]), frozenset(sides[1]))
+
+    def _transition(
+        self,
+        key: str,
+        old_view: tuple[frozenset, frozenset] | None,
+        new_view: tuple[frozenset, frozenset] | None,
+    ) -> tuple[int, int]:
+        """Move the view's content for *key* from *old_view* to *new_view*.
+
+        Emits placement/cell/block deltas to the attached consumers by
+        replaying the difference one placement at a time (removals
+        first), so incremental cell counting stays exact; updates the
+        ``_present`` set and the per-entity present-key masks.
+
+        Returns:
+            ``(placements_added, placements_removed)``.
+        """
+        if old_view == new_view:
+            return (0, 0)
+        consumers = self._consumers
+        two_sided = self.index.two_sided
+        work0 = set(old_view[0]) if old_view is not None else set()
+        work1 = set(old_view[1]) if old_view is not None else set()
+        new0 = new_view[0] if new_view is not None else frozenset()
+        new1 = new_view[1] if new_view is not None else frozenset()
+        removals = [(entity, 0) for entity in work0 - new0]
+        removals += [(entity, 1) for entity in work1 - new1]
+        additions = [(entity, 0) for entity in new0 - work0]
+        additions += [(entity, 1) for entity in new1 - work1]
+        removals.sort(key=lambda placement: (placement[1], placement[0]))
+        additions.sort(key=lambda placement: (placement[1], placement[0]))
+
+        if old_view is None and new_view is not None:
+            self._present.add(key)
+            for consumer in consumers:
+                consumer.on_view_block(key, 1)
+
+        for entity_id, side in removals:
+            partners = (work1 if side == 0 else work0) if two_sided else work0
+            for partner in sorted(partners):
+                if partner != entity_id:
+                    for consumer in consumers:
+                        consumer.on_view_cell(entity_id, partner, -1)
+            (work0 if side == 0 else work1).discard(entity_id)
+            self._entity_key_clear(entity_id, key, 1 << side)
+            for consumer in consumers:
+                consumer.on_view_placement(entity_id, -1)
+        for entity_id, side in additions:
+            partners = (work1 if side == 0 else work0) if two_sided else work0
+            for partner in sorted(partners):
+                if partner != entity_id:
+                    for consumer in consumers:
+                        consumer.on_view_cell(entity_id, partner, 1)
+            (work0 if side == 0 else work1).add(entity_id)
+            self._entity_key_set(entity_id, key, 1 << side)
+            for consumer in consumers:
+                consumer.on_view_placement(entity_id, 1)
+
+        if new_view is None and old_view is not None:
+            self._present.discard(key)
+            for consumer in consumers:
+                consumer.on_view_block(key, -1)
+        return (len(additions), len(removals))
+
+    def _entity_key_set(self, entity_id: int, key: str, bit: int) -> None:
+        keys = self._entity_keys.setdefault(entity_id, {})
+        keys[key] = keys.get(key, 0) | bit
+
+    def _entity_key_clear(self, entity_id: int, key: str, bit: int) -> None:
+        keys = self._entity_keys.get(entity_id)
+        if keys is None:
+            return
+        mask = keys.get(key, 0) & ~bit
+        if mask:
+            keys[key] = mask
+        else:
+            keys.pop(key, None)
+            if not keys:
+                self._entity_keys.pop(entity_id, None)
+
+    # -- serving -------------------------------------------------------------
+
+    def keys_of(self, entity_id: int) -> dict[str, int]:
+        """Key → side-bitmask map over *present* blocks (live view)."""
+        self._apply_pending()
+        return self._entity_keys.get(entity_id, {})
+
+    def cardinality_of(self, key: str) -> int:
+        """Comparisons the view's (filtered) block implies (0 if absent)."""
+        if key not in self._present:
+            return 0
+        sides = self._members[key]
+        if self.index.two_sided:
+            return len(sides[0]) * len(sides[1]) - len(sides[0] & sides[1])
+        count = len(sides[0])
+        return count * (count - 1) // 2
+
+    def cells_between(self, key: str, id_a: int, id_b: int) -> int:
+        """Comparison cells of the pair inside the view's *key* block."""
+        if id_a == id_b:
+            return 0
+        mask_a = self._entity_keys.get(id_a, {}).get(key, 0)
+        mask_b = self._entity_keys.get(id_b, {}).get(key, 0)
+        if not mask_a or not mask_b:
+            return 0
+        if not self.index.two_sided:
+            return 1
+        return int(bool(mask_a & 1) and bool(mask_b & 2)) + int(
+            bool(mask_b & 1) and bool(mask_a & 2)
+        )
+
+    def partners_of(self, entity_id: int) -> list[int]:
+        """Candidate partners of the entity through surviving blocks only.
+
+        The processed-view counterpart of
+        :meth:`~repro.stream.index.IncrementalBlockIndex.partners_of`:
+        purging and filtering are already enforced (approximately,
+        between reconciliations), so no per-query caps are needed.
+        """
+        self._apply_pending()
+        keys = self._entity_keys.get(entity_id)
+        if not keys:
+            return []
+        seen: dict[int, None] = {}
+        two_sided = self.index.two_sided
+        for key in sorted(keys):
+            mask = keys[key]
+            sides = self._members[key]
+            if not two_sided:
+                for member in sorted(sides[0]):
+                    if member != entity_id:
+                        seen.setdefault(member)
+            else:
+                if mask & 1:
+                    for member in sorted(sides[1]):
+                        if member != entity_id:
+                            seen.setdefault(member)
+                if mask & 2:
+                    for member in sorted(sides[0]):
+                        if member != entity_id:
+                            seen.setdefault(member)
+        return list(seen)
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize(self) -> BlockCollection:
+        """The view as a ``BlockCollection``.
+
+        Exact (the ``snapshot_processed`` result itself) right after a
+        reconciliation with no inserts since; the approximate survivor
+        state otherwise.  Cached per store version.
+        """
+        self._apply_pending()
+        version = self.index.store.version
+        if self._exact is not None and self._exact[0] == version:
+            return self._exact[1]
+        if self._approx is not None and self._approx[0] == version:
+            return self._approx[1]
+        blocks = self._build_collection()
+        self._approx = (version, blocks)
+        return blocks
+
+    def _build_collection(self) -> BlockCollection:
+        """Materialize the survivor state (batch-identical shape/order)."""
+        index = self.index
+        uris = index.store.interner.uri_table()
+        names = [collection.name for collection in index.store.collections]
+        if index.two_sided:
+            raw_name = f"{index.blocker.name}({names[0]},{names[1]})"
+        else:
+            raw_name = f"{index.blocker.name}({names[0]})"
+        out = BlockCollection(name=f"filtered(purged({raw_name}))")
+        for key in sorted(self._present):
+            sides = self._members[key]
+            ids1 = sorted(sides[0], key=lambda e: index.arrival_rank(e, 0))
+            entities1 = [uris[e] for e in ids1]
+            if index.two_sided:
+                ids2 = sorted(sides[1], key=lambda e: index.arrival_rank(e, 1))
+                out.add(Block(key, entities1, [uris[e] for e in ids2]))
+            else:
+                out.add(Block(key, entities1))
+        return out
+
+    # -- reconciliation ------------------------------------------------------
+
+    def reconcile(self) -> ReconcileReport:
+        """Diff the view against the exact processed snapshot; repair drift.
+
+        Emits corrective deltas to attached consumers for every block
+        and placement the approximation got wrong, recomputes every
+        entity's retained set from the now-exact threshold, and caches
+        the exact collection so :meth:`materialize` returns it
+        bit-identically until the next insert.
+        """
+        started = time.perf_counter()
+        self._apply_pending()
+        index = self.index
+        staleness = self.staleness
+        exact = index.snapshot_processed(self.purging, self.filtering)
+        interner = index.store.interner
+        exact_members: dict[str, tuple[frozenset, frozenset]] = {}
+        for block in exact:
+            side0 = frozenset(interner.id_of(uri) for uri in block.entities1)
+            side1 = (
+                frozenset(interner.id_of(uri) for uri in block.entities2)
+                if block.entities2 is not None
+                else frozenset()
+            )
+            exact_members[block.key] = (side0, side1)
+
+        blocks_added = blocks_removed = 0
+        placements_added = placements_removed = 0
+        for key in sorted(set(self._present) | set(exact_members)):
+            old_view = self._view_of(key)
+            new_view = exact_members.get(key)
+            if old_view is None and new_view is not None:
+                blocks_added += 1
+            elif old_view is not None and new_view is None:
+                blocks_removed += 1
+            added, removed = self._transition(key, old_view, new_view)
+            placements_added += added
+            placements_removed += removed
+
+        # Wholesale repair of the approximate bookkeeping: with the
+        # threshold exact (histogram invariant) and every retained set
+        # recomputed, the candidate state matches batch filtering.
+        threshold = self._current_threshold()
+        self._retained = {}
+        self._members = {}
+        for entity_id in index.entity_ids():
+            new_r = frozenset(self._retained_for(entity_id, threshold))
+            self._retained[entity_id] = new_r
+            masks = index.keys_of(entity_id)
+            for key in new_r:
+                mask = masks[key]
+                sides = self._members.get(key)
+                if sides is None:
+                    sides = (set(), set())
+                    self._members[key] = sides
+                if mask & 1:
+                    sides[0].add(entity_id)
+                if mask & 2:
+                    sides[1].add(entity_id)
+
+        version = index.store.version
+        self._exact = (version, exact)
+        self._approx = None
+        self._reconciled_version = version
+        self.reconcile_count += 1
+        report = ReconcileReport(
+            staleness=staleness,
+            wall_s=time.perf_counter() - started,
+            blocks_added=blocks_added,
+            blocks_removed=blocks_removed,
+            placements_added=placements_added,
+            placements_removed=placements_removed,
+            exact_blocks=len(exact),
+        )
+        self.last_report = report
+        return report
+
+
+class SurvivorPairTable(PairStatsView, ViewConsumer):
+    """Pair statistics over the processed view's surviving blocks.
+
+    The processed-view counterpart of
+    :class:`~repro.stream.pairs.DeltaPairTable`: per-pair common counts
+    and the global scheme factors follow the *survivors* — placements
+    and cells enter and leave as purging/filtering decisions shift —
+    so query-time weighting matches a batch graph built over the
+    processed collection (exactly so right after a reconciliation).
+
+    Args:
+        view: the processed view to attach to.  Attach before the first
+            insert — view deltas are not replayed.
+    """
+
+    __slots__ = (
+        "view",
+        "common",
+        "placements",
+        "degrees",
+        "active_blocks",
+        "total_assignments",
+        "entities_placed",
+        "edge_count",
+    )
+
+    def __init__(self, view: IncrementalProcessedView) -> None:
+        self.view = view
+        #: packed pair → cells in common surviving blocks
+        self.common: dict[int, int] = {}
+        #: entity id → placements in surviving blocks
+        self.placements: dict[int, int] = {}
+        #: entity id → distinct surviving partners (EJS degrees)
+        self.degrees: dict[int, int] = {}
+        #: number of surviving blocks
+        self.active_blocks = 0
+        #: total surviving placements (the CEP/CNP budget numerator)
+        self.total_assignments = 0
+        #: entities with at least one surviving placement
+        self.entities_placed = 0
+        #: number of distinct surviving pairs
+        self.edge_count = 0
+        view.attach(self)
+
+    # -- view-delta hooks ----------------------------------------------------
+
+    def on_view_cell(self, id_a: int, id_b: int, delta: int) -> None:
+        key = pack_pair(id_a, id_b)
+        old = self.common.get(key, 0)
+        count = old + delta
+        if old == 0 and count > 0:
+            self.edge_count += 1
+            self.degrees[id_a] = self.degrees.get(id_a, 0) + 1
+            self.degrees[id_b] = self.degrees.get(id_b, 0) + 1
+        elif old > 0 and count == 0:
+            self.edge_count -= 1
+            for entity_id in (id_a, id_b):
+                remaining = self.degrees.get(entity_id, 0) - 1
+                if remaining:
+                    self.degrees[entity_id] = remaining
+                else:
+                    self.degrees.pop(entity_id, None)
+        if count:
+            self.common[key] = count
+        else:
+            self.common.pop(key, None)
+
+    def on_view_placement(self, entity_id: int, delta: int) -> None:
+        old = self.placements.get(entity_id, 0)
+        count = old + delta
+        if old == 0 and count > 0:
+            self.entities_placed += 1
+        elif old > 0 and count == 0:
+            self.entities_placed -= 1
+        self.total_assignments += delta
+        if count:
+            self.placements[entity_id] = count
+        else:
+            self.placements.pop(entity_id, None)
+
+    def on_view_block(self, key: str, delta: int) -> None:
+        self.active_blocks += delta
+
+    # -- statistics ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct surviving pairs tracked."""
+        return len(self.common)
+
+    def interner(self):
+        """The store's URI ↔ dense-id mapping."""
+        return self.view.index.store.interner
+
+    def _common_items(self):
+        return self.common.items()
+
+    def common_of(self, id_a: int, id_b: int) -> int:
+        """Common surviving-block cells of the pair (0 when none)."""
+        if id_a == id_b:
+            return 0
+        return self.common.get(pack_pair(id_a, id_b), 0)
+
+    def arcs_of(self, id_a: int, id_b: int) -> float:
+        """Lazy ARCS over surviving blocks, batch-identical at reconcile.
+
+        Walks the pair's shared surviving keys in sorted order, reading
+        each *filtered* block's current cardinality — the same terms, in
+        the same order, as a batch graph enumeration over the processed
+        collection.
+        """
+        if id_a == id_b:
+            return 0.0
+        view = self.view
+        keys_a = view.keys_of(id_a)
+        keys_b = view.keys_of(id_b)
+        if len(keys_b) < len(keys_a):
+            keys_a, keys_b = keys_b, keys_a
+        shared = [key for key in keys_a if key in keys_b]
+        if not shared:
+            return 0.0
+        shared.sort()
+        arcs = 0.0
+        for key in shared:
+            cells = view.cells_between(key, id_a, id_b)
+            if not cells:
+                continue
+            cardinality = view.cardinality_of(key)
+            if not cardinality:
+                continue
+            contribution = 1.0 / cardinality
+            for _ in range(cells):
+                arcs += contribution
+        return arcs

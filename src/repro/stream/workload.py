@@ -166,6 +166,13 @@ class WorkloadStats:
     elapsed_s: float = 0.0
     insert_latencies_s: list[float] = field(default_factory=list)
     query_latencies_s: list[float] = field(default_factory=list)
+    #: processed-view accounting (zero when the resolver serves raw):
+    #: queries that triggered an exact reconciliation, total wall time
+    #: spent reconciling, and total serve-side query time — the
+    #: reconcile-vs-serve split of the view's query-time cost
+    reconciles: int = 0
+    reconcile_s: float = 0.0
+    serve_s: float = 0.0
 
     @property
     def events(self) -> int:
@@ -227,7 +234,16 @@ class WorkloadStats:
              "value": f"{query['mean'] * 1e3:.3f} / {query['p95'] * 1e3:.3f}"},
             {"metric": "insert mean by quartile (ms)",
              "value": " ".join(f"{q * 1e3:.3f}" for q in quartiles)},
-        ]
+        ] + (
+            [
+                {"metric": "view reconciles (queries)",
+                 "value": str(self.reconciles)},
+                {"metric": "view reconcile / serve total (ms)",
+                 "value": f"{self.reconcile_s * 1e3:.3f} / {self.serve_s * 1e3:.3f}"},
+            ]
+            if self.reconciles or self.reconcile_s
+            else []
+        )
 
 
 class WorkloadDriver:
@@ -278,6 +294,13 @@ class WorkloadDriver:
                 stats.queries += 1
                 stats.matches_found += len(result.matches)
                 stats.comparisons += result.comparisons
+                reconcile_s = result.latency.get("reconcile_s", 0.0)
+                if reconcile_s > 0.0:
+                    stats.reconciles += 1
+                stats.reconcile_s += reconcile_s
+                stats.serve_s += result.latency.get(
+                    "serve_s", result.latency.get("total_s", 0.0)
+                )
                 if on_query is not None:
                     on_query(result)
             else:

@@ -1,0 +1,103 @@
+"""ProcessExecutor timeout-path coverage: kill, surface, recover.
+
+The per-phase hard timeout exists so a deadlocked worker fails the job
+instead of hanging the driver.  These tests pin the whole path on both
+dispatch routes (picklable specs on the persistent pool, closure tasks
+on fork-inherited pools): the stuck phase raises, the stuck pool is
+torn down, and the executor remains usable — the next phase builds a
+fresh pool and completes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mapreduce import MapReduceEngine, MapReduceJob, ProcessExecutor
+
+pytestmark = pytest.mark.skipif(
+    not ProcessExecutor.available(), reason="fork start method unavailable"
+)
+
+
+def _sleep_forever(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+class TestSpecPathTimeout:
+    def test_timeout_surfaces_and_pool_recovers(self):
+        executor = ProcessExecutor(workers=2, task_timeout_s=0.2)
+        try:
+            with pytest.raises(RuntimeError, match="exceeded"):
+                executor.run_specs(
+                    [(_sleep_forever, (30.0,)), (_sleep_forever, (30.0,))]
+                )
+            # The stuck pool was terminated by the timeout handler...
+            assert executor._pool is None
+            # ...and the executor still serves work: a fresh pool is
+            # built lazily and the phase completes.
+            results = executor.run_specs(
+                [(sorted, ([3, 1],)), (sorted, ([2, 0],))]
+            )
+            assert results == [[1, 3], [0, 2]]
+        finally:
+            executor.close()
+
+    def test_timeout_does_not_leak_into_later_phases(self):
+        executor = ProcessExecutor(workers=2, task_timeout_s=0.2)
+        try:
+            with pytest.raises(RuntimeError):
+                executor.run_specs(
+                    [(_sleep_forever, (30.0,)), (_sleep_forever, (30.0,))]
+                )
+            # Repeated phases after recovery keep working (the killed
+            # sleepers must not poison subsequent map_async calls).
+            for _ in range(3):
+                assert executor.run_specs(
+                    [(len, ("ab",)), (len, ("abc",))]
+                ) == [2, 3]
+        finally:
+            executor.close()
+
+
+class TestClosureTaskPathTimeout:
+    def test_closure_tasks_honor_timeout_and_recover(self):
+        executor = ProcessExecutor(workers=2, task_timeout_s=0.2)
+        try:
+            with pytest.raises(RuntimeError, match="exceeded"):
+                executor.run_tasks(
+                    [lambda: time.sleep(30), lambda: time.sleep(30)]
+                )
+            assert executor.run_tasks([lambda: 1 + 1, lambda: 2 + 2]) == [2, 4]
+        finally:
+            executor.close()
+
+
+class TestEngineLevelTimeout:
+    def test_stuck_map_phase_fails_the_job(self):
+        def stuck_mapper(_key, _value):
+            time.sleep(30)
+            yield _key, _value
+
+        def reducer(key, values):
+            yield key, len(values)
+
+        job = MapReduceJob(name="stuck", mapper=stuck_mapper, reducer=reducer)
+        engine = MapReduceEngine(
+            workers=2, executor=ProcessExecutor(workers=2, task_timeout_s=0.2)
+        )
+        try:
+            with pytest.raises(RuntimeError, match="exceeded"):
+                engine.run(job, [(i, i) for i in range(4)])
+            # The engine (same executor instance) recovers for the next job.
+            def mapper(key, value):
+                yield value % 2, 1
+
+            ok_job = MapReduceJob(name="ok", mapper=mapper, reducer=reducer)
+            output, metrics = engine.run(ok_job, [(i, i) for i in range(8)])
+            assert dict(output) == {0: 4, 1: 4}
+            assert metrics.executor == "process"
+        finally:
+            engine.close()

@@ -1,0 +1,81 @@
+"""Scalar-vs-vectorized ``stable_hash_int`` fuzz over the full int64 range.
+
+The partitioning contract: a key routes to the same reducer whether it
+is hashed one at a time (``stable_hash_int``, the scalar splitmix64
+finalizer) or a million rows at once (``stable_hash_int_array``, the
+numpy elementwise version).  Negative int64 values matter — the scalar
+path masks to the low 64 bits while numpy wraps two's-complement via
+``astype(uint64)`` — so the fuzz covers the entire signed range plus
+the adversarial boundary values.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import stable_hash_int
+
+np = pytest.importorskip("numpy")
+
+from repro.mapreduce.records import stable_hash_int_array  # noqa: E402
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+int64_values = st.integers(INT64_MIN, INT64_MAX)
+bucket_counts = st.integers(1, 1024)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(int64_values, min_size=1, max_size=64), buckets=bucket_counts)
+def test_vectorized_matches_scalar_over_full_int64_range(values, buckets):
+    array = np.array(values, dtype=np.int64)
+    vectorized = stable_hash_int_array(array, buckets)
+    assert vectorized.tolist() == [
+        stable_hash_int(value, buckets) for value in values
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=int64_values, buckets=bucket_counts)
+def test_scalar_is_in_range_and_deterministic(value, buckets):
+    bucket = stable_hash_int(value, buckets)
+    assert 0 <= bucket < buckets
+    assert stable_hash_int(value, buckets) == bucket
+
+
+def test_boundary_values_agree():
+    boundary = [
+        INT64_MIN,
+        INT64_MIN + 1,
+        -1,
+        0,
+        1,
+        INT64_MAX - 1,
+        INT64_MAX,
+        (1 << 32) - 1,
+        1 << 32,
+        (INT64_MAX >> 1) + 1,
+    ]
+    array = np.array(boundary, dtype=np.int64)
+    for buckets in (1, 2, 3, 7, 16, 255, 1024):
+        assert stable_hash_int_array(array, buckets).tolist() == [
+            stable_hash_int(value, buckets) for value in boundary
+        ]
+
+
+def test_negative_values_mask_like_two_complement():
+    """The scalar path's ``& _U64`` equals numpy's uint64 wraparound."""
+    for value in (-1, -12345, INT64_MIN, -(1 << 40)):
+        for buckets in (2, 8, 1024):
+            assert stable_hash_int(value, buckets) == stable_hash_int(
+                value & ((1 << 64) - 1), buckets
+            )
+            assert (
+                stable_hash_int_array(
+                    np.array([value], dtype=np.int64), buckets
+                )[0]
+                == stable_hash_int(value, buckets)
+            )

@@ -1,0 +1,112 @@
+"""Processed-view equivalence: every corpus × workload scenario.
+
+The acceptance contract of the incremental processed view: after any
+of the three arrival/query scenarios replays over any sample corpus —
+through the full :class:`StreamResolver` serving path, with automatic
+reconciliations — one final reconciliation leaves the view
+**bit-identical** to ``snapshot_processed()``: same blocks, members,
+cardinalities and id views, with survivor pair statistics equal to a
+batch graph over the processed collection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.datasets import load_movies, load_people, load_restaurants
+from repro.metablocking.graph import BlockingGraph
+from repro.metablocking.weighting import make_scheme
+from repro.stream import StreamResolver, WorkloadDriver
+from repro.stream.workload import SCENARIOS
+
+CORPORA = {
+    "restaurants": load_restaurants,
+    "movies": load_movies,
+    "people": load_people,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CORPORA))
+def corpus(request):
+    kb1, kb2, _gold = CORPORA[request.param]()
+    return kb1, kb2
+
+
+@pytest.fixture(params=sorted(SCENARIOS))
+def replayed(request, corpus):
+    """A view-serving resolver after a full scenario replay."""
+    kb1, kb2 = corpus
+    resolver = StreamResolver(
+        clean_clean=True, processed_view=True, reconcile_every=10
+    )
+    resolver.store.collections[0].name = kb1.name
+    resolver.store.collections[1].name = kb2.name
+    events = SCENARIOS[request.param](kb1, kb2)
+    stats = WorkloadDriver(resolver).run(events, scenario=request.param)
+    return resolver, stats
+
+
+def test_reconciled_view_bit_identical(corpus, replayed):
+    resolver, _stats = replayed
+    resolver.view.reconcile()
+    exact = resolver.index.snapshot_processed()
+    # materialize() hands back the exact snapshot itself...
+    assert resolver.view.materialize() is exact
+    # ...and the repaired internal state rebuilds to the same collection:
+    # keys, per-side members, cardinalities, id views, name.
+    rebuilt = resolver.view._build_collection()
+    assert rebuilt.name == exact.name
+    assert rebuilt.keys() == exact.keys()
+    for key in exact.keys():
+        assert rebuilt[key].entities1 == exact[key].entities1, key
+        assert rebuilt[key].entities2 == exact[key].entities2, key
+        assert rebuilt[key].cardinality() == exact[key].cardinality(), key
+    assert rebuilt.id_blocks() == exact.id_blocks()
+    assert rebuilt.interner().uris() == exact.interner().uris()
+
+
+def test_view_matches_batch_pipeline(corpus, replayed):
+    """The reconciled view equals batch purge+filter over the corpus.
+
+    The workload replays ingest the full corpus (queries re-resolve
+    already-inserted descriptions), so the exact oracle is the batch
+    pipeline over the original KBs.
+    """
+    kb1, kb2 = corpus
+    resolver, _stats = replayed
+    resolver.view.reconcile()
+    batch = BlockFiltering().process(
+        BlockPurging().process(TokenBlocking().build(kb1, kb2))
+    )
+    view = resolver.view.materialize()
+    assert view.keys() == batch.keys()
+    for key in batch.keys():
+        assert view[key].entities1 == batch[key].entities1, key
+        assert view[key].entities2 == batch[key].entities2, key
+
+
+def test_survivor_stats_match_processed_graph(corpus, replayed):
+    resolver, _stats = replayed
+    resolver.view.reconcile()
+    processed = resolver.index.snapshot_processed()
+    reference = BlockingGraph(processed, make_scheme("CBS"))._pair_statistics()
+    assert resolver.view_pairs.as_reference_stats() == reference
+    assert resolver.view_pairs.active_blocks == len(processed)
+    assert resolver.view_pairs.total_assignments == processed.total_assignments()
+    assert resolver.view_pairs.entities_placed == processed.entity_count()
+
+
+def test_replay_reports_reconcile_serve_split(replayed):
+    """The driver surfaces the reconcile-vs-serve latency split."""
+    resolver, stats = replayed
+    assert stats.queries > 0
+    assert stats.serve_s > 0.0
+    # With interval 10 and dozens of inserts, at least one query must
+    # have auto-reconciled.
+    assert stats.reconciles >= 1
+    assert stats.reconcile_s > 0.0
+    rows = {row["metric"] for row in stats.summary_rows()}
+    assert "view reconciles (queries)" in rows

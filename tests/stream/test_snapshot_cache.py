@@ -1,0 +1,94 @@
+"""Regression: ``snapshot_processed`` caching is keyed by operator params.
+
+The original cache only covered the default purging/filtering
+combination: non-default operators were recomputed on every call — and
+a parameter-keyed cache naïvely added without version tracking would
+serve **stale** results after an insert.  These tests pin both sides:
+distinct parameterizations get distinct, reused entries, and every
+entry is invalidated by the next insert.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.model.description import EntityDescription
+from repro.stream import IncrementalBlockIndex, StreamingEntityStore
+
+
+def _populated_index() -> tuple[StreamingEntityStore, IncrementalBlockIndex]:
+    store = StreamingEntityStore(sources=("kb1", "kb2"))
+    index = IncrementalBlockIndex(store)
+    for i in range(6):
+        store.insert(
+            EntityDescription(f"http://a/{i}", {"p": [f"alpha beta tok{i}"]}), 0
+        )
+        store.insert(
+            EntityDescription(f"http://b/{i}", {"p": [f"alpha beta tok{i}"]}), 1
+        )
+    return store, index
+
+
+def test_default_combination_is_cached():
+    _store, index = _populated_index()
+    assert index.snapshot_processed() is index.snapshot_processed()
+
+
+def test_non_default_combination_is_cached():
+    _store, index = _populated_index()
+    purging = BlockPurging(max_cardinality=3)
+    filtering = BlockFiltering(ratio=0.5)
+    first = index.snapshot_processed(purging, filtering)
+    # Same parameters — even via fresh operator instances — hit the entry.
+    second = index.snapshot_processed(
+        BlockPurging(max_cardinality=3), BlockFiltering(ratio=0.5)
+    )
+    assert first is second
+
+
+def test_distinct_parameters_get_distinct_entries():
+    _store, index = _populated_index()
+    default = index.snapshot_processed()
+    tight = index.snapshot_processed(BlockPurging(max_cardinality=1))
+    assert default is not tight
+    assert len(tight) <= len(default)
+    # Both entries stay live side by side.
+    assert index.snapshot_processed() is default
+    assert index.snapshot_processed(BlockPurging(max_cardinality=1)) is tight
+
+
+def test_insert_invalidates_non_default_entries():
+    """The staleness regression: a parameter-keyed entry must not
+    survive an insert."""
+    store, index = _populated_index()
+    purging = BlockPurging(max_cardinality=100)
+    stale = index.snapshot_processed(purging)
+    before = sorted(stale.keys())
+    store.insert(
+        EntityDescription("http://a/new", {"p": ["alpha beta freshtoken"]}), 0
+    )
+    store.insert(
+        EntityDescription("http://b/new", {"p": ["freshtoken"]}), 1
+    )
+    fresh = index.snapshot_processed(purging)
+    assert fresh is not stale
+    assert "freshtoken" in fresh.keys()
+    assert "freshtoken" not in before
+    # The new entity appears in the blocks it shares with old ones.
+    assert any(
+        "http://a/new" in fresh[key].entities1 for key in fresh.keys()
+    )
+
+
+def test_subclass_does_not_collide_with_base_entry():
+    """An operator subclass (different behavior, same params) must not
+    share the base class's cache entry."""
+    _store, index = _populated_index()
+
+    class KeepEverything(BlockPurging):
+        def process(self, blocks):
+            return blocks
+
+    base = index.snapshot_processed(BlockPurging())
+    sub = index.snapshot_processed(KeepEverything())
+    assert base is not sub
