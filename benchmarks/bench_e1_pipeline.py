@@ -10,21 +10,30 @@ from __future__ import annotations
 
 from conftest import report
 
-from repro.core.budget import CostBudget
-from repro.core.pipeline import MinoanER
-from repro.evaluation.metrics import evaluate_matches
+from repro.api import Pipeline, PipelineSpec
 from repro.evaluation.reporting import format_table
+
+#: the whole E1 experiment as one declarative object
+SPEC = PipelineSpec.from_dict(
+    {
+        "weighting": "ARCS",
+        "pruning": "CNP",
+        "matching": {
+            "matcher": {"name": "threshold", "params": {"threshold": 0.35}},
+            "budget": 500,
+        },
+    }
+)
 
 
 def run_pipeline(movies):
     kb_a, kb_b, gold = movies
-    platform = MinoanER(budget=CostBudget(500), match_threshold=0.35)
-    return platform.resolve(kb_a, kb_b, gold=gold), gold
+    return Pipeline.run(SPEC, kb_a, kb_b, gold=gold), gold
 
 
 def test_e1_pipeline(benchmark, movies):
     result, gold = benchmark(run_pipeline, movies)
-    quality = evaluate_matches(result.matched_pairs(), gold)
+    quality = result.match_quality
     rows = [dict(stage=k, value=v) for k, v in result.summary().items()]
     rows.extend(dict(stage=k, value=v) for k, v in quality.as_row().items())
     report(

@@ -12,34 +12,35 @@ from __future__ import annotations
 import pytest
 from conftest import report
 
-from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.api import Pipeline, PipelineSpec, registry
 from repro.evaluation.metrics import evaluate_comparisons
 from repro.evaluation.reporting import format_table
-from repro.metablocking import BlockingGraph, make_pruner, make_scheme
 
-WEIGHTING = ("CBS", "ECBS", "JS", "EJS", "ARCS")
+#: every registered weighting scheme x the four canonical pruners
+WEIGHTING = tuple(registry.names("weighting"))
 PRUNING = ("WEP", "CEP", "WNP", "CNP")
+BASE_SPEC = PipelineSpec()
 
 
 @pytest.fixture(scope="module")
 def processed_blocks(center):
-    blocks = TokenBlocking().build(center.kb1, center.kb2)
-    return BlockFiltering().process(BlockPurging().process(blocks))
+    return Pipeline(BASE_SPEC).block(center.kb1, center.kb2)[1]
 
 
 @pytest.fixture(scope="module")
 def periphery_blocks(periphery):
-    blocks = TokenBlocking().build(periphery.kb1, periphery.kb2)
-    return BlockFiltering().process(BlockPurging().process(blocks))
+    return Pipeline(BASE_SPEC).block(periphery.kb1, periphery.kb2)[1]
 
 
 def matrix_rows(dataset, blocks, workload: str) -> list[dict[str, str]]:
     sizes = (len(dataset.kb1), len(dataset.kb2))
     rows = []
     for scheme_name in WEIGHTING:
-        graph = BlockingGraph(blocks, make_scheme(scheme_name))
         for pruner_name in PRUNING:
-            edges = make_pruner(pruner_name).prune(graph)
+            cell = Pipeline(
+                BASE_SPEC.with_components(weighting=scheme_name, pruning=pruner_name)
+            )
+            edges = cell.meta_block(blocks)
             quality = evaluate_comparisons(
                 {e.pair for e in edges}, dataset.gold, *sizes
             )
@@ -65,8 +66,7 @@ def test_e4_metablocking_matrix(
     rows += matrix_rows(periphery, periphery_blocks, "periphery")
 
     def arcs_cnp():
-        graph = BlockingGraph(processed_blocks, make_scheme("ARCS"))
-        return make_pruner("CNP").prune(graph)
+        return Pipeline(BASE_SPEC).meta_block(processed_blocks)
 
     benchmark(arcs_cnp)
     report(

@@ -19,7 +19,7 @@ from __future__ import annotations
 import pytest
 from conftest import report
 
-from repro.core.benefit import BENEFITS, make_benefit
+from repro.api import registry
 from repro.core.budget import CostBudget
 from repro.core.engine import ProgressiveER, ResolutionContext
 from repro.core.pipeline import MinoanER
@@ -75,11 +75,11 @@ def measure_dimensions(result, collection, gold) -> dict[str, float]:
 def run_all(setup):
     collection, gold, edges, matcher = setup
     outcomes = {}
-    for name in sorted(BENEFITS):
+    for name in registry.names("benefit"):
         engine = ProgressiveER(
             matcher=matcher,
             budget=CostBudget(BUDGET),
-            benefit=make_benefit(name),
+            benefit=registry.create("benefit", name),
             updater=NeighborEvidencePropagator(),
         )
         result = engine.run(edges, [collection], gold=gold)
@@ -95,7 +95,7 @@ def test_e6_benefit_models(benchmark, setup):
         lambda: ProgressiveER(
             matcher=matcher,
             budget=CostBudget(BUDGET),
-            benefit=make_benefit("entity-coverage"),
+            benefit=registry.create("benefit", "entity-coverage"),
         ).run(edges, [collection])
     )
 

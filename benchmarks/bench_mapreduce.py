@@ -42,7 +42,8 @@ from repro.mapreduce import (
     parallel_metablocking,
     parallel_metablocking_ids,
 )
-from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+from repro.api import registry
+from repro.metablocking import BlockingGraph
 
 #: required 4-worker measured speedup when >= 4 CPUs are available
 SPEEDUP_BAR = 1.5
@@ -63,7 +64,7 @@ def _blocks(config: SyntheticConfig):
 def _run(runner, engine, blocks, scheme_name: str, pruner_name: str):
     started = time.perf_counter()
     edges, metrics = runner(
-        engine, blocks, make_scheme(scheme_name), make_pruner(pruner_name)
+        engine, blocks, registry.create("weighting", scheme_name), registry.create("pruner", pruner_name)
     )
     elapsed = time.perf_counter() - started
     return edges, metrics, elapsed
@@ -113,7 +114,9 @@ def run_benchmark() -> dict:
     )
 
     # -- equivalence (always gated) ----------------------------------------
-    sequential = make_pruner("CNP").prune(BlockingGraph(blocks, make_scheme("ARCS")))
+    sequential = registry.create("pruner", "CNP").prune(
+        BlockingGraph(blocks, registry.create("weighting", "ARCS"))
+    )
     with MapReduceEngine(workers=3, executor="serial") as engine:
         parallel, _, _ = _run(
             parallel_metablocking_ids, engine, blocks, "ARCS", "CNP"

@@ -28,7 +28,8 @@ ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_graph.json")
 
 from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
 from repro.datasets import PERIPHERY_PROFILE, SyntheticConfig, synthesize_pair
-from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+from repro.api import registry
+from repro.metablocking import BlockingGraph
 
 #: weighting schemes timed per workload (ARCS is the pipeline default)
 SCHEMES = ("ARCS", "ECBS", "EJS")
@@ -56,15 +57,15 @@ def _time_materialize(blocks, scheme_name: str, fast: bool, cold: bool = False) 
             # Drop every lazy view (entity index, interner, CSR arrays,
             # pair table) so the timing includes their reconstruction.
             blocks._invalidate_views()
-        BlockingGraph(blocks, make_scheme(scheme_name), fast_path=fast).materialize()
+        BlockingGraph(blocks, registry.create("weighting", scheme_name), fast_path=fast).materialize()
 
     return _best_of(build)
 
 
 def _time_prune(blocks, scheme_name: str, pruner_name: str, fast: bool) -> float:
     def run():
-        graph = BlockingGraph(blocks, make_scheme(scheme_name), fast_path=fast)
-        make_pruner(pruner_name).prune(graph)
+        graph = BlockingGraph(blocks, registry.create("weighting", scheme_name), fast_path=fast)
+        registry.create("pruner", pruner_name).prune(graph)
 
     return _best_of(run)
 
@@ -80,7 +81,7 @@ def run_benchmark() -> dict:
     for workload, config in configs.items():
         dataset = synthesize_pair(config)
         blocks = _build_blocks(dataset)
-        graph = BlockingGraph(blocks, make_scheme("ARCS"))
+        graph = BlockingGraph(blocks, registry.create("weighting", "ARCS"))
         entry: dict = {
             "entities": len(dataset.kb1) + len(dataset.kb2),
             "blocks": len(blocks),

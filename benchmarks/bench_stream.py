@@ -41,7 +41,8 @@ ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
 
 from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
 from repro.datasets import SyntheticConfig, synthesize_pair
-from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+from repro.api import registry
+from repro.metablocking import BlockingGraph
 from repro.stream import StreamResolver, WorkloadDriver
 from repro.stream.workload import SCENARIOS
 
@@ -90,7 +91,9 @@ def _check_equivalence(resolver: StreamResolver) -> bool:
         ours, theirs = snapshot[key], processed[key]
         if ours.entities1 != theirs.entities1 or ours.entities2 != theirs.entities2:
             return False
-    batch_edges = make_pruner("CNP").prune(BlockingGraph(processed, make_scheme("ARCS")))
+    batch_edges = registry.create("pruner", "CNP").prune(
+        BlockingGraph(processed, registry.create("weighting", "ARCS"))
+    )
     return resolver.pruned_edges("ARCS", "CNP") == batch_edges
 
 

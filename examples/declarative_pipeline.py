@@ -1,0 +1,69 @@
+"""The declarative facade: one spec, three execution backends.
+
+Everything the platform can do — blocking method, weighting scheme,
+pruning algorithm, matcher, budget policy, backend — is one serializable
+:class:`~repro.api.spec.PipelineSpec`.  This example builds a spec,
+round-trips it through JSON (what you would commit to a config repo),
+runs it on the sequential, MapReduce and streaming backends, and checks
+the facade's contract: **bit-identical pruned candidates and match
+decisions on every backend**.
+"""
+
+from repro import Pipeline, PipelineSpec, format_table, load_movies, registry
+
+kb_a, kb_b, gold = load_movies()
+
+# -- 1. declare the pipeline as data ----------------------------------------
+spec = PipelineSpec.from_dict(
+    {
+        "blocking": {"blocker": "token"},
+        "weighting": "ARCS",
+        "pruning": "CNP",
+        "matching": {
+            "matcher": {"name": "threshold", "params": {"threshold": 0.35}},
+            "benefit": "entity-coverage",
+        },
+    }
+)
+
+# The spec serializes to JSON and back without loss; its hash is a
+# stable cache key for sweeps and result stores.
+assert PipelineSpec.from_json(spec.to_json()) == spec
+print(f"spec cache key: {spec.cache_key()[:16]}…\n")
+
+# -- 2. the same spec on every backend --------------------------------------
+reports = {
+    "sequential": Pipeline.run(spec, kb_a, kb_b, gold=gold),
+    "mapreduce": Pipeline.run(
+        spec.with_backend(kind="mapreduce", workers=2), kb_a, kb_b, gold=gold
+    ),
+    "stream": Pipeline.run(
+        spec.with_backend(kind="stream", scenario="bursty"), kb_a, kb_b, gold=gold
+    ),
+}
+
+rows = []
+for name, report in reports.items():
+    row = {
+        "backend": name,
+        "edges": str(len(report.edges)),
+        "matches": str(len(report.matched_pairs())),
+    }
+    row.update(report.match_quality.as_row())
+    rows.append(row)
+print(format_table(rows, title="One spec, three backends", first_column="backend"))
+
+reference = [(e.left, e.right, e.weight) for e in reports["sequential"].edges]
+for name, report in reports.items():
+    assert [(e.left, e.right, e.weight) for e in report.edges] == reference
+    assert report.matched_pairs() == reports["sequential"].matched_pairs()
+print("\nbackends verified identical: pruned edges and match decisions")
+
+# -- 3. the registry is the component catalogue ------------------------------
+print(
+    "\nregistered components: "
+    + ", ".join(
+        f"{kind}×{len(registry.names(kind))}" for kind in registry.kinds()
+    )
+)
+print("weighting schemes:", ", ".join(registry.names("weighting")))

@@ -9,14 +9,24 @@ algorithms, matching, the progressive scheduling/update core with
 quality-aware benefit models, the baselines it is evaluated against, a
 LOD-cloud workload synthesizer and the evaluation harness.
 
-Quickstart::
+Quickstart (the declarative facade — one spec, any backend)::
 
-    from repro import MinoanER, load_movies, CostBudget
+    from repro import Pipeline, PipelineSpec, load_movies
 
     kb_a, kb_b, gold = load_movies()
+    spec = PipelineSpec.from_dict({
+        "weighting": "ARCS", "pruning": "CNP",
+        "matching": {"budget": 500, "benefit": "entity-coverage"},
+    })
+    report = Pipeline.run(spec, kb_a, kb_b, gold=gold)
+    print(report.summary())
+
+The original object-construction path remains supported::
+
+    from repro import MinoanER, CostBudget
+
     platform = MinoanER(budget=CostBudget(500), benefit="entity-coverage")
     result = platform.resolve(kb_a, kb_b, gold=gold)
-    print(result.summary())
 """
 
 from repro.model import (
@@ -95,9 +105,24 @@ from repro.stream import (
     WorkloadDriver,
 )
 
-__version__ = "1.0.0"
+# The declarative facade (imported last: it resolves the components
+# registered by the subpackages above into the registry).
+from repro.api import (
+    Pipeline,
+    PipelineSpec,
+    RunReport,
+    register,
+    registry,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Pipeline",
+    "PipelineSpec",
+    "RunReport",
+    "registry",
+    "register",
     "EntityDescription",
     "EntityCollection",
     "EntityInterner",

@@ -1,0 +1,436 @@
+"""Spec execution: compile a :class:`PipelineSpec` onto the backbones.
+
+:meth:`Pipeline.run` is the one entry point the CLI, the canned
+workflows and the benchmarks drive: it compiles the spec's components
+through the registry, produces the pruned candidate edges on the
+selected backend — sequential :class:`~repro.metablocking.graph.
+BlockingGraph`, parallel MapReduce jobs, or the streaming resolver's
+batch bridge — then runs the shared progressive matching and evaluation
+stages, returning one :class:`RunReport` regardless of backend.
+
+The backend contract (gated in ``tests/api/``): the same spec produces
+**bit-identical pruned edges and match decisions** on every backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.api.spec import PipelineSpec, SpecError
+from repro.blocking.block import BlockCollection
+from repro.core.budget import CostBudget
+from repro.core.engine import ProgressiveER, ProgressiveResult
+from repro.core.evidence_matcher import NeighborAwareMatcher
+from repro.core.updater import NeighborEvidencePropagator
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.metrics import (
+    BlockingQuality,
+    MatchingQuality,
+    evaluate_blocks,
+    evaluate_matches,
+)
+from repro.matching.matcher import Matcher
+from repro.matching.similarity import SimilarityIndex
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.model.collection import EntityCollection
+
+
+@dataclass
+class RunReport:
+    """Everything one spec-driven run produced, backend-independent.
+
+    The report is the facade's single result type: stage artifacts
+    (blocks, edges, progressive result), quality metrics when gold was
+    supplied, per-phase wall-clock latency, and backend provenance
+    (which execution path produced the edges, with its parameters).
+    """
+
+    spec: PipelineSpec
+    #: stable spec identity (see :meth:`PipelineSpec.cache_key`)
+    spec_key: str
+    #: backend provenance: kind plus backend-specific detail
+    backend: dict = field(default_factory=dict)
+    #: per-phase wall-clock seconds (block/metablock/match/evaluate)
+    phase_seconds: dict = field(default_factory=dict)
+    blocks: BlockCollection | None = None
+    processed_blocks: BlockCollection | None = None
+    edges: list[WeightedEdge] = field(default_factory=list)
+    progressive: ProgressiveResult | None = None
+    block_quality: BlockingQuality | None = None
+    match_quality: MatchingQuality | None = None
+    #: streaming-backend replay statistics (``None`` elsewhere)
+    workload: object = None
+    #: mapreduce-backend job metrics (``None`` elsewhere)
+    job_metrics: object = None
+
+    def matched_pairs(self) -> set[tuple[str, str]]:
+        """Final matched URI pairs."""
+        if self.progressive is None:
+            return set()
+        return self.progressive.matched_pairs()
+
+    def summary(self) -> dict[str, str]:
+        """One-line stage summary (same keys as ``MinoanERResult``)."""
+        out = {
+            "backend": self.backend.get("kind", "?"),
+            "blocks": str(len(self.blocks) if self.blocks is not None else 0),
+            "after post-processing": str(
+                len(self.processed_blocks) if self.processed_blocks is not None else 0
+            ),
+            "scheduled comparisons": str(len(self.edges)),
+        }
+        if self.progressive is not None:
+            out["executed comparisons"] = str(self.progressive.comparisons_executed)
+            out["matches"] = str(self.progressive.match_graph.match_count)
+            out["discovered matches"] = str(self.progressive.discovered_matches)
+        return out
+
+    def summary_rows(self) -> list[dict[str, str]]:
+        """Report-ready rows for ``format_table``."""
+        rows = [
+            {"stage": key, "value": value} for key, value in self.summary().items()
+        ]
+        for phase, seconds in self.phase_seconds.items():
+            rows.append(
+                {"stage": f"{phase} (ms)", "value": f"{seconds * 1e3:.1f}"}
+            )
+        return rows
+
+    def to_dict(self) -> dict:
+        """JSON-able digest (heavy artifacts reduced to counts)."""
+        return {
+            "spec_key": self.spec_key,
+            "backend": dict(self.backend),
+            "phase_seconds": dict(self.phase_seconds),
+            "blocks": len(self.blocks) if self.blocks is not None else None,
+            "processed_blocks": (
+                len(self.processed_blocks)
+                if self.processed_blocks is not None
+                else None
+            ),
+            "edges": len(self.edges),
+            "matches": len(self.matched_pairs()),
+            "match_quality": (
+                self.match_quality.as_row() if self.match_quality else None
+            ),
+            "block_quality": (
+                self.block_quality.as_row() if self.block_quality else None
+            ),
+        }
+
+
+class Pipeline:
+    """Compiled form of one :class:`PipelineSpec`.
+
+    Construction resolves every component through the registry (the
+    spec has already validated names and parameters, so compilation
+    cannot fail on unknown components).  Stages are exposed separately
+    (:meth:`block`, :meth:`meta_block`, :meth:`match`) for the sweeps
+    that reuse intermediate artifacts; :meth:`run` composes them across
+    any backend.
+    """
+
+    def __init__(self, spec: PipelineSpec) -> None:
+        self.spec = spec
+        blocking = spec.blocking
+        self.blocker = blocking.blocker.build("blocker")
+        self.purging = (
+            blocking.purging.build("postprocess") if blocking.purging else None
+        )
+        self.filtering = (
+            blocking.filtering.build("postprocess") if blocking.filtering else None
+        )
+        self.scheme = spec.weighting.build("weighting")
+        self.pruner = spec.pruning.build("pruner")
+        self.benefit = spec.matching.benefit.build("benefit")
+
+    # -- one-call entry point -------------------------------------------------
+
+    @classmethod
+    def run(
+        cls,
+        spec: PipelineSpec,
+        kb1: EntityCollection | None = None,
+        kb2: EntityCollection | None = None,
+        gold: GoldStandard | None = None,
+    ) -> RunReport:
+        """Execute *spec* end to end and return the unified report.
+
+        Args:
+            spec: the validated pipeline description.
+            kb1 / kb2: input collections; omitted, they resolve from the
+                spec's ``data`` node.
+            gold: ground truth for evaluation (or from the data node).
+
+        Raises:
+            SpecError: when no input data is available from either
+                source.
+        """
+        if kb1 is None:
+            if kb2 is not None:
+                raise SpecError("kb2 was supplied without kb1")
+            if spec.data is None:
+                raise SpecError(
+                    "no input data: pass kb1/kb2 or give the spec a data node"
+                )
+            kb1, kb2, data_gold = spec.data.resolve()
+            gold = gold if gold is not None else data_gold
+        if kb1 is None:
+            raise SpecError("the spec's data node resolved no collections")
+        return cls(spec).execute(kb1, kb2, gold=gold)
+
+    # -- individual stages ----------------------------------------------------
+
+    def block(
+        self,
+        kb1: EntityCollection,
+        kb2: EntityCollection | None = None,
+    ) -> tuple[BlockCollection, BlockCollection]:
+        """Blocking + post-processing; returns ``(raw, processed)``."""
+        blocks = self.blocker.build(kb1, kb2)
+        processed = blocks
+        if self.purging is not None:
+            processed = self.purging.process(processed)
+        if self.filtering is not None:
+            processed = self.filtering.process(processed)
+        return blocks, processed
+
+    def meta_block(self, blocks: BlockCollection) -> list[WeightedEdge]:
+        """Weight + prune the blocking graph sequentially."""
+        return self.pruner.prune(BlockingGraph(blocks, self.scheme))
+
+    def build_matcher(
+        self,
+        collections: list[EntityCollection],
+        gold: GoldStandard | None = None,
+    ) -> Matcher:
+        """Compile the spec's matcher for these collections."""
+        matching = self.spec.matching
+        name = matching.matcher.name.lower()
+        if name == "oracle":
+            if gold is None:
+                raise SpecError("the oracle matcher needs a gold standard")
+            return matching.matcher.build("matcher", gold=gold.matches)
+        index = SimilarityIndex(collections)
+        matcher: Matcher = matching.matcher.build("matcher", index=index)
+        if matching.update_phase and matching.evidence_weight > 0:
+            matcher = NeighborAwareMatcher(matcher, matching.evidence_weight)
+        return matcher
+
+    def match(
+        self,
+        edges: list[WeightedEdge],
+        collections: list[EntityCollection],
+        gold: GoldStandard | None = None,
+        label: str | None = None,
+    ) -> ProgressiveResult:
+        """Shared progressive matching stage over pruned *edges*."""
+        matching = self.spec.matching
+        engine = ProgressiveER(
+            matcher=self.build_matcher(collections, gold),
+            budget=CostBudget(matching.budget),
+            benefit=self.benefit,
+            updater=(
+                NeighborEvidencePropagator(
+                    boost_factor=matching.boost_factor,
+                    discovery_weight=matching.discovery_weight,
+                )
+                if matching.update_phase
+                else None
+            ),
+            checkpoint_every=matching.checkpoint_every,
+        )
+        return engine.run(edges, collections, gold=gold, label=label)
+
+    # -- backend edge production ----------------------------------------------
+
+    def _record_blocks(self, kb1, kb2, report: RunReport, processed) -> None:
+        """Fill the report's block stages, reusing *processed* if given."""
+        t0 = time.perf_counter()
+        if processed is not None:
+            report.blocks = report.processed_blocks = processed
+        else:
+            report.blocks, report.processed_blocks = self.block(kb1, kb2)
+        report.phase_seconds["block_s"] = time.perf_counter() - t0
+
+    def _edges_sequential(
+        self, kb1, kb2, report: RunReport, processed=None
+    ) -> list[WeightedEdge]:
+        self._record_blocks(kb1, kb2, report, processed)
+        t0 = time.perf_counter()
+        edges = self.meta_block(report.processed_blocks)
+        report.phase_seconds["metablock_s"] = time.perf_counter() - t0
+        report.backend.update({"kind": "sequential"})
+        return edges
+
+    def _edges_mapreduce(
+        self, kb1, kb2, report: RunReport, processed=None
+    ) -> list[WeightedEdge]:
+        from repro.mapreduce import (
+            MapReduceEngine,
+            ProcessExecutor,
+            parallel_metablocking,
+            parallel_metablocking_ids,
+        )
+
+        backend = self.spec.backend
+        self._record_blocks(kb1, kb2, report, processed)
+
+        formulation = backend.formulation
+        if formulation == "int":
+            try:
+                import numpy  # noqa: F401
+            except ImportError:  # pragma: no cover - container ships numpy
+                formulation = "string"
+        executor = backend.executor
+        if executor == "process" and not ProcessExecutor.available():
+            executor = "serial"
+        runner = (
+            parallel_metablocking_ids if formulation == "int" else parallel_metablocking
+        )
+        t0 = time.perf_counter()
+        with MapReduceEngine(workers=backend.workers, executor=executor) as engine:
+            edges, metrics = runner(
+                engine, report.processed_blocks, self.scheme, self.pruner
+            )
+        report.phase_seconds["metablock_s"] = time.perf_counter() - t0
+        report.job_metrics = metrics
+        report.backend.update(
+            {
+                "kind": "mapreduce",
+                "workers": backend.workers,
+                "executor": executor,
+                "formulation": formulation,
+                "shuffle_records": sum(m.shuffle_records for m in metrics),
+                "shuffle_bytes": sum(m.shuffle_bytes for m in metrics),
+            }
+        )
+        return edges
+
+    def _edges_stream(
+        self, kb1, kb2, report: RunReport, bridge: bool = True
+    ) -> list[WeightedEdge]:
+        from repro.api.registry import registry
+        from repro.stream.resolver import StreamResolver
+        from repro.stream.workload import WorkloadDriver
+
+        backend = self.spec.backend
+        matching = self.spec.matching
+        threshold = matching.matcher.params.get("threshold", 0.4)
+        resolver = StreamResolver(
+            blocker=self.blocker,
+            clean_clean=kb2 is not None,
+            threshold=threshold,
+            processed_view=backend.processed_view,
+            reconcile_every=backend.reconcile_every,
+        )
+        generator = registry.factory("scenario", backend.scenario.name)
+        events = generator(
+            kb1, kb2, seed=backend.seed, **backend.scenario.params
+        )
+        # The streaming resolver prunes each query's neighbourhood
+        # node-centrically; reciprocal variants degrade to their base
+        # algorithm at query time (the bridge edges below still honour
+        # the exact pruner).
+        query_pruner = backend.query_pruner or self.spec.pruning.name
+        if query_pruner.lower().startswith("reciprocal"):
+            query_pruner = query_pruner[len("Reciprocal"):]
+        t0 = time.perf_counter()
+        report.workload = WorkloadDriver(resolver).run(
+            events,
+            scenario=backend.scenario.name,
+            scheme=self.spec.weighting.name,
+            pruner=query_pruner,
+            budget=backend.query_budget,
+        )
+        report.phase_seconds["replay_s"] = time.perf_counter() - t0
+
+        edges: list[WeightedEdge] = []
+        if bridge:
+            # The batch bridge: snapshots of the streamed state run
+            # through the exact spec-compiled operators, bit-identical
+            # to the sequential path on the same corpus.
+            t0 = time.perf_counter()
+            report.blocks = resolver.index.snapshot()
+            processed = report.blocks
+            if self.purging is not None:
+                processed = self.purging.process(processed)
+            if self.filtering is not None:
+                processed = self.filtering.process(processed)
+            report.processed_blocks = processed
+            report.phase_seconds["block_s"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            edges = self.meta_block(processed)
+            report.phase_seconds["metablock_s"] = time.perf_counter() - t0
+        report.backend.update(
+            {
+                "kind": "stream",
+                "scenario": backend.scenario.name,
+                "processed_view": backend.processed_view,
+                "events": report.workload.events,
+                "queries": report.workload.queries,
+            }
+        )
+        return edges
+
+    # -- composition ----------------------------------------------------------
+
+    def execute(
+        self,
+        kb1: EntityCollection,
+        kb2: EntityCollection | None = None,
+        gold: GoldStandard | None = None,
+        label: str | None = None,
+        match: bool = True,
+        processed_blocks: BlockCollection | None = None,
+        stream_bridge: bool = True,
+    ) -> RunReport:
+        """Run all stages on the spec's backend; returns the report.
+
+        Args:
+            match: with ``False`` the run stops after edge production —
+                the sweeps that only evaluate pruned candidates use
+                this to skip the matching stage.
+            processed_blocks: pre-built post-processed blocks to reuse
+                (sequential/mapreduce backends) — worker sweeps over
+                the same corpus block once instead of per cell.
+            stream_bridge: with ``False`` the stream backend stops at
+                the workload replay (no batch-bridge snapshot, no
+                edges) — replay-only drivers like ``repro stream`` use
+                this; implies no matching stage.
+        """
+        report = RunReport(spec=self.spec, spec_key=self.spec.cache_key())
+        kind = self.spec.backend.kind
+        if kind == "sequential":
+            edges = self._edges_sequential(kb1, kb2, report, processed_blocks)
+        elif kind == "mapreduce":
+            edges = self._edges_mapreduce(kb1, kb2, report, processed_blocks)
+        else:
+            edges = self._edges_stream(kb1, kb2, report, bridge=stream_bridge)
+            match = match and stream_bridge
+        report.edges = edges
+        if not match:
+            return report
+
+        collections = [kb1] if kb2 is None else [kb1, kb2]
+        t0 = time.perf_counter()
+        report.progressive = self.match(edges, collections, gold=gold, label=label)
+        report.phase_seconds["match_s"] = time.perf_counter() - t0
+
+        if gold is not None:
+            t0 = time.perf_counter()
+            evaluation = self.spec.evaluation
+            if evaluation.blocks and report.processed_blocks is not None:
+                report.block_quality = evaluate_blocks(
+                    report.processed_blocks,
+                    gold,
+                    len(kb1),
+                    len(kb2) if kb2 is not None else None,
+                )
+            if evaluation.matches:
+                report.match_quality = evaluate_matches(
+                    report.progressive.matched_pairs(), gold
+                )
+            report.phase_seconds["evaluate_s"] = time.perf_counter() - t0
+        return report

@@ -1,11 +1,23 @@
 """Command-line interface to the MinoanER platform.
 
-Four subcommands cover the adoption path end to end::
+Every resolution subcommand is a thin shell over the declarative
+facade (:mod:`repro.api`): flags assemble a
+:class:`~repro.api.spec.PipelineSpec`, :meth:`~repro.api.runner.
+Pipeline.run` executes it, and the tables render the unified
+:class:`~repro.api.runner.RunReport`.  Component names (blockers,
+weighting schemes, pruners, benefit models, scenarios) are resolved
+dynamically from the :data:`~repro.api.registry.registry`, so plugins
+registered before ``main()`` appear in ``--help`` and error messages
+automatically.
+
+Subcommands::
 
     python -m repro stats      KB.nt [KB2.nt]        # shape diagnosis
     python -m repro block      --kb1 A.nt --kb2 B.nt [--gold G.csv]
     python -m repro resolve    --kb1 A.nt [--kb2 B.nt] [--gold G.csv]
                                [--budget N] [--benefit MODEL] [--out M.csv]
+    python -m repro run        --spec SPEC.json [--kb1 A.nt ...]
+                               [--backend sequential|mapreduce|stream]
     python -m repro stream     --kb1 A.nt [--kb2 B.nt]
                                [--scenario uniform|bursty|skewed]
                                [--processed-view]
@@ -13,14 +25,10 @@ Four subcommands cover the adoption path end to end::
     python -m repro mapreduce  --kb1 A.nt [--kb2 B.nt] [--workers 1 2 4]
                                [--executor serial|process|both]
                                [--formulation int|string|both]
+    python -m repro workflow   blocking|metablocking|progressive|budgets ...
+    python -m repro components [--kind KIND]         # registry listing
     python -m repro synthesize --entities N --profile center|periphery
                                --out-dir DIR
-
-``stats`` reports collection statistics plus the LOD-regime analysis of
-:mod:`repro.analysis`; ``block`` evaluates the blocking stage; ``resolve``
-runs the full pipeline and optionally writes the matched pairs as CSV;
-``synthesize`` materializes a synthetic workload as N-Triples + gold CSV
-for experimentation with external tools.
 """
 
 from __future__ import annotations
@@ -32,15 +40,8 @@ import sys
 from typing import Sequence
 
 from repro.analysis import interlinking_density, match_regime, vocabulary_overlap
-from repro.blocking import (
-    AttributeClusteringBlocking,
-    PrefixInfixSuffixBlocking,
-    QGramsBlocking,
-    TokenBlocking,
-)
-from repro.core.budget import CostBudget
-from repro.core.benefit import BENEFITS
-from repro.core.pipeline import MinoanER
+from repro.api import Pipeline, PipelineSpec, registry
+from repro.api.spec import BACKEND_KINDS
 from repro.datasets.gold import GoldStandard, load_gold_csv, save_gold_csv
 from repro.datasets.synthetic import (
     CENTER_PROFILE,
@@ -48,20 +49,11 @@ from repro.datasets.synthetic import (
     SyntheticConfig,
     synthesize_pair,
 )
-from repro.evaluation.metrics import evaluate_blocks, evaluate_matches
+from repro.evaluation.metrics import evaluate_blocks
 from repro.evaluation.reporting import format_table
-from repro.metablocking.pruning import PRUNERS
-from repro.metablocking.weighting import SCHEMES
 from repro.model.collection import EntityCollection
 from repro.rdf.loader import load_collection
 from repro.rdf.ntriples import Triple, serialize_ntriples
-
-_BLOCKERS = {
-    "token": TokenBlocking,
-    "attribute-clustering": AttributeClusteringBlocking,
-    "prefix-infix-suffix": PrefixInfixSuffixBlocking,
-    "qgrams": QGramsBlocking,
-}
 
 
 def _positive_int(value: str) -> int:
@@ -70,6 +62,18 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return parsed
+
+
+def _add_component_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared weighting/pruning flags, choices from the registry."""
+    parser.add_argument(
+        "--weighting", choices=registry.names("weighting"), default="ARCS",
+        help="meta-blocking weighting scheme",
+    )
+    parser.add_argument(
+        "--pruning", choices=registry.names("pruner"), default="CNP",
+        help="meta-blocking pruning scheme",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--kb2")
     block.add_argument("--gold", help="gold CSV for PC/PQ/RR")
     block.add_argument(
-        "--method", choices=sorted(_BLOCKERS), default="token", help="blocking method"
+        "--method", choices=registry.names("blocker"), default="token",
+        help="blocking method",
     )
 
     resolve = sub.add_parser("resolve", help="run the full MinoanER pipeline")
@@ -99,22 +104,35 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--gold", help="gold CSV (evaluation only)")
     resolve.add_argument("--budget", type=int, help="comparison budget (default unlimited)")
     resolve.add_argument(
-        "--benefit", choices=sorted(BENEFITS), default="quantity",
+        "--benefit", choices=registry.names("benefit"), default="quantity",
         help="benefit model targeted by scheduling",
     )
-    resolve.add_argument(
-        "--weighting", choices=sorted(SCHEMES), default="ARCS",
-        help="meta-blocking weighting scheme",
-    )
-    resolve.add_argument(
-        "--pruning", choices=sorted(PRUNERS), default="CNP",
-        help="meta-blocking pruning scheme",
-    )
+    _add_component_flags(resolve)
     resolve.add_argument("--threshold", type=float, default=0.4, help="match threshold")
     resolve.add_argument(
         "--no-update", action="store_true", help="disable the update phase"
     )
     resolve.add_argument("--out", help="write matched pairs to this CSV")
+
+    run = sub.add_parser(
+        "run", help="execute a declarative PipelineSpec JSON on any backend"
+    )
+    run.add_argument("--spec", required=True, help="PipelineSpec JSON file")
+    run.add_argument("--kb1", help="override the spec's data node")
+    run.add_argument("--kb2")
+    run.add_argument("--gold")
+    run.add_argument(
+        "--backend", choices=BACKEND_KINDS,
+        help="override the spec's backend kind",
+    )
+    run.add_argument("--out", help="write matched pairs to this CSV")
+
+    components = sub.add_parser(
+        "components", help="list every registered component and its parameters"
+    )
+    components.add_argument(
+        "--kind", choices=registry.kinds(), help="restrict to one component kind"
+    )
 
     workflow = sub.add_parser(
         "workflow", help="run a canned experiment workflow on your data"
@@ -127,15 +145,25 @@ def build_parser() -> argparse.ArgumentParser:
     workflow.add_argument("--kb1", required=True)
     workflow.add_argument("--kb2")
     workflow.add_argument("--gold", required=True)
+    # Defaults are None so flags given to a workflow that ignores them
+    # are rejected instead of silently dropped (see _WORKFLOW_FLAGS).
     workflow.add_argument(
-        "--budget", type=int, default=1000,
-        help="budget for the progressive workflow",
+        "--budget", type=int, default=None,
+        help="budget for the progressive workflow (default 1000)",
     )
     workflow.add_argument(
-        "--budgets", type=int, nargs="+", default=[100, 500, 1000],
-        help="budgets for the budget-sweep workflow",
+        "--budgets", type=int, nargs="+", default=None,
+        help="budgets for the budget-sweep workflow (default 100 500 1000)",
     )
-    workflow.add_argument("--threshold", type=float, default=0.4)
+    workflow.add_argument(
+        "--threshold", type=float, default=None,
+        help="match threshold for progressive/budgets (default 0.4, "
+        "matching `repro resolve`)",
+    )
+    workflow.add_argument(
+        "--seed", type=int, default=None,
+        help="random-baseline seed for the progressive workflow (default 7)",
+    )
 
     stream = sub.add_parser(
         "stream", help="replay a streaming arrival+query workload"
@@ -143,16 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--kb1", required=True)
     stream.add_argument("--kb2")
     stream.add_argument(
-        "--scenario", choices=("uniform", "bursty", "skewed"), default="uniform",
+        "--scenario", choices=registry.names("scenario"), default="uniform",
         help="arrival/query shape replayed against the streaming resolver",
     )
     stream.add_argument(
-        "--weighting", choices=sorted(SCHEMES), default="ARCS",
+        "--weighting", choices=registry.names("weighting"), default="ARCS",
         help="weighting scheme scoring query candidates",
     )
     stream.add_argument(
-        "--pruning", choices=("CNP", "WNP", "none"), default="CNP",
-        help="local pruning of each query's candidate neighbourhood",
+        "--pruning", choices=registry.names("pruner") + ["none"], default="CNP",
+        help="local pruning of each query's candidate neighbourhood "
+        "(reciprocal variants degrade to their base algorithm per query)",
     )
     stream.add_argument("--threshold", type=float, default=0.4, help="match threshold")
     stream.add_argument("--budget", type=int, help="per-query comparison cap")
@@ -175,14 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mapreduce.add_argument("--kb1", required=True)
     mapreduce.add_argument("--kb2")
-    mapreduce.add_argument(
-        "--weighting", choices=sorted(SCHEMES), default="ARCS",
-        help="meta-blocking weighting scheme",
-    )
-    mapreduce.add_argument(
-        "--pruning", choices=sorted(PRUNERS), default="CNP",
-        help="meta-blocking pruning scheme",
-    )
+    _add_component_flags(mapreduce)
     mapreduce.add_argument(
         "--workers", type=_positive_int, nargs="+", default=[1, 2, 4],
         help="worker counts to sweep (each >= 1)",
@@ -218,6 +240,36 @@ def _load(path: str) -> EntityCollection:
 
 def _maybe_gold(path: str | None) -> GoldStandard | None:
     return load_gold_csv(path) if path else None
+
+
+def _print_report(report, out_path: str | None = None) -> None:
+    """The unified RunReport rendering shared by resolve/run."""
+    print(
+        format_table(
+            [dict(stage=k, value=v) for k, v in report.summary().items()],
+            title="Pipeline summary",
+            first_column="stage",
+        )
+    )
+    if report.match_quality is not None:
+        print()
+        print(format_table([report.match_quality.as_row()], title="Matching quality"))
+    if report.workload is not None:
+        print()
+        print(
+            format_table(
+                report.workload.summary_rows(),
+                title=f"Streaming replay: {report.backend.get('scenario', '?')}",
+                first_column="metric",
+            )
+        )
+    if out_path:
+        with open(out_path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["uri1", "uri2"])
+            for left, right in sorted(report.matched_pairs()):
+                writer.writerow([left, right])
+        print(f"\nmatches written to {out_path}")
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -274,7 +326,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_block(args: argparse.Namespace) -> int:
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
-    blocker = _BLOCKERS[args.method]()
+    blocker = registry.create("blocker", args.method)
     blocks = blocker.build(kb1, kb2)
     gold = _maybe_gold(args.gold)
     if gold is not None:
@@ -302,37 +354,74 @@ def cmd_block(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_resolve_args(args: argparse.Namespace) -> PipelineSpec:
+    """Flags → PipelineSpec for the sequential resolve subcommand."""
+    return PipelineSpec.from_dict(
+        {
+            "weighting": args.weighting,
+            "pruning": args.pruning,
+            "matching": {
+                "matcher": {
+                    "name": "threshold",
+                    "params": {"threshold": args.threshold},
+                },
+                "budget": args.budget,
+                "benefit": args.benefit,
+                "update_phase": not args.no_update,
+            },
+        }
+    )
+
+
 def cmd_resolve(args: argparse.Namespace) -> int:
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
     gold = _maybe_gold(args.gold)
-    platform = MinoanER(
-        budget=CostBudget(args.budget),
-        weighting=args.weighting,
-        pruning=args.pruning,
-        benefit=args.benefit,
-        match_threshold=args.threshold,
-        update_phase=not args.no_update,
-    )
-    result = platform.resolve(kb1, kb2, gold=gold)
+    report = Pipeline.run(_spec_from_resolve_args(args), kb1, kb2, gold=gold)
+    _print_report(report, args.out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import SpecError
+
+    try:
+        spec = PipelineSpec.load(args.spec)
+        if args.backend:
+            spec = spec.with_backend(kind=args.backend)
+    except FileNotFoundError:
+        print(f"spec file not found: {args.spec}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"spec file {args.spec} is not valid JSON: {exc}")
+        return 2
+    except SpecError as exc:
+        print(f"invalid spec {args.spec}: {exc}")
+        return 2
+    kb1 = _load(args.kb1) if args.kb1 else None
+    kb2 = _load(args.kb2) if args.kb2 else None
+    gold = _maybe_gold(args.gold)
+    try:
+        report = Pipeline.run(spec, kb1, kb2, gold=gold)
+    except SpecError as exc:
+        print(f"cannot run spec: {exc}")
+        return 2
+    print(f"spec {os.path.basename(args.spec)} → cache key {report.spec_key[:16]}…\n")
+    _print_report(report, args.out)
+    return 0
+
+
+def cmd_components(args: argparse.Namespace) -> int:
+    rows = registry.describe(args.kind)
     print(
         format_table(
-            [dict(stage=k, value=v) for k, v in result.summary().items()],
-            title="Pipeline summary",
-            first_column="stage",
+            rows,
+            title="Registered components" + (f": {args.kind}" if args.kind else ""),
+            first_column="kind",
         )
     )
-    if gold is not None:
-        quality = evaluate_matches(result.matched_pairs(), gold)
-        print()
-        print(format_table([quality.as_row()], title="Matching quality"))
-    if args.out:
-        with open(args.out, "w", encoding="utf-8", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["uri1", "uri2"])
-            for left, right in sorted(result.matched_pairs()):
-                writer.writerow([left, right])
-        print(f"\nmatches written to {args.out}")
     return 0
 
 
@@ -380,9 +469,6 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import StreamResolver, WorkloadDriver
-    from repro.stream.workload import SCENARIOS
-
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
 
@@ -408,21 +494,32 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 return 1
             intervals.append(parsed)
 
+    base = PipelineSpec.from_dict(
+        {
+            "weighting": args.weighting,
+            "matching": {
+                "matcher": {
+                    "name": "threshold",
+                    "params": {"threshold": args.threshold},
+                },
+            },
+            "backend": {
+                "kind": "stream",
+                "scenario": args.scenario,
+                "seed": args.seed,
+                "query_budget": args.budget,
+                "query_pruner": args.pruning,
+                "processed_view": use_view,
+            },
+        }
+    )
     for interval in intervals:
-        resolver = StreamResolver(
-            clean_clean=kb2 is not None,
-            threshold=args.threshold,
-            processed_view=use_view,
-            reconcile_every=interval,
-        )
-        events = SCENARIOS[args.scenario](kb1, kb2, seed=args.seed)
-        stats = WorkloadDriver(resolver).run(
-            events,
-            scenario=args.scenario,
-            scheme=args.weighting,
-            pruner=args.pruning,
-            budget=args.budget,
-        )
+        spec = base.with_backend(reconcile_every=interval)
+        # Replay-only execution: the workload statistics are the
+        # subcommand's product; the batch bridge + matching stages are
+        # `repro run --backend stream`'s job.
+        report = Pipeline(spec).execute(kb1, kb2, stream_bridge=False)
+        stats = report.workload
         title = (
             f"Streaming workload: {args.scenario} "
             f"({args.weighting}/{args.pruning})"
@@ -441,22 +538,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
 
 def cmd_mapreduce(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.blocking import BlockFiltering, BlockPurging
-    from repro.mapreduce import (
-        MapReduceEngine,
-        ProcessExecutor,
-        parallel_metablocking,
-        parallel_metablocking_ids,
-    )
-    from repro.metablocking.pruning import make_pruner
-    from repro.metablocking.weighting import make_scheme
+    from repro.mapreduce import ProcessExecutor
 
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
-    raw = TokenBlocking().build(kb1, kb2)
-    blocks = BlockFiltering().process(BlockPurging().process(raw))
 
     executors = (
         ["serial", "process"] if args.executor == "both" else [args.executor]
@@ -478,23 +563,29 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
             if not formulations:
                 return 1
 
+    base = PipelineSpec.from_dict(
+        {
+            "weighting": args.weighting,
+            "pruning": args.pruning,
+            "backend": {"kind": "mapreduce"},
+        }
+    )
     rows = []
     base_wall: dict[tuple[str, str], float] = {}
+    # Blocking is identical across cells: build once, reuse per cell so
+    # the sweep times only the meta-blocking stage.
+    _, processed_blocks = Pipeline(base).block(kb1, kb2)
     for formulation in formulations:
-        runner = (
-            parallel_metablocking_ids if formulation == "int" else parallel_metablocking
-        )
         for executor in executors:
             for workers in args.workers:
-                with MapReduceEngine(workers=workers, executor=executor) as engine:
-                    started = time.perf_counter()
-                    edges, metrics = runner(
-                        engine,
-                        blocks,
-                        make_scheme(args.weighting),
-                        make_pruner(args.pruning),
-                    )
-                    elapsed = time.perf_counter() - started
+                spec = base.with_backend(
+                    workers=workers, executor=executor, formulation=formulation
+                )
+                report = Pipeline(spec).execute(
+                    kb1, kb2, match=False, processed_blocks=processed_blocks
+                )
+                elapsed = report.phase_seconds["metablock_s"]
+                metrics = report.job_metrics
                 group = (formulation, executor)
                 base_wall.setdefault(group, elapsed)
                 rows.append(
@@ -511,7 +602,7 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
                             sum(m.shuffle_records for m in metrics)
                         ),
                         "shuffle KiB": f"{sum(m.shuffle_bytes for m in metrics) / 1024:.0f}",
-                        "edges": str(len(edges)),
+                        "edges": str(len(report.edges)),
                     }
                 )
     print(
@@ -519,7 +610,8 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"MapReduce meta-blocking sweep "
-                f"({args.weighting}/{args.pruning}, {len(blocks)} blocks)"
+                f"({args.weighting}/{args.pruning}, "
+                f"{len(processed_blocks) if processed_blocks is not None else 0} blocks)"
             ),
             first_column="formulation",
         )
@@ -532,6 +624,16 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
     return 0
 
 
+#: which optional flags each workflow actually consumes — anything else
+#: explicitly supplied is an error, not a silent no-op
+_WORKFLOW_FLAGS = {
+    "blocking": frozenset(),
+    "metablocking": frozenset(),
+    "progressive": frozenset({"budget", "threshold", "seed"}),
+    "budgets": frozenset({"budgets", "threshold"}),
+}
+
+
 def cmd_workflow(args: argparse.Namespace) -> int:
     from repro.core.evidence_matcher import NeighborAwareMatcher
     from repro.matching.matcher import ThresholdMatcher
@@ -542,6 +644,20 @@ def cmd_workflow(args: argparse.Namespace) -> int:
         sweep_budgets,
         sweep_metablocking,
     )
+
+    used = _WORKFLOW_FLAGS[args.name]
+    for flag in ("budget", "budgets", "threshold", "seed"):
+        if getattr(args, flag) is not None and flag not in used:
+            applies_to = sorted(
+                name for name, flags in _WORKFLOW_FLAGS.items() if flag in flags
+            )
+            hint = f" (it applies to: {', '.join(applies_to)})" if applies_to else ""
+            print(f"--{flag} is not used by the {args.name!r} workflow{hint}")
+            return 2
+    budget = args.budget if args.budget is not None else 1000
+    budgets = args.budgets if args.budgets is not None else [100, 500, 1000]
+    threshold = args.threshold if args.threshold is not None else 0.4
+    seed = args.seed if args.seed is not None else 7
 
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
@@ -556,16 +672,25 @@ def cmd_workflow(args: argparse.Namespace) -> int:
         collections = [kb1] if kb2 is None else [kb1, kb2]
         index = SimilarityIndex(collections)
         matcher = NeighborAwareMatcher(
-            ThresholdMatcher(index, threshold=args.threshold)
+            ThresholdMatcher(index, threshold=threshold)
         )
         report = compare_progressive_strategies(
-            kb1, kb2, gold, matcher, budget=args.budget
+            kb1, kb2, gold, matcher, budget=budget, seed=seed
         )
         first = "strategy"
     else:
         report = sweep_budgets(
-            kb1, kb2, gold, budgets=args.budgets,
-            platform=MinoanER(match_threshold=args.threshold),
+            kb1, kb2, gold, budgets=budgets,
+            spec=PipelineSpec.from_dict(
+                {
+                    "matching": {
+                        "matcher": {
+                            "name": "threshold",
+                            "params": {"threshold": threshold},
+                        }
+                    }
+                }
+            ),
         )
         first = "budget"
     print(format_table(report.rows, title=report.title, first_column=first))
@@ -576,6 +701,8 @@ _COMMANDS = {
     "stats": cmd_stats,
     "block": cmd_block,
     "resolve": cmd_resolve,
+    "run": cmd_run,
+    "components": cmd_components,
     "stream": cmd_stream,
     "mapreduce": cmd_mapreduce,
     "synthesize": cmd_synthesize,

@@ -238,6 +238,10 @@ BENEFITS: dict[str, type[BenefitModel]] = {
 def make_benefit(name: str) -> BenefitModel:
     """Instantiate a benefit model by name.
 
+    Soft-deprecated shim: ``repro.api.registry.create("benefit", name)``
+    is the registry-backed path with parameter validation; this helper
+    remains for the callers wired before the registry existed.
+
     Raises:
         KeyError: for unknown names.
     """

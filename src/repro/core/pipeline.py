@@ -58,6 +58,14 @@ class MinoanERResult:
 class MinoanER:
     """The MinoanER platform, assembled.
 
+    .. note:: **Soft-deprecated construction path.**  New code should
+       prefer the declarative facade — ``repro.api.Pipeline.run`` with a
+       ``PipelineSpec`` — which drives these same stages on any backend
+       (sequential, MapReduce, streaming) from one serializable object.
+       This class remains supported as a thin direct-construction shim;
+       the facade's sequential backend is bit-identical to it (gated in
+       ``tests/api/``).
+
     Args:
         blocker: blocking method (default: token blocking with URI tokens).
         purging: block-purging stage, or ``None`` to skip.

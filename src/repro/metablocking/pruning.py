@@ -299,6 +299,10 @@ PRUNERS: dict[str, type[PruningScheme]] = {
 def make_pruner(name: str) -> PruningScheme:
     """Instantiate a pruning scheme by table name (e.g. ``"WNP"``).
 
+    Soft-deprecated shim: ``repro.api.registry.create("pruner", name)``
+    is the registry-backed path with parameter validation; this helper
+    remains for the callers wired before the registry existed.
+
     Raises:
         KeyError: for unknown scheme names.
     """

@@ -508,6 +508,10 @@ SCHEMES: dict[str, type[WeightingScheme]] = {
 def make_scheme(name: str) -> WeightingScheme:
     """Instantiate a weighting scheme by table name (e.g. ``"ARCS"``).
 
+    Soft-deprecated shim: ``repro.api.registry.create("weighting", name)``
+    is the registry-backed path with parameter validation; this helper
+    remains for the callers wired before the registry existed.
+
     Raises:
         KeyError: for unknown scheme names.
     """

@@ -1,4 +1,4 @@
-"""Canned experiment workflows.
+"""Canned experiment workflows, driven through the declarative facade.
 
 The benchmark harness (E2, E4, E5, …) is useful beyond this repository's
 own tables: a user evaluating MinoanER on *their* data wants the same
@@ -6,34 +6,31 @@ sweeps without re-writing the loops.  This module packages them as plain
 functions over ``(kb1, kb2, gold)`` returning report-ready row dicts
 (render with :func:`repro.evaluation.reporting.format_table`) plus the
 raw objects for further analysis.
+
+Component wiring goes through :mod:`repro.api`: a sweep is a base
+:class:`~repro.api.spec.PipelineSpec` whose component nodes are swapped
+per cell, so the same sweep definition can target any backend and the
+name tables are the registry's — not copies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Pipeline, PipelineSpec, registry
 from repro.baselines.altowim import AltowimProgressiveER
 from repro.baselines.ordered import (
     batch_baseline,
     oracle_order_baseline,
     random_order_baseline,
 )
-from repro.blocking import (
-    AttributeClusteringBlocking,
-    PrefixInfixSuffixBlocking,
-    TokenBlocking,
-)
 from repro.blocking.base import Blocker
 from repro.core.budget import CostBudget
 from repro.core.pipeline import MinoanER
 from repro.core.strategies import dynamic_strategy, static_strategy
 from repro.datasets.gold import GoldStandard
-from repro.evaluation.metrics import BlockingQuality, evaluate_blocks, evaluate_comparisons
-from repro.evaluation.progressive import ProgressiveCurve
+from repro.evaluation.metrics import evaluate_blocks, evaluate_comparisons
 from repro.matching.matcher import Matcher
-from repro.metablocking.graph import BlockingGraph
-from repro.metablocking.pruning import PRUNERS, make_pruner
-from repro.metablocking.weighting import SCHEMES, make_scheme
 from repro.model.collection import EntityCollection
 
 
@@ -46,6 +43,35 @@ class WorkflowReport:
     raw: dict = field(default_factory=dict)
 
 
+def _spec_from_platform(platform: MinoanER) -> PipelineSpec:
+    """Translate a legacy ``MinoanER`` construction into a spec.
+
+    Back-compat shim: sweeps historically took a ``platform`` argument;
+    the declarative path re-expresses its component choices as a
+    :class:`PipelineSpec` so both construction styles drive the same
+    facade.  Only name-addressable choices translate — the platform's
+    concrete blocker/purging/filtering *instances* (which may carry
+    custom parameters or subclasses) cannot be expressed as registry
+    names, so the sweeps below run the blocking stage through the
+    platform itself whenever one is given.
+    """
+    return PipelineSpec.from_dict(
+        {
+            "weighting": platform.weighting.name,
+            "pruning": platform.pruning.name,
+            "matching": {
+                "matcher": {
+                    "name": "threshold",
+                    "params": {"threshold": platform.match_threshold},
+                },
+                "budget": platform.budget.max_cost,
+                "benefit": platform.benefit.name,
+                "update_phase": platform.updater is not None,
+            },
+        }
+    )
+
+
 def compare_blocking_methods(
     kb1: EntityCollection,
     kb2: EntityCollection | None,
@@ -53,11 +79,11 @@ def compare_blocking_methods(
     blockers: list[Blocker] | None = None,
 ) -> WorkflowReport:
     """PC/PQ/RR of several blocking methods on one task (the E2 sweep)."""
-    blockers = blockers or [
-        TokenBlocking(),
-        AttributeClusteringBlocking(),
-        PrefixInfixSuffixBlocking(),
-    ]
+    if blockers is None:
+        blockers = [
+            registry.create("blocker", name)
+            for name in ("token", "attribute-clustering", "prefix-infix-suffix")
+        ]
     report = WorkflowReport(title="Blocking methods: PC / PQ / RR")
     sizes = (len(kb1), len(kb2) if kb2 is not None else None)
     for blocker in blockers:
@@ -77,18 +103,35 @@ def sweep_metablocking(
     weighting: list[str] | None = None,
     pruning: list[str] | None = None,
     platform: MinoanER | None = None,
+    spec: PipelineSpec | None = None,
 ) -> WorkflowReport:
-    """The weighting × pruning matrix on post-processed blocks (E4)."""
-    platform = platform or MinoanER()
-    weighting = weighting or sorted(SCHEMES)
+    """The weighting × pruning matrix on post-processed blocks (E4).
+
+    Defaults sweep every registered weighting scheme against the four
+    canonical pruning algorithms.  *spec* carries blocking and matching
+    settings (defaults match ``repro resolve``); the legacy *platform*
+    argument is still honoured by translating it to a spec.
+    """
+    if spec is None:
+        spec = (
+            _spec_from_platform(platform) if platform is not None else PipelineSpec()
+        )
+    weighting = weighting or registry.names("weighting")
     pruning = pruning or ["WEP", "CEP", "WNP", "CNP"]
-    _, processed = platform.block(kb1, kb2)
+    # A legacy platform's blocking components are instances the spec
+    # cannot name; honour them directly.
+    if platform is not None:
+        _, processed = platform.block(kb1, kb2)
+    else:
+        _, processed = Pipeline(spec).block(kb1, kb2)
     sizes = (len(kb1), len(kb2) if kb2 is not None else None)
     report = WorkflowReport(title="Meta-blocking: weighting x pruning")
     for scheme_name in weighting:
-        graph = BlockingGraph(processed, make_scheme(scheme_name))
         for pruner_name in pruning:
-            edges = make_pruner(pruner_name).prune(graph)
+            cell = Pipeline(
+                spec.with_components(weighting=scheme_name, pruning=pruner_name)
+            )
+            edges = cell.meta_block(processed)
             quality = evaluate_comparisons({e.pair for e in edges}, gold, *sizes)
             row = {"weighting": scheme_name, "pruning": pruner_name}
             row.update(quality.as_row())
@@ -104,6 +147,7 @@ def compare_progressive_strategies(
     matcher: Matcher,
     budget: int,
     platform: MinoanER | None = None,
+    spec: PipelineSpec | None = None,
     include_oracle: bool = True,
     altowim_window: int = 20,
     seed: int = 7,
@@ -113,9 +157,13 @@ def compare_progressive_strategies(
     Note: the matcher instance is shared across strategies; each run
     re-binds it to a fresh resolution context.
     """
-    platform = platform or MinoanER()
-    _, processed = platform.block(kb1, kb2)
-    edges = platform.meta_block(processed)
+    if platform is not None:
+        _, processed = platform.block(kb1, kb2)
+        edges = platform.meta_block(processed)
+    else:
+        pipeline = Pipeline(spec or PipelineSpec())
+        _, processed = pipeline.block(kb1, kb2)
+        edges = pipeline.meta_block(processed)
     collections = [kb1] if kb2 is None else [kb1, kb2]
     cost = CostBudget(budget)
 
@@ -155,31 +203,49 @@ def sweep_budgets(
     gold: GoldStandard,
     budgets: list[int],
     platform: MinoanER | None = None,
+    spec: PipelineSpec | None = None,
 ) -> WorkflowReport:
     """Final recall/F1 of the full pipeline at several budgets.
 
-    Uses a fresh pipeline per budget so runs are independent.
+    Each budget is an independent facade run of the same spec with only
+    the matching budget replaced.  A legacy *platform* argument keeps
+    its exact component instances (blocker, matcher, post-processing)
+    through per-budget ``MinoanER`` runs, as before.
     """
     from repro.evaluation.metrics import evaluate_matches
 
-    base = platform or MinoanER()
     report = WorkflowReport(title="Budget sweep")
+    if platform is not None and spec is None:
+        for budget in budgets:
+            run_platform = MinoanER(
+                blocker=platform.blocker,
+                purging=platform.purging,
+                filtering=platform.filtering,
+                weighting=platform.weighting,
+                pruning=platform.pruning,
+                matcher=platform.matcher,
+                match_threshold=platform.match_threshold,
+                budget=CostBudget(budget),
+                benefit=platform.benefit,
+                update_phase=platform.updater is not None,
+            )
+            result = run_platform.resolve(kb1, kb2, gold=gold)
+            quality = evaluate_matches(result.matched_pairs(), gold)
+            row = {"budget": str(budget)}
+            row.update(quality.as_row())
+            row["comparisons"] = str(result.progressive.comparisons_executed)
+            report.rows.append(row)
+            report.raw[budget] = result
+        return report
+
+    spec = spec or PipelineSpec()
     for budget in budgets:
-        run_platform = MinoanER(
-            blocker=base.blocker,
-            purging=base.purging,
-            filtering=base.filtering,
-            weighting=base.weighting,
-            pruning=base.pruning,
-            match_threshold=base.match_threshold,
-            budget=CostBudget(budget),
-            benefit=base.benefit,
-            update_phase=base.updater is not None,
+        result = Pipeline.run(
+            spec.with_matching(budget=budget), kb1, kb2, gold=gold
         )
-        result = run_platform.resolve(kb1, kb2, gold=gold)
-        quality = evaluate_matches(result.matched_pairs(), gold)
         row = {"budget": str(budget)}
-        row.update(quality.as_row())
+        if result.match_quality is not None:
+            row.update(result.match_quality.as_row())
         row["comparisons"] = str(result.progressive.comparisons_executed)
         report.rows.append(row)
         report.raw[budget] = result

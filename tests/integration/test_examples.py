@@ -17,6 +17,8 @@ EXAMPLES = [
     "dirty_dedup.py",
     "instalment_session.py",
     "mapreduce_scaling.py",
+    "streaming_serving.py",
+    "declarative_pipeline.py",
 ]
 
 
@@ -61,3 +63,18 @@ class TestExampleContent:
         out = run_example("mapreduce_scaling.py", capsys)
         assert "verified identical" in out
         assert "speedup" in out
+
+    def test_declarative_pipeline_proves_backend_equivalence(self, capsys):
+        out = run_example("declarative_pipeline.py", capsys)
+        assert "One spec, three backends" in out
+        assert "backends verified identical" in out
+        assert "spec cache key" in out
+
+    def test_spec_movies_json_is_valid_and_current(self):
+        """The committed spec JSON must parse, validate and round-trip."""
+        from repro.api import PipelineSpec
+
+        path = os.path.join(EXAMPLES_DIR, "spec_movies.json")
+        spec = PipelineSpec.load(path)
+        assert spec.data is not None and spec.data.sample == "movies"
+        assert PipelineSpec.from_json(spec.to_json()) == spec

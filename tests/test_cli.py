@@ -153,6 +153,17 @@ class TestStream:
         with pytest.raises(SystemExit):
             main(["stream", "--kb1", kb_a, "--scenario", "nope"])
 
+    def test_full_pruner_table_accepted(self, capsys, movies_paths):
+        """`stream --pruning` offers the same registered table as
+        `resolve` (reciprocal variants degrade to their base algorithm
+        per query) plus the stream-only 'none'."""
+        kb_a, _, _ = movies_paths
+        assert (
+            main(["stream", "--kb1", kb_a, "--pruning", "ReciprocalCNP"]) == 0
+        )
+        capsys.readouterr()
+        assert main(["stream", "--kb1", kb_a, "--pruning", "none"]) == 0
+
 
 class TestSynthesize:
     def test_writes_workload(self, capsys, tmp_path):
@@ -202,6 +213,86 @@ class TestSynthesize:
         assert loaded.matches == reference.gold.matches
 
 
+class TestRun:
+    SPEC = os.path.join(
+        os.path.dirname(__file__), "..", "examples", "spec_movies.json"
+    )
+
+    def test_spec_with_embedded_data(self, capsys):
+        assert main(["run", "--spec", self.SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline summary" in out
+        assert "Matching quality" in out
+        assert "cache key" in out
+
+    def test_backend_override(self, capsys):
+        assert main(["run", "--spec", self.SPEC, "--backend", "mapreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "mapreduce" in out
+
+    def test_kb_override(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "run", "--spec", self.SPEC,
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                ]
+            )
+            == 0
+        )
+        assert "Pipeline summary" in capsys.readouterr().out
+
+    def test_stream_backend_prints_replay(self, capsys):
+        assert main(["run", "--spec", self.SPEC, "--backend", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming replay" in out
+
+    def test_output_csv(self, capsys, tmp_path):
+        out_path = str(tmp_path / "m.csv")
+        assert main(["run", "--spec", self.SPEC, "--out", out_path]) == 0
+        with open(out_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["uri1", "uri2"]
+        assert len(rows) > 10
+
+    def test_invalid_spec_fails_eagerly(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"weighting": "BOGUS"}, handle)
+        assert main(["run", "--spec", path]) == 2
+        out = capsys.readouterr().out
+        assert "invalid spec" in out
+        # The error names the registered alternatives.
+        assert "ARCS" in out
+
+    def test_missing_spec_file_reports_cleanly(self, capsys):
+        assert main(["run", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_kb2_without_kb1_rejected(self, capsys, movies_paths):
+        _, kb_b, _ = movies_paths
+        assert main(["run", "--spec", self.SPEC, "--kb2", kb_b]) == 2
+        assert "kb2" in capsys.readouterr().out
+
+
+class TestComponents:
+    def test_lists_registry(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered components" in out
+        for name in ("ARCS", "CNP", "token", "uniform", "quantity"):
+            assert name in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["components", "--kind", "pruner"]) == 0
+        out = capsys.readouterr().out
+        assert "ReciprocalCNP" in out
+        assert "qgrams" not in out
+
+
 class TestWorkflow:
     def test_blocking_workflow(self, capsys, movies_paths):
         kb_a, kb_b, gold = movies_paths
@@ -246,6 +337,51 @@ class TestWorkflow:
         kb_a, _, _ = movies_paths
         with pytest.raises(SystemExit):
             main(["workflow", "blocking", "--kb1", kb_a])
+
+    def test_unused_flag_rejected_not_ignored(self, capsys, movies_paths):
+        """Flags a workflow ignores are an error, not a silent no-op."""
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "workflow", "blocking",
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                    "--budget", "50",
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "--budget is not used" in out
+        assert "progressive" in out
+
+    def test_budgets_flag_rejected_for_progressive(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "workflow", "progressive",
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                    "--budgets", "10", "20",
+                ]
+            )
+            == 2
+        )
+        assert "--budgets is not used" in capsys.readouterr().out
+
+    def test_seed_accepted_by_progressive(self, capsys, movies_paths):
+        kb_a, kb_b, gold = movies_paths
+        assert (
+            main(
+                [
+                    "workflow", "progressive",
+                    "--kb1", kb_a, "--kb2", kb_b, "--gold", gold,
+                    "--budget", "40", "--seed", "11",
+                ]
+            )
+            == 0
+        )
+        assert "minoan-dynamic" in capsys.readouterr().out
 
 
 class TestMapReduce:

@@ -51,6 +51,7 @@ class TestSubpackageAll:
             "repro.evaluation",
             "repro.stream",
             "repro.utils",
+            "repro.api",
         ],
     )
     def test_subpackage_all_resolves(self, module_name):

@@ -100,3 +100,52 @@ class TestSweepBudgets:
         report = sweep_budgets(kb_a, kb_b, gold, budgets=[10])
         table = format_table(report.rows, title=report.title)
         assert "budget" in table
+
+
+class TestLegacyPlatformComponentsHonoured:
+    """A platform= argument keeps its concrete component instances.
+
+    The instances may carry parameters the registry names cannot
+    express; the sweeps must run blocking through the platform itself,
+    not a default-token facade translation.
+    """
+
+    def test_sweep_metablocking_uses_platform_blocker(self, movies):
+        from repro.blocking import QGramsBlocking
+
+        kb_a, kb_b, gold = movies
+        platform = MinoanER(blocker=QGramsBlocking(q=3))
+        report = sweep_metablocking(
+            kb_a, kb_b, gold, weighting=["ARCS"], pruning=["CNP"], platform=platform
+        )
+        _, processed = platform.block(kb_a, kb_b)
+        edges = platform.meta_block(processed)
+        assert [
+            (e.left, e.right, e.weight) for e in report.raw[("ARCS", "CNP")]
+        ] == [(e.left, e.right, e.weight) for e in edges]
+
+    def test_sweep_budgets_uses_platform_blocker(self, movies):
+        from repro.blocking import QGramsBlocking
+
+        kb_a, kb_b, gold = movies
+        platform = MinoanER(blocker=QGramsBlocking(q=3), match_threshold=0.35)
+        report = sweep_budgets(kb_a, kb_b, gold, budgets=[200], platform=platform)
+        from repro.core.budget import CostBudget
+
+        direct = MinoanER(
+            blocker=QGramsBlocking(q=3),
+            match_threshold=0.35,
+            budget=CostBudget(200),
+        ).resolve(kb_a, kb_b, gold=gold)
+        assert report.raw[200].matched_pairs() == direct.matched_pairs()
+
+    def test_progressive_uses_platform_stages(self, movies):
+        from repro.blocking import QGramsBlocking
+
+        kb_a, kb_b, gold = movies
+        platform = MinoanER(blocker=QGramsBlocking(q=3))
+        report = compare_progressive_strategies(
+            kb_a, kb_b, gold, OracleMatcher(gold.matches), budget=40,
+            platform=platform, include_oracle=False,
+        )
+        assert "minoan-dynamic" in report.raw
