@@ -1,0 +1,226 @@
+"""Perf — crash recovery: WAL overhead and snapshot-bounded restart.
+
+Replays the churn scenario (inserts + queries + retractions) on the
+center synthetic workload through a durability-equipped
+:class:`repro.stream.StreamResolver`, then kills and recovers it, and
+measures:
+
+* **WAL overhead per insert** — mean insert latency with write-ahead
+  logging (fsync per event) against the in-memory baseline, plus the
+  log's bytes-per-record footprint;
+* **recovery time vs snapshot cadence** — for each ``snapshot_every``
+  setting the replay is abandoned mid-flight (no clean-shutdown sync)
+  and :func:`repro.stream.durability.recover` is timed cold.
+
+Two properties are gated:
+
+* **bit-identity** — every recovered state equals the uninterrupted
+  in-memory replay of the same event prefix (``capture_state`` dicts
+  compare equal);
+* **strictly fewer events** — with snapshots enabled, recovery replays
+  strictly fewer WAL records than the full history.
+
+Results are printed and written as a ``BENCH_recovery.json`` artifact
+at the repository root (CI uploads it per run).  Run either way::
+
+    pytest benchmarks/bench_recovery.py -s
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_recovery.json")
+
+from repro.datasets import SyntheticConfig, synthesize_pair
+from repro.stream import StreamResolver, WorkloadDriver
+from repro.stream.durability import Durability, capture_state, recover
+from repro.stream.workload import SCENARIOS
+
+CENTER = SyntheticConfig(entities=200, overlap=0.7, seed=42)
+SCENARIO = "churn"
+#: snapshot cadences swept by the restart section (None = WAL only)
+SNAPSHOT_INTERVALS: list[int | None] = [None, 200, 50]
+#: durable insert latency may exceed the in-memory baseline by at most
+#: this factor (fsync per event on CI disks is the dominant term)
+OVERHEAD_BAR = 25.0
+
+
+def _capture(stack) -> dict:
+    return capture_state(
+        stack.store, stack.index, stack.pairs, stack.view, stack.view_pairs
+    )
+
+
+def _replay(events, durability: Durability | None = None):
+    resolver = StreamResolver(clean_clean=True, durability=durability)
+    stats = WorkloadDriver(resolver).run(events, scenario=SCENARIO)
+    return resolver, stats
+
+
+def run_benchmark() -> dict:
+    dataset = synthesize_pair(CENTER)
+    events = SCENARIOS[SCENARIO](dataset.kb1, dataset.kb2)
+
+    baseline, baseline_stats = _replay(events)
+    reference_state = _capture(baseline)
+    baseline_insert = baseline_stats.latency_summary("insert")
+
+    results: dict = {
+        "workload": {
+            "profile": "center",
+            "scenario": SCENARIO,
+            "entities": len(dataset.kb1) + len(dataset.kb2),
+            "events": baseline_stats.events,
+            "inserts": baseline_stats.inserts,
+            "deletes": baseline_stats.deletes,
+            "queries": baseline_stats.queries,
+        },
+    }
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # -- WAL overhead per insert (fsync per event, no snapshots) ---------
+        wal_dir = os.path.join(scratch, "overhead")
+        durable, durable_stats = _replay(
+            events, Durability(wal_dir, fsync_every=1)
+        )
+        durable.durability.close()
+        durable_insert = durable_stats.latency_summary("insert")
+        wal_bytes = os.path.getsize(os.path.join(wal_dir, "wal.log"))
+        wal_records = durable.durability.wal.record_count
+        results["wal_overhead"] = {
+            "baseline_insert_mean_us": round(baseline_insert["mean"] * 1e6, 2),
+            "durable_insert_mean_us": round(durable_insert["mean"] * 1e6, 2),
+            "overhead_us_per_insert": round(
+                (durable_insert["mean"] - baseline_insert["mean"]) * 1e6, 2
+            ),
+            "overhead_ratio": round(
+                durable_insert["mean"] / baseline_insert["mean"], 2
+            )
+            if baseline_insert["mean"] > 0
+            else 0.0,
+            "overhead_bar": OVERHEAD_BAR,
+            "wal_bytes": wal_bytes,
+            "wal_records": wal_records,
+            "bytes_per_record": round(wal_bytes / max(wal_records, 1), 1),
+        }
+
+        # -- recovery time vs snapshot cadence -------------------------------
+        sweep = []
+        for interval in SNAPSHOT_INTERVALS:
+            directory = os.path.join(scratch, f"restart-{interval}")
+            crashed, _stats = _replay(
+                events,
+                Durability(directory, fsync_every=1, snapshot_every=interval),
+            )
+            crashed.durability.abandon()  # die without the shutdown sync
+
+            t0 = time.perf_counter()
+            recovered = recover(directory)
+            recovery_s = time.perf_counter() - t0
+            report = recovered.report
+            sweep.append(
+                {
+                    "snapshot_every": interval,
+                    "recovery_ms": round(recovery_s * 1e3, 3),
+                    "snapshot_lsn": report.snapshot_lsn,
+                    "wal_records": report.wal_records,
+                    "replayed_events": report.replayed_events,
+                    "replayed_fraction": round(
+                        report.replayed_events / max(report.wal_records, 1), 4
+                    ),
+                    "state_identical": _capture(recovered) == reference_state,
+                    "strictly_fewer": report.replayed_events
+                    < report.wal_records,
+                }
+            )
+        results["recovery_by_snapshot_interval"] = sweep
+
+    results["state_identical_ok"] = all(e["state_identical"] for e in sweep)
+    results["strictly_fewer_ok"] = all(
+        e["strictly_fewer"]
+        for e in sweep
+        if e["snapshot_every"] is not None
+    )
+    results["overhead_ok"] = (
+        results["wal_overhead"]["overhead_ratio"] <= OVERHEAD_BAR
+    )
+    return results
+
+
+def format_report(results: dict) -> str:
+    workload = results["workload"]
+    overhead = results["wal_overhead"]
+    lines = [
+        "crash recovery: WAL overhead + snapshot-bounded restart "
+        "(center workload, churn)",
+        "",
+        f"{workload['inserts']} inserts + {workload['deletes']} deletes + "
+        f"{workload['queries']} queries",
+        "",
+        f"insert mean: {overhead['baseline_insert_mean_us']:.1f} us in-memory "
+        f"vs {overhead['durable_insert_mean_us']:.1f} us durable "
+        f"(+{overhead['overhead_us_per_insert']:.1f} us, "
+        f"{overhead['overhead_ratio']:.2f}x, bar <= "
+        f"{overhead['overhead_bar']:.0f}x)",
+        f"WAL: {overhead['wal_records']} records, {overhead['wal_bytes']} bytes "
+        f"({overhead['bytes_per_record']:.0f} bytes/record)",
+        "",
+    ]
+    for entry in results["recovery_by_snapshot_interval"]:
+        cadence = entry["snapshot_every"] or "WAL only"
+        lines.append(
+            f"[snapshot_every={cadence}] recovery {entry['recovery_ms']:.1f} ms, "
+            f"replayed {entry['replayed_events']}/{entry['wal_records']} records "
+            f"({entry['replayed_fraction']:.0%}) from snapshot LSN "
+            f"{entry['snapshot_lsn']}"
+        )
+    lines.append("")
+    lines.append(f"recovered state bit-identical: {results['state_identical_ok']}")
+    lines.append(
+        "snapshots replay strictly fewer events: "
+        f"{results['strictly_fewer_ok']}"
+    )
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_recovery():
+    """Pytest entry point: replay, crash, recover; assert the gates."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_recovery", format_report(results))
+    write_artifact(results)
+    assert results["state_identical_ok"]
+    assert results["strictly_fewer_ok"]
+    assert results["overhead_ok"], results["wal_overhead"]
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    ok = (
+        results["state_identical_ok"]
+        and results["strictly_fewer_ok"]
+        and results["overhead_ok"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

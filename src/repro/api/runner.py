@@ -318,12 +318,20 @@ class Pipeline:
         backend = self.spec.backend
         matching = self.spec.matching
         threshold = matching.matcher.params.get("threshold", 0.4)
+        durability = None
+        if backend.durability_dir is not None:
+            from repro.stream.durability import Durability
+
+            durability = Durability(
+                backend.durability_dir, snapshot_every=backend.snapshot_every
+            )
         resolver = StreamResolver(
             blocker=self.blocker,
             clean_clean=kb2 is not None,
             threshold=threshold,
             processed_view=backend.processed_view,
             reconcile_every=backend.reconcile_every,
+            durability=durability,
         )
         generator = registry.factory("scenario", backend.scenario.name)
         events = generator(
@@ -345,6 +353,9 @@ class Pipeline:
             budget=backend.query_budget,
         )
         report.phase_seconds["replay_s"] = time.perf_counter() - t0
+        # Clean shutdown of the WAL — an interrupted replay stays
+        # recoverable from the durability directory.
+        resolver.close()
 
         edges: list[WeightedEdge] = []
         if bridge:
@@ -370,6 +381,8 @@ class Pipeline:
                 "processed_view": backend.processed_view,
                 "events": report.workload.events,
                 "queries": report.workload.queries,
+                "deletes": report.workload.deletes,
+                "durability_dir": backend.durability_dir,
             }
         )
         return edges

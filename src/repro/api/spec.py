@@ -287,6 +287,11 @@ class BackendSpec:
     #: query-time local pruner override: a registered pruner name or
     #: ``"none"``; ``None`` derives it from the spec's pruning node
     query_pruner: str | None = None
+    #: write-ahead log + snapshot directory (``None`` = in-memory only);
+    #: with a directory set, the stream backend is crash-recoverable
+    durability_dir: str | None = None
+    #: snapshot cadence in WAL records (``None`` = WAL only, no snapshots)
+    snapshot_every: int | None = None
 
     def validated(self) -> "BackendSpec":
         if self.kind not in BACKEND_KINDS:
@@ -314,6 +319,10 @@ class BackendSpec:
             raise SpecError(
                 f"backend.query_budget must be >= 0, got {self.query_budget}"
             )
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise SpecError(
+                f"backend.snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
         if (
             self.query_pruner is not None
             and self.query_pruner.lower() != "none"
@@ -340,6 +349,8 @@ class BackendSpec:
             "seed": self.seed,
             "query_budget": self.query_budget,
             "query_pruner": self.query_pruner,
+            "durability_dir": self.durability_dir,
+            "snapshot_every": self.snapshot_every,
         }
 
     @classmethod

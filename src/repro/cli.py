@@ -168,7 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream = sub.add_parser(
         "stream", help="replay a streaming arrival+query workload"
     )
-    stream.add_argument("--kb1", required=True)
+    stream.add_argument(
+        "--kb1", help="required except in recover-only mode (--recover-dir alone)"
+    )
     stream.add_argument("--kb2")
     stream.add_argument(
         "--scenario", choices=registry.names("scenario"), default="uniform",
@@ -197,6 +199,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(the default), an integer, or a comma-separated sweep (each "
         "value replays the workload against a fresh resolver); implies "
         "--processed-view",
+    )
+    stream.add_argument(
+        "--durability-dir",
+        help="write-ahead log + snapshot directory: the replay becomes "
+        "crash-recoverable (see --recover-dir)",
+    )
+    stream.add_argument(
+        "--snapshot-every", type=_positive_int, default=200,
+        help="snapshot cadence in WAL records (default 200; used with "
+        "--durability-dir or --crash-at)",
+    )
+    stream.add_argument(
+        "--fsync-every", type=_positive_int, default=1,
+        help="WAL fsync batching: sync every N appends (default 1 = "
+        "durable per event)",
+    )
+    stream.add_argument(
+        "--crash-at", type=_positive_int, metavar="N",
+        help="fault-injection harness: replay the first N events durably "
+        "into --recover-dir, die without closing the WAL, then recover "
+        "and verify the state equals an uninterrupted replay",
+    )
+    stream.add_argument(
+        "--recover-dir",
+        help="durability directory to recover from; with --crash-at it "
+        "hosts the crash harness, alone it prints the recovered state "
+        "summary (no --kb1 needed)",
     )
 
     mapreduce = sub.add_parser(
@@ -468,9 +497,128 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_recover_only(args: argparse.Namespace) -> int:
+    """Rebuild + summarize the state in ``--recover-dir``."""
+    from repro.stream.durability import recover
+
+    try:
+        result = recover(args.recover_dir)
+    except FileNotFoundError as error:
+        print(error)
+        return 1
+    report = result.report
+    rows = [
+        {"metric": "live descriptions", "value": str(len(result.store))},
+        {"metric": "blocking keys", "value": str(len(result.index))},
+        {"metric": "pairs tracked", "value": str(len(result.pairs))},
+        {"metric": "WAL records", "value": str(report.wal_records)},
+        {"metric": "snapshot LSN", "value": str(report.snapshot_lsn)},
+        {"metric": "events replayed", "value": str(report.replayed_events)},
+    ]
+    if result.view is not None:
+        rows.append(
+            {"metric": "view threshold", "value": str(result.view.threshold)}
+        )
+    print(
+        format_table(
+            rows,
+            title=f"Recovered streaming state: {args.recover_dir}",
+            first_column="metric",
+        )
+    )
+    return 0
+
+
+def _stream_crash_harness(args: argparse.Namespace, kb1, kb2) -> int:
+    """Kill a durable replay at event N; verify recovery equivalence."""
+    from repro.stream.durability import Durability, capture_state, recover
+    from repro.stream.resolver import StreamResolver
+    from repro.stream.workload import WorkloadDriver
+
+    directory = args.recover_dir
+    use_view = args.processed_view or args.reconcile_interval is not None
+    pruner = args.pruning
+    if pruner.lower().startswith("reciprocal"):
+        pruner = pruner[len("Reciprocal"):]
+
+    generator = registry.factory("scenario", args.scenario)
+    events = generator(kb1, kb2, seed=args.seed)
+    prefix = events[: min(args.crash_at, len(events))]
+
+    def replay(durability=None) -> StreamResolver:
+        resolver = StreamResolver(
+            clean_clean=kb2 is not None,
+            threshold=args.threshold,
+            processed_view=use_view,
+            durability=durability,
+        )
+        WorkloadDriver(resolver).run(
+            prefix,
+            scenario=args.scenario,
+            scheme=args.weighting,
+            pruner=pruner,
+            budget=args.budget,
+        )
+        return resolver
+
+    durable = replay(
+        Durability(
+            directory,
+            fsync_every=args.fsync_every,
+            snapshot_every=args.snapshot_every,
+        )
+    )
+    assert durable.durability is not None
+    durable.durability.abandon()  # die without the clean-shutdown sync
+
+    recovered = recover(directory)
+    reference = replay()
+    equivalent = capture_state(
+        recovered.store,
+        recovered.index,
+        recovered.pairs,
+        recovered.view,
+        recovered.view_pairs,
+    ) == capture_state(
+        reference.store,
+        reference.index,
+        reference.pairs,
+        reference.view,
+        reference.view_pairs,
+    )
+    report = recovered.report
+    print(
+        format_table(
+            [
+                {"metric": "events replayed before crash", "value": str(len(prefix))},
+                {"metric": "WAL records", "value": str(report.wal_records)},
+                {"metric": "snapshot LSN", "value": str(report.snapshot_lsn)},
+                {"metric": "events replayed at recovery",
+                 "value": str(report.replayed_events)},
+            ],
+            title=f"Crash harness: {args.scenario} @ event {len(prefix)}",
+            first_column="metric",
+        )
+    )
+    print(f"recovery equivalence: {'OK' if equivalent else 'FAIL'}")
+    return 0 if equivalent else 1
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
+    if args.crash_at is not None and not args.recover_dir:
+        print("--crash-at requires --recover-dir (the durability directory)")
+        return 1
+    if not args.kb1:
+        if args.recover_dir and args.crash_at is None:
+            return _stream_recover_only(args)
+        print("--kb1 is required (except with --recover-dir alone)")
+        return 1
+
     kb1 = _load(args.kb1)
     kb2 = _load(args.kb2) if args.kb2 else None
+
+    if args.crash_at is not None:
+        return _stream_crash_harness(args, kb1, kb2)
 
     use_view = args.processed_view or args.reconcile_interval is not None
     intervals: list[int | None] = [None]
@@ -494,6 +642,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 return 1
             intervals.append(parsed)
 
+    if args.durability_dir and len(intervals) > 1:
+        print("--durability-dir cannot be combined with a reconcile-interval "
+              "sweep: each replay would overwrite the same WAL")
+        return 1
+
     base = PipelineSpec.from_dict(
         {
             "weighting": args.weighting,
@@ -510,9 +663,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 "query_budget": args.budget,
                 "query_pruner": args.pruning,
                 "processed_view": use_view,
+                "durability_dir": args.durability_dir,
+                "snapshot_every": (
+                    args.snapshot_every if args.durability_dir else None
+                ),
             },
         }
     )
+    interrupted = False
     for interval in intervals:
         spec = base.with_backend(reconcile_every=interval)
         # Replay-only execution: the workload statistics are the
@@ -534,7 +692,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 first_column="metric",
             )
         )
-    return 0
+        if stats.interrupted:
+            # SIGINT mid-replay: the table above covers the executed
+            # prefix, the WAL was closed cleanly by the runner, and the
+            # conventional 128+SIGINT exit code reports the interrupt.
+            interrupted = True
+            break
+    return 130 if interrupted else 0
 
 
 def cmd_mapreduce(args: argparse.Namespace) -> int:

@@ -74,11 +74,14 @@ class EntityCollection:
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._interner)
+        return len(self._by_uri)
 
     def __iter__(self) -> Iterator[EntityDescription]:
+        by_uri = self._by_uri
         for uri in self._interner:
-            yield self._by_uri[uri]
+            description = by_uri.get(uri)
+            if description is not None:
+                yield description
 
     def __contains__(self, uri: str) -> bool:
         return uri in self._by_uri
@@ -102,13 +105,28 @@ class EntityCollection:
                 existing.add(prop, value)
         self._invalidate()
 
+    def remove(self, uri: str) -> bool:
+        """Retract the description with *uri*; returns True if present.
+
+        The interner entry is kept — ids are append-only and stay stable
+        so every structure keyed by dense id survives the retraction —
+        but the description leaves the live set: iteration, ``len`` and
+        lookups no longer see it, and a later :meth:`add` of the same
+        URI starts from an empty description at the original insertion
+        rank.
+        """
+        if self._by_uri.pop(uri, None) is None:
+            return False
+        self._invalidate()
+        return True
+
     def get(self, uri: str) -> EntityDescription | None:
         """Description with *uri*, or None."""
         return self._by_uri.get(uri)
 
     def uris(self) -> list[str]:
-        """URIs in insertion order."""
-        return self._interner.uris()
+        """Live URIs in insertion order (removed URIs are skipped)."""
+        return [uri for uri in self._interner if uri in self._by_uri]
 
     def index_of(self, uri: str) -> int:
         """Stable integer id of *uri* (insertion rank).

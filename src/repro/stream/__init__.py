@@ -25,15 +25,36 @@ structures *maintainable under inserts*:
   resolution of one incoming description against the live index, with
   latency accounting;
 * :mod:`~repro.stream.workload` — a dbworkload-style driver replaying
-  synthetic arrival + query scenarios.
+  synthetic arrival + query scenarios (including the ``churn`` and
+  ``erasure`` deletion regimes);
+* :mod:`~repro.stream.durability` — crash safety: a CRC-framed
+  write-ahead log, periodic atomic snapshots, and
+  :func:`~repro.stream.durability.recover`, which rebuilds the whole
+  component stack bit-identical to the uninterrupted run from the
+  latest snapshot plus the WAL suffix.
 
 **Equivalence contract:** after ingesting a corpus stream-wise — in any
 arrival order, with duplicates merged — the snapshot blocks, the pair
 statistics and the pruned edges are *bit-identical* to the batch
 pipeline run over the same final corpus.  The streaming layer changes
-*when* work happens, never *what* is computed.
+*when* work happens, never *what* is computed.  Deletions extend the
+contract: after retractions the state equals a fresh build over the
+surviving corpus minus arrival-rank artifacts (ids and ranks stay
+pinned to first arrival so a re-insert converges).
 """
 
+from repro.stream.durability import (
+    CrashError,
+    CrashyFiles,
+    Durability,
+    OsFiles,
+    RecoveryReport,
+    RecoveryResult,
+    WriteAheadLog,
+    capture_state,
+    recover,
+    restore_components,
+)
 from repro.stream.index import IncrementalBlockIndex
 from repro.stream.pairs import DeltaPairTable
 from repro.stream.processed_view import (
@@ -49,15 +70,23 @@ from repro.stream.workload import (
     WorkloadEvent,
     WorkloadStats,
     bursty_workload,
+    churn_workload,
+    erasure_workload,
     skewed_workload,
     uniform_workload,
 )
 
 __all__ = [
+    "CrashError",
+    "CrashyFiles",
     "DeltaPairTable",
+    "Durability",
     "IncrementalBlockIndex",
     "IncrementalProcessedView",
+    "OsFiles",
     "ReconcileReport",
+    "RecoveryReport",
+    "RecoveryResult",
     "SurvivorPairTable",
     "StreamMatch",
     "StreamQueryResult",
@@ -67,7 +96,13 @@ __all__ = [
     "WorkloadDriver",
     "WorkloadEvent",
     "WorkloadStats",
+    "WriteAheadLog",
     "bursty_workload",
+    "capture_state",
+    "churn_workload",
+    "erasure_workload",
+    "recover",
+    "restore_components",
     "skewed_workload",
     "uniform_workload",
 ]

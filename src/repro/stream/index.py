@@ -59,9 +59,12 @@ def _posting_pair() -> tuple[array, array]:
 class DeltaConsumer:
     """Interface for delta-maintained structures attached to the index.
 
-    The index calls these hooks *during* each insert, in a fixed order:
-    cells first (so pair statistics see the partner set as it was before
-    the entity joined), then placements/activations.
+    The index calls these hooks *during* each insert or delete, in a
+    fixed order: cells first (so pair statistics see the partner set as
+    it was before the entity joined or after it left), then
+    placements/activations.  The ``*_removed``/``*_deactivated`` hooks
+    mirror the insert hooks exactly — a delete emits the negation of
+    the deltas the corresponding inserts emitted.
     """
 
     __slots__ = ()
@@ -75,14 +78,24 @@ class DeltaConsumer:
     def on_block_activated(self, key: str) -> None:
         """A block crossed from singleton/one-sided to comparison-bearing."""
 
-    def on_key_update(self, key: str, entity_id: int, source: int) -> None:
-        """The entity was newly posted under *key* on side *source*.
+    def on_cell_removed(self, id_a: int, id_b: int) -> None:
+        """One comparison cell between two distinct entities vanished."""
 
-        Fired once per (insert, key, side) **after** the posting append
-        and the cell/placement hooks, so a consumer reading the index
-        back sees the post-insert state of the key.  This is the hook
-        cardinality-sensitive maintainers (the incremental processed
-        view) subscribe to; pair-statistics consumers can ignore it.
+    def on_placement_removed(self, entity_id: int) -> None:
+        """One placement in a comparison-bearing block vanished."""
+
+    def on_block_deactivated(self, key: str) -> None:
+        """A block fell back below the comparison-bearing floor."""
+
+    def on_key_update(self, key: str, entity_id: int, source: int) -> None:
+        """The entity's posting under *key* on side *source* changed.
+
+        Fired once per (event, key, side) **after** the posting append
+        or removal and the cell/placement hooks, so a consumer reading
+        the index back sees the post-event state of the key.  This is
+        the hook cardinality-sensitive maintainers (the incremental
+        processed view) subscribe to; pair-statistics consumers can
+        ignore it.
         """
 
 
@@ -133,6 +146,7 @@ class IncrementalBlockIndex(DeltaConsumer):
             str, tuple[Block, list[int], list[int] | None, int]
         ] = {}
         store.subscribe(self._on_insert)
+        store.subscribe_delete(self._on_delete)
 
     # -- wiring --------------------------------------------------------------
 
@@ -229,6 +243,92 @@ class IncrementalBlockIndex(DeltaConsumer):
                         consumer.on_placement(entity_id)
             for consumer in consumers:
                 consumer.on_key_update(key, entity_id, source)
+
+    # -- delete path ---------------------------------------------------------
+
+    def _on_delete(self, uri: str, source: int, entity_id: int) -> None:
+        """Shed the entity's side-*source* postings, emitting removal deltas.
+
+        The mirror of :meth:`_on_insert`: for every key the entity held
+        on this side, the cells it contributed vanish first, then its
+        placement (or the whole block's placements, when the removal
+        drops the block below the comparison-bearing floor), and finally
+        ``on_key_update`` fires so cardinality-sensitive consumers
+        re-read the post-delete state.  The per-source arrival rank is
+        **kept** — a re-inserted URI regains its original position, so
+        snapshots stay bit-identical to a batch build over the final
+        live corpus.
+        """
+        mask = self._key_mask.get(entity_id)
+        if mask is None:
+            return
+        bit = 1 << source
+        touched = [key for key, key_mask in mask.items() if key_mask & bit]
+        if not touched:
+            return
+        self._snapshots.clear()
+        consumers = self._consumers
+        for key in touched:
+            self._block_cache.pop(key, None)
+            sides = self._postings[key]
+            side = sides[source]
+            remaining_mask = mask[key] & ~bit
+            if remaining_mask:
+                mask[key] = remaining_mask
+                # The entity no longer sits on both sides: one overlap
+                # unit (added when the second side was claimed) unwinds.
+                overlap = self._overlap.get(key, 0) - 1
+                if overlap:
+                    self._overlap[key] = overlap
+                else:
+                    self._overlap.pop(key, None)
+            else:
+                del mask[key]
+
+            if self.two_sided:
+                other = sides[1 - source]
+                was_active = bool(other)  # side holds the entity, so nonempty
+                side.remove(entity_id)
+                for partner in other:
+                    if partner != entity_id:
+                        for consumer in consumers:
+                            consumer.on_cell_removed(entity_id, partner)
+                if was_active and not (side and other):
+                    # The block just lost comparison-bearing status:
+                    # every member (this one included) loses its
+                    # placement now — the negation of activation.
+                    for consumer in consumers:
+                        consumer.on_placement_removed(entity_id)
+                        for member in sides[0]:
+                            consumer.on_placement_removed(member)
+                        for member in sides[1]:
+                            consumer.on_placement_removed(member)
+                        consumer.on_block_deactivated(key)
+                elif was_active:
+                    for consumer in consumers:
+                        consumer.on_placement_removed(entity_id)
+            else:
+                side.remove(entity_id)
+                for partner in side:
+                    for consumer in consumers:
+                        consumer.on_cell_removed(entity_id, partner)
+                if len(side) == 1:
+                    for consumer in consumers:
+                        consumer.on_placement_removed(entity_id)
+                        consumer.on_placement_removed(side[0])
+                        consumer.on_block_deactivated(key)
+                elif len(side) >= 2:
+                    for consumer in consumers:
+                        consumer.on_placement_removed(entity_id)
+
+            if not sides[0] and not sides[1]:
+                del self._postings[key]
+                self._unsorted.pop(key, None)
+                self._overlap.pop(key, None)
+            for consumer in consumers:
+                consumer.on_key_update(key, entity_id, source)
+        if not mask:
+            del self._key_mask[entity_id]
 
     # -- interrogation -------------------------------------------------------
 

@@ -177,7 +177,11 @@ class PairStatsView:
 
 
 class DeltaPairTable(PairStatsView, DeltaConsumer):
-    """Packed-pair statistics maintained under inserts.
+    """Packed-pair statistics maintained under inserts and deletes.
+
+    Every removal hook is the exact negation of its insert counterpart
+    (1→0 transitions unwind edges, degrees and placement counts), so
+    the table always equals a fresh build over the live corpus.
 
     Args:
         index: the incremental block index to attach to.  Attach before
@@ -233,6 +237,33 @@ class DeltaPairTable(PairStatsView, DeltaConsumer):
 
     def on_block_activated(self, key: str) -> None:
         self.active_blocks += 1
+
+    def on_cell_removed(self, id_a: int, id_b: int) -> None:
+        key = pack_pair(id_a, id_b)
+        count = self.common[key] - 1
+        if count == 0:
+            del self.common[key]
+            self.edge_count -= 1
+            for entity_id in (id_a, id_b):
+                remaining = self.degrees[entity_id] - 1
+                if remaining:
+                    self.degrees[entity_id] = remaining
+                else:
+                    del self.degrees[entity_id]
+        else:
+            self.common[key] = count
+
+    def on_placement_removed(self, entity_id: int) -> None:
+        count = self.placements[entity_id] - 1
+        self.total_assignments -= 1
+        if count == 0:
+            del self.placements[entity_id]
+            self.entities_placed -= 1
+        else:
+            self.placements[entity_id] = count
+
+    def on_block_deactivated(self, key: str) -> None:
+        self.active_blocks -= 1
 
     # -- statistics ----------------------------------------------------------
 

@@ -149,6 +149,9 @@ class IncrementalProcessedView(DeltaConsumer):
         #: entity id → {key: side bitmask} over present blocks only
         self._entity_keys: dict[int, dict[str, int]] = {}
         self._consumers: list[ViewConsumer] = []
+        #: notified when a non-empty pending buffer is about to drain
+        #: (the durability layer's write-ahead hook)
+        self._apply_listeners: list = []
         self._reconciled_version = index.store.version
         self._exact: tuple[int, BlockCollection] | None = None
         self._approx: tuple[int, BlockCollection] | None = None
@@ -159,6 +162,15 @@ class IncrementalProcessedView(DeltaConsumer):
     def attach(self, consumer: ViewConsumer) -> None:
         """Attach a view-delta consumer (attach before inserting)."""
         self._consumers.append(consumer)
+
+    def subscribe_apply(self, listener) -> None:
+        """Call *listener* just before a non-empty pending drain.
+
+        The position of each drain in the event stream determines what
+        the approximate survivor state computes, so crash recovery logs
+        and replays drains like any other event.
+        """
+        self._apply_listeners.append(listener)
 
     def on_key_update(self, key: str, entity_id: int, source: int) -> None:
         """Index hook: buffer the touched key/entity for lazy application."""
@@ -290,6 +302,14 @@ class IncrementalProcessedView(DeltaConsumer):
         """
         if not self._pending_keys and not self._pending_entities:
             return
+        # Write-ahead hook: draining the buffer transitions the
+        # approximate survivor state, and *when* the drain happens
+        # (relative to the insert stream) changes what it computes — so
+        # crash recovery must replay applies at their original
+        # positions.  Listeners (the durability controller) log the
+        # event before any state moves.
+        for listener in self._apply_listeners:
+            listener()
         index = self.index
         pending_keys = list(self._pending_keys)
         pending_entities = list(self._pending_entities)

@@ -34,6 +34,12 @@ from repro.metablocking.graph import BlockingGraph, WeightedEdge
 from repro.metablocking.pruning import make_pruner
 from repro.metablocking.weighting import make_scheme
 from repro.model.description import EntityDescription
+from repro.stream.durability import (
+    Durability,
+    OsFiles,
+    RecoveryReport,
+    recover as recover_state,
+)
 from repro.stream.index import IncrementalBlockIndex
 from repro.stream.pairs import DeltaPairTable
 from repro.stream.processed_view import IncrementalProcessedView, SurvivorPairTable
@@ -111,6 +117,12 @@ class StreamResolver:
             match the batch pipeline).
         reconcile_every: the view's reconcile cadence in inserts
             (None = adaptive; see ``IncrementalProcessedView``).
+        durability: crash safety — a
+            :class:`~repro.stream.durability.Durability` controller, or
+            a directory path (a default controller is created there).
+            Every insert/delete is then write-ahead logged before it is
+            applied, and :meth:`recover` can rebuild this resolver's
+            state after a crash.
     """
 
     def __init__(
@@ -127,24 +139,31 @@ class StreamResolver:
         purging: BlockPurging | None = None,
         filtering: BlockFiltering | None = None,
         reconcile_every: int | None = None,
+        durability: Durability | str | None = None,
+        _components: tuple | None = None,
     ) -> None:
         if store is None:
             sources = ("kb1", "kb2") if clean_clean else ("stream",)
             store = StreamingEntityStore(sources=sources)
         self.store = store
-        self.index = IncrementalBlockIndex(store, blocker)
-        self.pairs = DeltaPairTable(self.index)
-        self.view: IncrementalProcessedView | None = None
-        self.view_pairs: SurvivorPairTable | None = None
-        if processed_view:
-            self.view = IncrementalProcessedView(
-                self.index, purging, filtering, reconcile_every=reconcile_every
-            )
-            self.view_pairs = SurvivorPairTable(self.view)
-        # A pre-populated store is replayed into every derived structure
-        # (after the pair table and view attached, so no delta is lost);
-        # on an empty store these are no-ops.
-        self.index.replay_store()
+        if _components is not None:
+            # Recovery path: the derived structures were rebuilt (and
+            # already subscribed to the store) by the durability layer.
+            self.index, self.pairs, self.view, self.view_pairs = _components
+        else:
+            self.index = IncrementalBlockIndex(store, blocker)
+            self.pairs = DeltaPairTable(self.index)
+            self.view = None
+            self.view_pairs = None
+            if processed_view:
+                self.view = IncrementalProcessedView(
+                    self.index, purging, filtering, reconcile_every=reconcile_every
+                )
+                self.view_pairs = SurvivorPairTable(self.view)
+            # A pre-populated store is replayed into every derived
+            # structure (after the pair table and view attached, so no
+            # delta is lost); on an empty store these are no-ops.
+            self.index.replay_store()
         self.similarity = StreamingSimilarityIndex(store)
         self.context = _StreamContext(store)
         self.matcher = matcher or ThresholdMatcher(
@@ -154,6 +173,17 @@ class StreamResolver:
         self.benefit = benefit or QuantityBenefit()
         self.max_key_cardinality = max_key_cardinality
         self.key_ratio = key_ratio
+        #: how the state was rebuilt, when this resolver came from
+        #: :meth:`recover` (None for a fresh resolver)
+        self.recovery: RecoveryReport | None = None
+        self.durability: Durability | None = None
+        if durability is not None:
+            if isinstance(durability, str):
+                durability = Durability(durability)
+            durability.bind(
+                store, self.index, self.pairs, self.view, self.view_pairs
+            )
+            self.durability = durability
 
     # -- ingestion -----------------------------------------------------------
 
@@ -164,6 +194,18 @@ class StreamResolver:
     def ingest_batch(self, descriptions, source: int = 0) -> list[int]:
         """Ingest a micro-batch of descriptions."""
         return self.store.insert_batch(descriptions, source)
+
+    def delete(self, uri: str) -> bool:
+        """Retract *uri* from the live corpus; True when it was held.
+
+        The retraction flows through the whole delta chain — posting
+        lists, pair statistics, similarity state and (when active) the
+        processed view's survivors — so subsequent queries neither see
+        the entity as a candidate nor weigh against its blocks.  Match
+        decisions already recorded against it are suppressed from query
+        results while it is absent (see :meth:`resolve`).
+        """
+        return self.store.delete(uri)
 
     @property
     def match_graph(self) -> MatchGraph:
@@ -218,7 +260,11 @@ class StreamResolver:
         latency["reconcile_s"] = 0.0
         if self.view is not None and self.view.due:
             t0 = time.perf_counter()
+            if self.durability is not None:
+                self.durability.log_reconcile()
             self.view.reconcile()
+            if self.durability is not None:
+                self.durability.maybe_snapshot()
             latency["reconcile_s"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -281,6 +327,8 @@ class StreamResolver:
         # decided".  They follow the fresh decisions, sorted by URI.
         newly_matched = {match.uri for match in matches}
         for partner in sorted(match_graph.partners(uri_q) - newly_matched):
+            if self.store.get(partner) is None:
+                continue  # partner retracted since the decision
             known = match_graph.decision_for(uri_q, partner)
             assert known is not None
             matches.append(StreamMatch(partner, known.similarity, weights.get(
@@ -330,6 +378,82 @@ class StreamResolver:
         raise KeyError(
             f"unknown stream pruner {pruner!r}; choose CNP, WNP or none"
         )
+
+    # -- durability ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Sync and close the attached durability controller, if any.
+
+        The clean-shutdown path: after this, :meth:`recover` rebuilds
+        the exact current state with zero lost events.
+        """
+        if self.durability is not None:
+            self.durability.close()
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        blocker: Blocker | None = None,
+        files: OsFiles | None = None,
+        from_scratch: bool = False,
+        resume: bool = False,
+        fsync_every: int = 1,
+        snapshot_every: int | None = None,
+        **serving_kwargs,
+    ) -> "StreamResolver":
+        """Rebuild a resolver from a durability directory after a crash.
+
+        Restores the newest valid snapshot and replays the WAL suffix
+        (see :func:`repro.stream.durability.recover`), then wires the
+        serving layer — similarity, context, matcher — from the live
+        store, which rebuilds them to scores identical to the
+        uninterrupted run.  The match-decision graph is *not* recovered
+        (a documented limitation: decisions are serving artifacts, not
+        store state).
+
+        Args:
+            directory: the durability directory of the crashed run.
+            blocker: must match the original run's blocker (key
+                extraction is not serialized).
+            files: file layer override (fault-injection seam).
+            from_scratch: ignore snapshots; replay the whole WAL.
+            resume: re-attach a durability controller on the same
+                directory so the recovered resolver keeps logging where
+                the crashed process stopped.
+            fsync_every / snapshot_every: the resumed controller's knobs
+                (ignored without *resume*).
+            serving_kwargs: forwarded to the constructor (threshold,
+                matcher, benefit, ...).
+
+        Raises:
+            FileNotFoundError: when the directory has no usable WAL.
+        """
+        result = recover_state(
+            directory, blocker=blocker, files=files, from_scratch=from_scratch
+        )
+        controller = None
+        if resume:
+            controller = Durability(
+                directory,
+                fsync_every=fsync_every,
+                snapshot_every=snapshot_every,
+                files=files,
+            )
+        resolver = cls(
+            store=result.store,
+            blocker=blocker,
+            durability=controller,
+            _components=(
+                result.index,
+                result.pairs,
+                result.view,
+                result.view_pairs,
+            ),
+            **serving_kwargs,
+        )
+        resolver.recovery = result.report
+        return resolver
 
     # -- the batch bridge ----------------------------------------------------
 

@@ -60,6 +60,7 @@ class StreamingSimilarityIndex:
         self._vector_cache: dict[str, tuple[int, dict[str, float], float]] = {}
         self._token_ids: dict[str, int] = {}
         store.subscribe(self._on_insert, replay=True)
+        store.subscribe_delete(self._on_delete)
 
     def _on_insert(
         self,
@@ -81,6 +82,27 @@ class StreamingSimilarityIndex:
         self._document_frequency.update(new_tokens)
         self._counts[uri] = counts
         self._sets[uri] = tokens
+        self._epoch += 1
+
+    def _on_delete(self, uri: str, source: int, entity_id: int) -> None:
+        """Retract the description's tokens and document frequencies.
+
+        The store notifies once per source the URI left; the similarity
+        state is per-URI, so only the first notification does work.
+        Every deletion shifts IDF, so the epoch bump invalidates all
+        cached vectors — stale TF-IDF weights cannot survive a
+        retraction.
+        """
+        tokens = self._sets.pop(uri, None)
+        if tokens is None:
+            return
+        del self._counts[uri]
+        self._vector_cache.pop(uri, None)
+        df = self._document_frequency
+        for token in tokens:
+            df[token] -= 1
+            if not df[token]:
+                del df[token]
         self._epoch += 1
 
     # -- lookups -------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""The append-only streaming entity store.
+"""The streaming entity store.
 
 One store owns the live corpus of a streaming ER deployment: one
 :class:`~repro.model.collection.EntityCollection` per source (one for
@@ -12,6 +12,19 @@ Inserts follow collection semantics: re-inserting a URI merges the new
 attribute–value pairs into the existing description (subscribers see the
 *merged* description), so duplicate and out-of-order arrivals converge
 to the same final state the batch pipeline would load.
+
+Deletions are first-class events: :meth:`StreamingEntityStore.delete`
+retracts a URI from every source holding it and notifies the delete
+subscribers per source, so derived structures shed the entity's
+postings, statistics and survivors by delta.  Ids are never reused —
+the interner is append-only — which keeps every id-keyed structure
+stable across retraction and re-insert (a re-inserted URI regains its
+original arrival rank).
+
+When a durability controller is attached (see
+:mod:`repro.stream.durability`), every insert and delete is logged to
+the write-ahead log **before** it is applied, and the controller is
+offered a snapshot opportunity after the event has fully propagated.
 """
 
 from __future__ import annotations
@@ -26,18 +39,22 @@ from repro.model.interner import EntityInterner
 #: was_present) — ``was_present`` is True for merge inserts.
 InsertListener = Callable[[EntityDescription, int, int, bool], None]
 
+#: delete-subscriber signature: (uri, source ordinal, entity id) —
+#: fired once per source the URI was retracted from.
+DeleteListener = Callable[[str, int, int], None]
+
 
 class StreamingEntityStore:
-    """Append-only wrapper over per-source entity collections.
+    """Mutable wrapper over per-source entity collections.
 
     Args:
         sources: collection names, one per KB — ``("kb",)`` for dirty ER
             (default), ``("kb1", "kb2")`` for clean-clean.
         name: store label used in reports.
 
-    The store never removes or rewrites descriptions; ids are stable for
-    the lifetime of the store, which is what lets every derived index be
-    maintained by delta.
+    Ids are stable for the lifetime of the store (the interner is
+    append-only even under deletion), which is what lets every derived
+    index be maintained by delta.
     """
 
     def __init__(
@@ -53,8 +70,13 @@ class StreamingEntityStore:
         ]
         self.interner = EntityInterner()
         self._listeners: list[InsertListener] = []
-        #: total inserts accepted; doubles as the snapshot cache version
+        self._delete_listeners: list[DeleteListener] = []
+        #: total mutations (inserts + deletes) accepted; doubles as the
+        #: snapshot cache version, so a delete invalidates caches too
         self.version = 0
+        #: attached durability controller (None = in-memory only); set
+        #: via :meth:`repro.stream.durability.Durability.bind`
+        self.durability = None
 
     @property
     def clean_clean(self) -> bool:
@@ -62,7 +84,7 @@ class StreamingEntityStore:
         return len(self.collections) == 2
 
     def __len__(self) -> int:
-        """Distinct descriptions across all sources."""
+        """Distinct live descriptions across all sources."""
         return sum(len(collection) for collection in self.collections)
 
     def __repr__(self) -> str:
@@ -87,6 +109,10 @@ class StreamingEntityStore:
                         False,
                     )
 
+    def subscribe_delete(self, listener: DeleteListener) -> None:
+        """Register *listener* for future deletions (no replay)."""
+        self._delete_listeners.append(listener)
+
     def collection(self, source: int = 0) -> EntityCollection:
         """The live collection of *source* (do not mutate it directly)."""
         return self.collections[source]
@@ -109,6 +135,8 @@ class StreamingEntityStore:
             IndexError: for an unknown source ordinal.
         """
         collection = self.collections[source]
+        if self.durability is not None:
+            self.durability.log_insert(description, source)
         was_present = description.uri in collection
         collection.add(description)
         entity_id = self.interner.intern(description.uri)
@@ -116,6 +144,8 @@ class StreamingEntityStore:
         merged = collection[description.uri]
         for listener in self._listeners:
             listener(merged, source, entity_id, was_present)
+        if self.durability is not None:
+            self.durability.maybe_snapshot()
         return entity_id
 
     def insert_batch(
@@ -127,3 +157,27 @@ class StreamingEntityStore:
         resulting state is identical to one-at-a-time ingestion.
         """
         return [self.insert(description, source) for description in descriptions]
+
+    def delete(self, uri: str) -> bool:
+        """Retract *uri* from every source holding it.
+
+        Returns True when at least one source held the URI.  Delete
+        subscribers are notified once per source the URI left, after
+        the retraction — the delta mirror of the insert notification.
+        The store version is bumped exactly once per accepted delete
+        (the cache-invalidation epoch), and the event is write-ahead
+        logged when durability is attached.
+        """
+        entity_id = self.interner.get(uri, -1)
+        if entity_id < 0 or all(uri not in c for c in self.collections):
+            return False
+        if self.durability is not None:
+            self.durability.log_delete(uri)
+        self.version += 1
+        for source, collection in enumerate(self.collections):
+            if collection.remove(uri):
+                for listener in self._delete_listeners:
+                    listener(uri, source, entity_id)
+        if self.durability is not None:
+            self.durability.maybe_snapshot()
+        return True

@@ -11,6 +11,16 @@ any (kb1, kb2) corpus pair:
   ingestion-heavy regime (bulk loads followed by read traffic);
 * **skewed** — inserts uniform, queries Zipf-skewed toward early
   (popular) entities, the celebrity-lookup regime.
+* **churn** — inserts with periodic retraction of a random live
+  entity, the membership-turnover regime deletion support unlocks;
+* **erasure** — full ingest followed by a seeded erasure sweep (a
+  GDPR-style right-to-be-forgotten pass), queries continuing against
+  the shrinking live set.
+
+``delete`` events carry the description to retract; the driver routes
+them through :meth:`~repro.stream.resolver.StreamResolver.delete`, so
+the whole delta chain (postings, pair statistics, processed view,
+similarity) sheds the entity.
 
 The :class:`WorkloadDriver` replays events against a
 :class:`~repro.stream.resolver.StreamResolver`, recording per-event
@@ -33,7 +43,7 @@ from repro.utils.rng import deterministic_rng
 
 @dataclass(frozen=True)
 class WorkloadEvent:
-    """One scripted event: ``insert`` or ``query``."""
+    """One scripted event: ``insert``, ``query`` or ``delete``."""
 
     kind: str
     description: EntityDescription
@@ -140,10 +150,80 @@ def skewed_workload(
     return events
 
 
+def churn_workload(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None = None,
+    query_every: int = 4,
+    delete_every: int = 7,
+    seed: int = 17,
+) -> list[WorkloadEvent]:
+    """Inserts with periodic retraction of a random live entity.
+
+    Every *delete_every*-th insert retracts a uniformly random entity
+    that is still live; queries (one per *query_every* inserts) target
+    live entities only, so the scenario exercises turnover without
+    depending on re-insert semantics.
+    """
+    if query_every < 1 or delete_every < 1:
+        raise ValueError("query_every and delete_every must be >= 1")
+    rng = deterministic_rng(seed, "churn-workload")
+    events: list[WorkloadEvent] = []
+    live: list[tuple[EntityDescription, int]] = []
+    for position, (description, source) in enumerate(_interleaved(kb1, kb2), 1):
+        events.append(WorkloadEvent("insert", description, source))
+        live.append((description, source))
+        if position % delete_every == 0 and len(live) > 1:
+            target, target_source = live.pop(rng.randrange(len(live)))
+            events.append(WorkloadEvent("delete", target, target_source))
+        if position % query_every == 0 and live:
+            target, target_source = rng.choice(live)
+            events.append(WorkloadEvent("query", target, target_source))
+    return events
+
+
+def erasure_workload(
+    kb1: EntityCollection,
+    kb2: EntityCollection | None = None,
+    erase_fraction: float = 0.25,
+    query_every: int = 4,
+    seed: int = 17,
+) -> list[WorkloadEvent]:
+    """Full ingest, then a seeded erasure sweep (GDPR-style).
+
+    The whole corpus arrives first under steady query traffic; then
+    *erase_fraction* of the entities are retracted in seeded random
+    order, with queries continuing against the shrinking live set —
+    the workload behind the "deleted entities never resurface" gate.
+    """
+    if not 0.0 <= erase_fraction <= 1.0:
+        raise ValueError("erase_fraction must be in [0, 1]")
+    if query_every < 1:
+        raise ValueError("query_every must be >= 1")
+    rng = deterministic_rng(seed, "erasure-workload")
+    events: list[WorkloadEvent] = []
+    live: list[tuple[EntityDescription, int]] = []
+    for position, (description, source) in enumerate(_interleaved(kb1, kb2), 1):
+        events.append(WorkloadEvent("insert", description, source))
+        live.append((description, source))
+        if position % query_every == 0:
+            target, target_source = rng.choice(live)
+            events.append(WorkloadEvent("query", target, target_source))
+    erase_count = int(len(live) * erase_fraction)
+    for step in range(1, erase_count + 1):
+        target, target_source = live.pop(rng.randrange(len(live)))
+        events.append(WorkloadEvent("delete", target, target_source))
+        if step % query_every == 0 and live:
+            target, target_source = rng.choice(live)
+            events.append(WorkloadEvent("query", target, target_source))
+    return events
+
+
 SCENARIOS = {
     "uniform": uniform_workload,
     "bursty": bursty_workload,
     "skewed": skewed_workload,
+    "churn": churn_workload,
+    "erasure": erasure_workload,
 }
 
 
@@ -161,11 +241,16 @@ class WorkloadStats:
     scenario: str
     inserts: int = 0
     queries: int = 0
+    deletes: int = 0
     matches_found: int = 0
     comparisons: int = 0
     elapsed_s: float = 0.0
+    #: True when the replay was cut short (SIGINT / KeyboardInterrupt);
+    #: the stats then cover the prefix actually executed
+    interrupted: bool = False
     insert_latencies_s: list[float] = field(default_factory=list)
     query_latencies_s: list[float] = field(default_factory=list)
+    delete_latencies_s: list[float] = field(default_factory=list)
     #: processed-view accounting (zero when the resolver serves raw):
     #: queries that triggered an exact reconciliation, total wall time
     #: spent reconciling, and total serve-side query time — the
@@ -177,7 +262,7 @@ class WorkloadStats:
     @property
     def events(self) -> int:
         """Total events replayed."""
-        return self.inserts + self.queries
+        return self.inserts + self.queries + self.deletes
 
     @property
     def throughput_eps(self) -> float:
@@ -185,10 +270,13 @@ class WorkloadStats:
         return self.events / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def latency_summary(self, kind: str = "insert") -> dict[str, float]:
-        """mean/p50/p95/p99/max (seconds) for ``insert`` or ``query``."""
-        values = (
-            self.insert_latencies_s if kind == "insert" else self.query_latencies_s
-        )
+        """mean/p50/p95/p99/max (seconds) for ``insert``/``query``/``delete``."""
+        if kind == "insert":
+            values = self.insert_latencies_s
+        elif kind == "delete":
+            values = self.delete_latencies_s
+        else:
+            values = self.query_latencies_s
         if not values:
             return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
         ordered = sorted(values)
@@ -225,6 +313,15 @@ class WorkloadStats:
             {"metric": "events", "value": str(self.events)},
             {"metric": "inserts", "value": str(self.inserts)},
             {"metric": "queries", "value": str(self.queries)},
+        ] + (
+            [{"metric": "deletes", "value": str(self.deletes)}]
+            if self.deletes
+            else []
+        ) + (
+            [{"metric": "interrupted", "value": "yes (partial replay)"}]
+            if self.interrupted
+            else []
+        ) + [
             {"metric": "matches found", "value": str(self.matches_found)},
             {"metric": "comparisons", "value": str(self.comparisons)},
             {"metric": "throughput (events/s)", "value": f"{self.throughput_eps:.0f}"},
@@ -270,40 +367,53 @@ class WorkloadDriver:
                 :meth:`~repro.stream.resolver.StreamResolver.resolve`.
             on_query: optional callback receiving each
                 :class:`~repro.stream.resolver.StreamQueryResult`.
+
+        A ``KeyboardInterrupt`` (SIGINT) mid-replay does not discard the
+        run: the stats of the prefix executed so far are returned with
+        :attr:`WorkloadStats.interrupted` set, so the caller can still
+        report and shut the durability layer down cleanly.
         """
         resolver = self.resolver
         stats = WorkloadStats(scenario=scenario)
         t_start = time.perf_counter()
-        for event in events:
-            if event.kind == "insert":
-                t0 = time.perf_counter()
-                resolver.ingest(event.description, event.source)
-                stats.insert_latencies_s.append(time.perf_counter() - t0)
-                stats.inserts += 1
-            elif event.kind == "query":
-                t0 = time.perf_counter()
-                result: StreamQueryResult = resolver.resolve(
-                    event.description,
-                    source=event.source,
-                    scheme=scheme,
-                    pruner=pruner,
-                    budget=budget,
-                    ingest=True,
-                )
-                stats.query_latencies_s.append(time.perf_counter() - t0)
-                stats.queries += 1
-                stats.matches_found += len(result.matches)
-                stats.comparisons += result.comparisons
-                reconcile_s = result.latency.get("reconcile_s", 0.0)
-                if reconcile_s > 0.0:
-                    stats.reconciles += 1
-                stats.reconcile_s += reconcile_s
-                stats.serve_s += result.latency.get(
-                    "serve_s", result.latency.get("total_s", 0.0)
-                )
-                if on_query is not None:
-                    on_query(result)
-            else:
-                raise ValueError(f"unknown event kind {event.kind!r}")
+        try:
+            for event in events:
+                if event.kind == "insert":
+                    t0 = time.perf_counter()
+                    resolver.ingest(event.description, event.source)
+                    stats.insert_latencies_s.append(time.perf_counter() - t0)
+                    stats.inserts += 1
+                elif event.kind == "query":
+                    t0 = time.perf_counter()
+                    result: StreamQueryResult = resolver.resolve(
+                        event.description,
+                        source=event.source,
+                        scheme=scheme,
+                        pruner=pruner,
+                        budget=budget,
+                        ingest=True,
+                    )
+                    stats.query_latencies_s.append(time.perf_counter() - t0)
+                    stats.queries += 1
+                    stats.matches_found += len(result.matches)
+                    stats.comparisons += result.comparisons
+                    reconcile_s = result.latency.get("reconcile_s", 0.0)
+                    if reconcile_s > 0.0:
+                        stats.reconciles += 1
+                    stats.reconcile_s += reconcile_s
+                    stats.serve_s += result.latency.get(
+                        "serve_s", result.latency.get("total_s", 0.0)
+                    )
+                    if on_query is not None:
+                        on_query(result)
+                elif event.kind == "delete":
+                    t0 = time.perf_counter()
+                    resolver.delete(event.description.uri)
+                    stats.delete_latencies_s.append(time.perf_counter() - t0)
+                    stats.deletes += 1
+                else:
+                    raise ValueError(f"unknown event kind {event.kind!r}")
+        except KeyboardInterrupt:
+            stats.interrupted = True
         stats.elapsed_s = time.perf_counter() - t_start
         return stats

@@ -51,7 +51,9 @@ class TestBuiltinRegistrations:
         ]
 
     def test_scenarios_and_corpora(self):
-        assert registry.names("scenario") == ["bursty", "skewed", "uniform"]
+        assert registry.names("scenario") == [
+            "bursty", "churn", "erasure", "skewed", "uniform",
+        ]
         assert registry.names("corpus") == ["movies", "people", "restaurants"]
 
     def test_every_component_documented(self):

@@ -111,6 +111,27 @@ def _assert_view_exact(view, index, purging, filtering, context: str) -> None:
     assert view.materialize() is exact or view.materialize().keys() == exact.keys()
 
 
+def _draw_ops(data) -> tuple[str, bool, list[tuple]]:
+    """A random insert/delete interleaving over a fragmented arrival mix.
+
+    Deletes always target a currently-live URI (roughly one delete per
+    four inserts); a URI deleted early can arrive again later via the
+    duplicated tail — the re-insert-after-retraction case.
+    """
+    corpus_name, two_sources, arrivals = _draw_arrivals(data)
+    ops: list[tuple] = []
+    live: list[str] = []
+    for description, source in arrivals:
+        ops.append(("insert", description, source))
+        if description.uri not in live:
+            live.append(description.uri)
+        if live and data.draw(st.integers(0, 3)) == 0:
+            victim = data.draw(st.sampled_from(live))
+            live.remove(victim)
+            ops.append(("delete", victim, None))
+    return corpus_name, two_sources, ops
+
+
 @settings(max_examples=25, deadline=None)
 @given(data=st.data())
 def test_reconcile_restores_exactness_under_any_interleaving(data):
@@ -222,6 +243,74 @@ def test_pinned_max_cardinality_threshold_applies_between_reconciles():
     assert live.keys() == exact.keys()
     view.reconcile()
     _assert_view_exact(view, index, purging, filtering, "pinned-threshold")
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_reconcile_restores_exactness_under_deletions(data):
+    """view == snapshot_processed() after every reconcile, with the
+    purge layer (histogram → threshold) exact after EVERY op — inserts
+    and retractions alike."""
+    corpus_name, two_sources, ops = _draw_ops(data)
+    interval = data.draw(st.integers(1, 9))
+    sources = ("kb1", "kb2") if two_sources else ("kb1",)
+    store = StreamingEntityStore(sources=sources)
+    index = IncrementalBlockIndex(store)
+    purging, filtering = BlockPurging(), BlockFiltering()
+    view = IncrementalProcessedView(
+        index, purging, filtering, reconcile_every=interval
+    )
+    for op in ops:
+        if op[0] == "insert":
+            store.insert(op[1].copy(), op[2])
+        else:
+            assert store.delete(op[1])
+        raw = index.snapshot()
+        assert view.histogram() == cardinality_histogram(raw)
+        assert view.threshold == purging.adaptive_threshold(raw)
+        if view.due:
+            view.reconcile()
+            _assert_view_exact(
+                view, index, purging, filtering, f"{corpus_name}@churn-reconcile"
+            )
+    view.reconcile()
+    _assert_view_exact(view, index, purging, filtering, f"{corpus_name}@churn-final")
+    assert view.reconcile().drift == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_tombstoned_entities_never_resolve(data):
+    """A retracted entity must never surface in resolve() results
+    (unless it was re-inserted afterwards) — even while the approximate
+    view is stale — and a reconcile leaves no tombstone placed."""
+    _name, two_sources, ops = _draw_ops(data)
+    resolver = StreamResolver(
+        clean_clean=two_sources, processed_view=True, reconcile_every=4
+    )
+    tombstoned: set[str] = set()
+    for position, op in enumerate(ops):
+        if op[0] == "insert":
+            description, source = op[1], op[2]
+            tombstoned.discard(description.uri)
+            if position % 3 == 2:
+                result = resolver.resolve(description.copy(), source=source)
+                surfaced = set(result.matched_uris())
+                assert not surfaced & tombstoned, (surfaced, tombstoned)
+            else:
+                resolver.ingest(description.copy(), source)
+        else:
+            resolver.delete(op[1])
+            tombstoned.add(op[1])
+            assert resolver.store.get(op[1]) is None
+    # Between reconciles the approximate view may lag a retraction (the
+    # same bounded staleness inserts get); a reconcile must purge it.
+    resolver.view.reconcile()
+    placed: set[str] = set()
+    for block in resolver.view._build_collection():
+        placed.update(block.entities1)
+        placed.update(block.entities2 or ())
+    assert not placed & tombstoned
 
 
 @pytest.mark.parametrize("corpus_name", sorted(_LOADERS))

@@ -19,6 +19,7 @@ from repro.blocking.token_blocking import TokenBlocking
 from repro.datasets import load_movies, load_people, load_restaurants
 from repro.metablocking.graph import BlockingGraph
 from repro.metablocking.weighting import make_scheme
+from repro.model.collection import EntityCollection
 from repro.stream import StreamResolver, WorkloadDriver
 from repro.stream.workload import SCENARIOS
 
@@ -69,17 +70,25 @@ def test_reconciled_view_bit_identical(corpus, replayed):
 
 
 def test_view_matches_batch_pipeline(corpus, replayed):
-    """The reconciled view equals batch purge+filter over the corpus.
+    """The reconciled view equals batch purge+filter over the live corpus.
 
-    The workload replays ingest the full corpus (queries re-resolve
-    already-inserted descriptions), so the exact oracle is the batch
-    pipeline over the original KBs.
+    For the insert-only scenarios the live corpus is the full corpus
+    (queries re-resolve already-inserted descriptions); for ``churn``
+    and ``erasure`` it is the survivors of the deletions — either way
+    the oracle is the batch pipeline over what is live at the end,
+    which is exactly the deletion contract: retractions leave no trace.
     """
-    kb1, kb2 = corpus
     resolver, _stats = replayed
     resolver.view.reconcile()
+    live1, live2 = (
+        EntityCollection(
+            (description.copy() for description in collection),
+            name=collection.name,
+        )
+        for collection in resolver.store.collections
+    )
     batch = BlockFiltering().process(
-        BlockPurging().process(TokenBlocking().build(kb1, kb2))
+        BlockPurging().process(TokenBlocking().build(live1, live2))
     )
     view = resolver.view.materialize()
     assert view.keys() == batch.keys()

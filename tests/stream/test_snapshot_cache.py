@@ -10,6 +10,8 @@ entry is invalidated by the next insert.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.blocking.filtering import BlockFiltering
 from repro.blocking.purging import BlockPurging
 from repro.model.description import EntityDescription
@@ -78,6 +80,61 @@ def test_insert_invalidates_non_default_entries():
     assert any(
         "http://a/new" in fresh[key].entities1 for key in fresh.keys()
     )
+
+
+def test_delete_invalidates_cached_snapshots():
+    """The retraction regression: stale cached Blocks must not survive
+    a delete — neither the raw snapshot, the processed entries, nor the
+    per-key block cache may still surface the retracted entity."""
+    store, index = _populated_index()
+    purging = BlockPurging(max_cardinality=100)
+    raw_stale = index.snapshot()
+    processed_stale = index.snapshot_processed(purging)
+    assert "http://a/0" in raw_stale["alpha"].entities1
+
+    version = store.version
+    assert store.delete("http://a/0")
+    assert store.version == version + 1  # exactly one bump per delete
+
+    raw_fresh = index.snapshot()
+    processed_fresh = index.snapshot_processed(purging)
+    assert raw_fresh is not raw_stale
+    assert processed_fresh is not processed_stale
+    for snapshot in (raw_fresh, processed_fresh):
+        for key in snapshot.keys():
+            assert "http://a/0" not in snapshot[key].entities1, key
+    # tok0 lost its only left-side member → the block is a singleton now
+    assert "tok0" not in raw_fresh.keys()
+    # A repeated delete of a gone entity is a no-op: no version churn,
+    # the cache entries stay live.
+    assert not store.delete("http://a/0")
+    assert store.version == version + 1
+    assert index.snapshot() is raw_fresh
+
+
+def test_delete_bumps_similarity_epoch_and_drops_vectors():
+    """IDF shifts on retraction: cached vectors must re-derive."""
+    from repro.stream.similarity import StreamingSimilarityIndex
+
+    store, _index = _populated_index()
+    similarity = StreamingSimilarityIndex(store)
+    # A pair with *partial* token overlap: the score moves with IDF
+    # (identical descriptions would score 1.0 under any weighting).
+    before = similarity.cosine("http://a/1", "http://b/2")
+    epoch = similarity.epoch
+    # "alpha"/"beta" appear in every description; removing one entity
+    # shifts their document frequency, so every cached vector is stale.
+    store.delete("http://a/0")
+    assert similarity.epoch > epoch
+    assert "http://a/0" not in similarity
+    with pytest.raises(KeyError):
+        similarity.tokens_of("http://a/0")
+    after = similarity.cosine("http://a/1", "http://b/2")
+    assert after != before  # IDF actually moved
+    # Deleting an entity the similarity index never saw changes nothing.
+    epoch = similarity.epoch
+    store.delete("http://nowhere/x")
+    assert similarity.epoch == epoch
 
 
 def test_subclass_does_not_collide_with_base_entry():

@@ -128,3 +128,46 @@ class TestDriver:
             on_query=results.append,
         )
         assert results and all(r.latency["total_s"] >= 0 for r in results)
+
+
+class TestInterruptedReplay:
+    """SIGINT mid-replay: partial stats survive and the run stays
+    recoverable (the `repro stream` Ctrl-C contract)."""
+
+    @staticmethod
+    def _interrupt_after(events, count):
+        for position, event in enumerate(events):
+            if position == count:
+                raise KeyboardInterrupt
+            yield event
+
+    def test_interrupt_returns_prefix_stats(self, corpus):
+        kb1, kb2 = corpus
+        events = uniform_workload(kb1, kb2)
+        stats = WorkloadDriver(StreamResolver(clean_clean=True)).run(
+            self._interrupt_after(events, 12), scenario="uniform"
+        )
+        assert stats.interrupted
+        assert stats.events == 12
+        assert any(
+            row["metric"] == "interrupted" for row in stats.summary_rows()
+        )
+
+    def test_interrupted_durable_run_is_recoverable(self, corpus, tmp_path):
+        from repro.stream.durability import Durability, capture_state, recover
+
+        kb1, kb2 = corpus
+        events = uniform_workload(kb1, kb2)
+        resolver = StreamResolver(
+            clean_clean=True, durability=Durability(str(tmp_path))
+        )
+        stats = WorkloadDriver(resolver).run(self._interrupt_after(events, 20))
+        assert stats.interrupted
+        resolver.close()  # what cmd_stream does after the interrupt
+
+        reference = StreamResolver(clean_clean=True)
+        WorkloadDriver(reference).run(events[:20])
+        recovered = recover(str(tmp_path))
+        assert capture_state(
+            recovered.store, recovered.index, recovered.pairs
+        ) == capture_state(reference.store, reference.index, reference.pairs)

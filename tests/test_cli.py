@@ -165,6 +165,76 @@ class TestStream:
         assert main(["stream", "--kb1", kb_a, "--pruning", "none"]) == 0
 
 
+class TestStreamDurability:
+    def test_churn_scenario_reports_deletes(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(["stream", "--kb1", kb_a, "--kb2", kb_b,
+                  "--scenario", "churn"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Streaming workload: churn" in out
+        assert "deletes" in out
+
+    def test_durable_replay_then_recover_only(self, capsys, tmp_path,
+                                              movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        directory = str(tmp_path / "state")
+        assert (
+            main(["stream", "--kb1", kb_a, "--kb2", kb_b,
+                  "--scenario", "erasure", "--durability-dir", directory,
+                  "--snapshot-every", "25"])
+            == 0
+        )
+        assert os.path.exists(os.path.join(directory, "wal.log"))
+        capsys.readouterr()
+        # A bare --recover-dir inspects what the directory restores to.
+        assert main(["stream", "--recover-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "Recovered streaming state" in out
+        assert "live descriptions" in out
+
+    def test_crash_harness_verifies_equivalence(self, capsys, tmp_path,
+                                                movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        directory = str(tmp_path / "crash")
+        assert (
+            main(["stream", "--kb1", kb_a, "--kb2", kb_b,
+                  "--scenario", "churn", "--processed-view",
+                  "--snapshot-every", "15",
+                  "--crash-at", "40", "--recover-dir", directory])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Crash harness: churn @ event 40" in out
+        assert "recovery equivalence: OK" in out
+
+    def test_crash_at_requires_recover_dir(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert main(["stream", "--kb1", kb_a, "--crash-at", "5"]) == 1
+        assert "--recover-dir" in capsys.readouterr().out
+
+    def test_recover_only_without_state_fails(self, capsys, tmp_path):
+        assert main(["stream", "--recover-dir", str(tmp_path)]) == 1
+        assert "no usable write-ahead log" in capsys.readouterr().out
+
+    def test_no_kb1_and_no_recover_dir_rejected(self, capsys):
+        assert main(["stream"]) == 1
+        assert "--kb1" in capsys.readouterr().out
+
+    def test_durability_dir_rejects_interval_sweep(self, capsys, tmp_path,
+                                                   movies_paths):
+        kb_a, _, _ = movies_paths
+        assert (
+            main(["stream", "--kb1", kb_a, "--processed-view",
+                  "--reconcile-interval", "8,16",
+                  "--durability-dir", str(tmp_path / "x")])
+            == 1
+        )
+        assert "sweep" in capsys.readouterr().out
+
+
 class TestSynthesize:
     def test_writes_workload(self, capsys, tmp_path):
         out_dir = str(tmp_path / "workload")
