@@ -1,0 +1,306 @@
+"""Perf — observability overhead, span-count exactness, stage coverage.
+
+The observability layer (:mod:`repro.obs`) promises to be effectively
+free: span tracing and metric histograms ride along with the streaming
+replay, the batch pipeline and the mapreduce sweep without changing
+results or meaningfully changing wall time.  Four properties are gated:
+
+* **overhead** — the tracing-on streaming replay wall time (spans into
+  an in-memory sink + full metric histograms) stays within
+  ``OVERHEAD_BAR``× the observability-off replay (best of
+  ``ATTEMPTS`` each, same events, fresh resolvers);
+* **exactness** — span counts equal the oracle event counts exactly:
+  one span per insert/delete, five per query (the query span + four
+  phase spans) plus one per reconcile, and one drain span per
+  pending-buffer drain (cross-checked against the view's always-on
+  ``drain_count``) — no sampling, no loss;
+* **coverage** — every backend (sequential, mapreduce, stream bridge)
+  emits a span for every pipeline stage;
+* **bit-identity** — pruned edges, match decisions and the streamed
+  state are bit-identical with observability on vs off.
+
+Results are printed and written as a ``BENCH_obs.json`` artifact at the
+repository root (CI uploads it per run).  Run either way::
+
+    pytest benchmarks/bench_obs.py -s
+    PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
+
+from repro.api import Pipeline, PipelineSpec
+from repro.datasets import SyntheticConfig, synthesize_pair
+from repro.obs import InMemorySink, Observability
+from repro.stream import StreamResolver, WorkloadDriver
+from repro.stream.durability import capture_state
+from repro.stream.workload import SCENARIOS
+
+#: tracing-on replay wall may exceed tracing-off by at most this factor
+OVERHEAD_BAR = 1.10
+#: best-of-N timing attempts per mode (min filters scheduler noise)
+ATTEMPTS = 3
+CENTER = SyntheticConfig(entities=300, overlap=0.7, seed=42)
+
+SPEC = PipelineSpec.from_dict(
+    {
+        "weighting": "ARCS",
+        "pruning": "CNP",
+        "matching": {
+            "matcher": {"name": "threshold", "params": {"threshold": 0.35}},
+        },
+    }
+)
+
+PIPELINE_STAGES = (
+    "pipeline.blocking",
+    "pipeline.purging",
+    "pipeline.filtering",
+    "pipeline.weighting",
+    "pipeline.pruning",
+    "pipeline.matching",
+    "pipeline.evaluation",
+)
+
+
+def _replay(events, obs=None):
+    """One fresh replay; returns (wall_s, stats, resolver, sink)."""
+    sink = InMemorySink() if obs == "traced" else None
+    handle = Observability(sink=sink) if sink is not None else None
+    resolver = StreamResolver(clean_clean=True, processed_view=True, obs=handle)
+    t0 = time.perf_counter()
+    stats = WorkloadDriver(resolver).run(events, scenario="uniform")
+    wall = time.perf_counter() - t0
+    return wall, stats, resolver, sink
+
+
+def run_overhead_benchmark(dataset) -> dict:
+    """Best-of-N tracing-on vs tracing-off streaming replay walls."""
+    events = SCENARIOS["uniform"](dataset.kb1, dataset.kb2)
+    disabled_walls = [_replay(events)[0] for _ in range(ATTEMPTS)]
+    traced_walls = [_replay(events, obs="traced")[0] for _ in range(ATTEMPTS)]
+    disabled, traced = min(disabled_walls), min(traced_walls)
+    return {
+        "events": len(events),
+        "attempts": ATTEMPTS,
+        "disabled_wall_ms": round(disabled * 1e3, 3),
+        "traced_wall_ms": round(traced * 1e3, 3),
+        "overhead_ratio": round(traced / disabled, 4) if disabled > 0 else 0.0,
+        "overhead_bar": OVERHEAD_BAR,
+    }
+
+
+def run_span_oracle(dataset) -> dict:
+    """Traced replay span counts vs oracle event counts — exact, for
+    every registered scenario (the deletion-bearing ones exercise the
+    ``stream.delete`` spans)."""
+    out: dict = {}
+    for scenario_name, make_events in sorted(SCENARIOS.items()):
+        events = make_events(dataset.kb1, dataset.kb2)
+        _, stats, resolver, sink = _replay(events, obs="traced")
+        counts = sink.by_name()
+        reconciles = counts.get("stream.query.reconcile", 0)
+        drains = counts.get("stream.view.drain", 0)
+        expected_total = (
+            stats.inserts
+            + stats.deletes
+            + 5 * stats.queries
+            + reconciles
+            + drains
+        )
+        checks = {
+            "insert_spans_match": (
+                counts.get("stream.insert", 0) == stats.inserts
+            ),
+            "delete_spans_match": (
+                counts.get("stream.delete", 0) == stats.deletes
+            ),
+            "query_spans_match": counts.get("stream.query", 0) == stats.queries,
+            "phase_spans_match": all(
+                counts.get(f"stream.query.{phase}", 0) == stats.queries
+                for phase in ("ingest", "candidates", "weigh", "match")
+            ),
+            "reconcile_spans_match": reconciles == stats.reconciles,
+            "drain_spans_match": drains == resolver.view.drain_count,
+            "total_spans_match": len(sink) == expected_total,
+        }
+        out[scenario_name] = {
+            "inserts": stats.inserts,
+            "queries": stats.queries,
+            "deletes": stats.deletes,
+            "reconciles": stats.reconciles,
+            "drains": resolver.view.drain_count,
+            "spans_emitted": len(sink),
+            "spans_expected": expected_total,
+            "checks": checks,
+            "exact": all(checks.values()),
+        }
+    out["exact"] = all(
+        entry["exact"] for entry in out.values() if isinstance(entry, dict)
+    )
+    return out
+
+
+def run_stage_coverage(dataset) -> dict:
+    """Every backend emits a span for every pipeline stage."""
+    backends = {
+        "sequential": SPEC,
+        "mapreduce": SPEC.with_backend(kind="mapreduce", workers=2),
+        "stream": SPEC.with_backend(kind="stream", scenario="uniform"),
+    }
+    out: dict = {}
+    for name, spec in backends.items():
+        sink = InMemorySink()
+        obs = Observability(sink=sink)
+        Pipeline(spec, obs=obs).execute(
+            dataset.kb1, dataset.kb2, gold=dataset.gold
+        )
+        emitted = sink.by_name()
+        missing = [stage for stage in PIPELINE_STAGES if not emitted.get(stage)]
+        out[name] = {
+            "spans": len(sink),
+            "missing_stages": missing,
+            "complete": not missing and emitted.get("pipeline.run", 0) == 1,
+        }
+    out["all_complete"] = all(
+        entry["complete"] for entry in out.values() if isinstance(entry, dict)
+    )
+    return out
+
+
+def run_bit_identity(dataset) -> dict:
+    """Observability on vs off: identical outputs, identical state."""
+    kb1, kb2, gold = dataset.kb1, dataset.kb2, dataset.gold
+
+    plain = Pipeline(SPEC).execute(kb1, kb2, gold=gold)
+    traced = Pipeline(
+        SPEC, obs=Observability(sink=InMemorySink())
+    ).execute(kb1, kb2, gold=gold)
+    batch_identical = (
+        [(e.left, e.right, e.weight) for e in plain.edges]
+        == [(e.left, e.right, e.weight) for e in traced.edges]
+        and plain.matched_pairs() == traced.matched_pairs()
+    )
+
+    events = SCENARIOS["uniform"](kb1, kb2)
+    _, _, plain_resolver, _ = _replay(events)
+    _, _, traced_resolver, _ = _replay(events, obs="traced")
+
+    def state(resolver):
+        return capture_state(
+            resolver.store, resolver.index, resolver.pairs,
+            resolver.view, resolver.view_pairs,
+        )
+
+    stream_identical = state(plain_resolver) == state(traced_resolver)
+    return {
+        "batch_identical": batch_identical,
+        "stream_identical": stream_identical,
+        "identical": batch_identical and stream_identical,
+    }
+
+
+def run_benchmark() -> dict:
+    dataset = synthesize_pair(CENTER)
+    return {
+        "workload": {
+            "profile": "center",
+            "entities": len(dataset.kb1) + len(dataset.kb2),
+        },
+        "overhead": run_overhead_benchmark(dataset),
+        "span_oracle": run_span_oracle(dataset),
+        "stage_coverage": run_stage_coverage(dataset),
+        "bit_identity": run_bit_identity(dataset),
+    }
+
+
+def gates_ok(results: dict) -> bool:
+    return (
+        results["overhead"]["overhead_ratio"] <= OVERHEAD_BAR
+        and results["span_oracle"]["exact"]
+        and results["stage_coverage"]["all_complete"]
+        and results["bit_identity"]["identical"]
+    )
+
+
+def format_report(results: dict) -> str:
+    overhead = results["overhead"]
+    oracle = results["span_oracle"]
+    lines = [
+        "observability: tracing overhead + exactness (center workload)",
+        "",
+        f"[overhead] {overhead['events']} events, best of "
+        f"{overhead['attempts']}: disabled {overhead['disabled_wall_ms']:.2f} ms, "
+        f"traced {overhead['traced_wall_ms']:.2f} ms  →  "
+        f"{overhead['overhead_ratio']:.3f}x (bar <= {overhead['overhead_bar']:.2f}x)",
+        "",
+    ]
+    for scenario, entry in sorted(oracle.items()):
+        if not isinstance(entry, dict):
+            continue
+        status = "exact" if entry["exact"] else (
+            "MISMATCH "
+            + str([k for k, ok in entry["checks"].items() if not ok])
+        )
+        lines.append(
+            f"[oracle:{scenario}] {entry['inserts']} ins + "
+            f"{entry['queries']} qry + {entry['deletes']} del, "
+            f"{entry['reconciles']} reconciles, {entry['drains']} drains "
+            f"→ {entry['spans_emitted']} spans "
+            f"(expected {entry['spans_expected']}): {status}"
+        )
+    lines.append("")
+    for backend in ("sequential", "mapreduce", "stream"):
+        entry = results["stage_coverage"][backend]
+        status = "complete" if entry["complete"] else (
+            f"MISSING {entry['missing_stages']}"
+        )
+        lines.append(f"[stages:{backend}] {entry['spans']} spans, {status}")
+    identity = results["bit_identity"]
+    lines.append("")
+    lines.append(
+        f"[bit-identity] batch {identity['batch_identical']}, "
+        f"stream {identity['stream_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_obs():
+    """Pytest entry point: assert all four observability gates."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_obs", format_report(results))
+    write_artifact(results)
+    assert results["span_oracle"]["exact"], results["span_oracle"]
+    assert results["stage_coverage"]["all_complete"], results["stage_coverage"]
+    assert results["bit_identity"]["identical"], results["bit_identity"]
+    assert results["overhead"]["overhead_ratio"] <= OVERHEAD_BAR, (
+        results["overhead"]
+    )
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    return 0 if gates_ok(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

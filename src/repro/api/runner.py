@@ -34,6 +34,7 @@ from repro.matching.matcher import Matcher
 from repro.matching.similarity import SimilarityIndex
 from repro.metablocking.graph import BlockingGraph, WeightedEdge
 from repro.model.collection import EntityCollection
+from repro.obs import DISABLED, Observability
 
 
 @dataclass
@@ -131,8 +132,11 @@ class Pipeline:
     any backend.
     """
 
-    def __init__(self, spec: PipelineSpec) -> None:
+    def __init__(
+        self, spec: PipelineSpec, obs: Observability | None = None
+    ) -> None:
         self.spec = spec
+        self.obs = obs if obs is not None else DISABLED
         blocking = spec.blocking
         self.blocker = blocking.blocker.build("blocker")
         self.purging = (
@@ -154,6 +158,7 @@ class Pipeline:
         kb1: EntityCollection | None = None,
         kb2: EntityCollection | None = None,
         gold: GoldStandard | None = None,
+        obs: Observability | None = None,
     ) -> RunReport:
         """Execute *spec* end to end and return the unified report.
 
@@ -162,6 +167,9 @@ class Pipeline:
             kb1 / kb2: input collections; omitted, they resolve from the
                 spec's ``data`` node.
             gold: ground truth for evaluation (or from the data node).
+            obs: observability handle — the run then emits one span per
+                stage under a ``pipeline.run`` root, across every
+                backend.
 
         Raises:
             SpecError: when no input data is available from either
@@ -178,7 +186,7 @@ class Pipeline:
             gold = gold if gold is not None else data_gold
         if kb1 is None:
             raise SpecError("the spec's data node resolved no collections")
-        return cls(spec).execute(kb1, kb2, gold=gold)
+        return cls(spec, obs=obs).execute(kb1, kb2, gold=gold)
 
     # -- individual stages ----------------------------------------------------
 
@@ -197,8 +205,21 @@ class Pipeline:
         return blocks, processed
 
     def meta_block(self, blocks: BlockCollection) -> list[WeightedEdge]:
-        """Weight + prune the blocking graph sequentially."""
-        return self.pruner.prune(BlockingGraph(blocks, self.scheme))
+        """Weight + prune the blocking graph sequentially.
+
+        The two stages get separate spans: edge materialization is
+        cached on the graph, so forcing it under the weighting span
+        leaves the pruning span with only the pruner's own work —
+        honest per-stage attribution at no extra cost.
+        """
+        obs = self.obs
+        graph = BlockingGraph(blocks, self.scheme)
+        with obs.span("pipeline.weighting") as span:
+            span.set(pairs=len(graph.materialize()))
+        with obs.span("pipeline.pruning") as span:
+            edges = self.pruner.prune(graph)
+            span.set(edges=len(edges))
+        return edges
 
     def build_matcher(
         self,
@@ -246,12 +267,39 @@ class Pipeline:
     # -- backend edge production ----------------------------------------------
 
     def _record_blocks(self, kb1, kb2, report: RunReport, processed) -> None:
-        """Fill the report's block stages, reusing *processed* if given."""
+        """Fill the report's block stages, reusing *processed* if given.
+
+        Each block stage gets its own span; a stage that did not run
+        (no operator configured, or pre-built blocks reused) is marked
+        with a zero-duration event so traces always show the full stage
+        sequence.
+        """
+        obs = self.obs
         t0 = time.perf_counter()
         if processed is not None:
             report.blocks = report.processed_blocks = processed
+            if obs.enabled:
+                for stage in ("blocking", "purging", "filtering"):
+                    obs.event(
+                        f"pipeline.{stage}", 0.0,
+                        reused=True, blocks=len(processed),
+                    )
         else:
-            report.blocks, report.processed_blocks = self.block(kb1, kb2)
+            entities = len(kb1) + (len(kb2) if kb2 is not None else 0)
+            with obs.span("pipeline.blocking", entities=entities) as span:
+                blocks = self.blocker.build(kb1, kb2)
+                span.set(blocks=len(blocks))
+            report.blocks = blocks
+            current = blocks
+            with obs.span("pipeline.purging") as span:
+                if self.purging is not None:
+                    current = self.purging.process(current)
+                span.set(blocks=len(current), skipped=self.purging is None)
+            with obs.span("pipeline.filtering") as span:
+                if self.filtering is not None:
+                    current = self.filtering.process(current)
+                span.set(blocks=len(current), skipped=self.filtering is None)
+            report.processed_blocks = current
         report.phase_seconds["block_s"] = time.perf_counter() - t0
 
     def _edges_sequential(
@@ -289,11 +337,21 @@ class Pipeline:
         runner = (
             parallel_metablocking_ids if formulation == "int" else parallel_metablocking
         )
+        obs = self.obs
         t0 = time.perf_counter()
-        with MapReduceEngine(workers=backend.workers, executor=executor) as engine:
-            edges, metrics = runner(
-                engine, report.processed_blocks, self.scheme, self.pruner
-            )
+        with obs.span("pipeline.weighting", fused=True) as span:
+            with MapReduceEngine(
+                workers=backend.workers, executor=executor, obs=obs
+            ) as engine:
+                edges, metrics = runner(
+                    engine, report.processed_blocks, self.scheme, self.pruner
+                )
+            span.set(edges=len(edges))
+        if obs.enabled:
+            # Weighting and pruning fuse inside the reducers on this
+            # backend; the zero-duration marker keeps the pruning stage
+            # present (and honestly empty) in every trace.
+            obs.event("pipeline.pruning", 0.0, fused=True, edges=len(edges))
         report.phase_seconds["metablock_s"] = time.perf_counter() - t0
         report.job_metrics = metrics
         report.backend.update(
@@ -332,6 +390,7 @@ class Pipeline:
             processed_view=backend.processed_view,
             reconcile_every=backend.reconcile_every,
             durability=durability,
+            obs=self.obs,
         )
         generator = registry.factory("scenario", backend.scenario.name)
         events = generator(
@@ -344,15 +403,26 @@ class Pipeline:
         query_pruner = backend.query_pruner or self.spec.pruning.name
         if query_pruner.lower().startswith("reciprocal"):
             query_pruner = query_pruner[len("Reciprocal"):]
+        obs = self.obs
         t0 = time.perf_counter()
-        report.workload = WorkloadDriver(resolver).run(
-            events,
-            scenario=backend.scenario.name,
-            scheme=self.spec.weighting.name,
-            pruner=query_pruner,
-            budget=backend.query_budget,
-        )
+        with obs.span("stream.replay", scenario=backend.scenario.name) as span:
+            report.workload = WorkloadDriver(resolver).run(
+                events,
+                scenario=backend.scenario.name,
+                scheme=self.spec.weighting.name,
+                pruner=query_pruner,
+                budget=backend.query_budget,
+            )
+            span.set(
+                events=report.workload.events,
+                interrupted=report.workload.interrupted,
+            )
         report.phase_seconds["replay_s"] = time.perf_counter() - t0
+        # Flush the telemetry snapshot BEFORE the WAL closes: an
+        # interrupted replay (the driver swallows SIGINT and returns
+        # partial stats) must leave its metrics and trace on disk even
+        # if shutting the durability layer down fails afterwards.
+        obs.flush()
         # Clean shutdown of the WAL — an interrupted replay stays
         # recoverable from the durability directory.
         resolver.close()
@@ -363,12 +433,18 @@ class Pipeline:
             # through the exact spec-compiled operators, bit-identical
             # to the sequential path on the same corpus.
             t0 = time.perf_counter()
-            report.blocks = resolver.index.snapshot()
+            with obs.span("pipeline.blocking", bridge=True) as span:
+                report.blocks = resolver.index.snapshot()
+                span.set(blocks=len(report.blocks))
             processed = report.blocks
-            if self.purging is not None:
-                processed = self.purging.process(processed)
-            if self.filtering is not None:
-                processed = self.filtering.process(processed)
+            with obs.span("pipeline.purging") as span:
+                if self.purging is not None:
+                    processed = self.purging.process(processed)
+                span.set(blocks=len(processed), skipped=self.purging is None)
+            with obs.span("pipeline.filtering") as span:
+                if self.filtering is not None:
+                    processed = self.filtering.process(processed)
+                span.set(blocks=len(processed), skipped=self.filtering is None)
             report.processed_blocks = processed
             report.phase_seconds["block_s"] = time.perf_counter() - t0
             t0 = time.perf_counter()
@@ -415,35 +491,46 @@ class Pipeline:
         """
         report = RunReport(spec=self.spec, spec_key=self.spec.cache_key())
         kind = self.spec.backend.kind
-        if kind == "sequential":
-            edges = self._edges_sequential(kb1, kb2, report, processed_blocks)
-        elif kind == "mapreduce":
-            edges = self._edges_mapreduce(kb1, kb2, report, processed_blocks)
-        else:
-            edges = self._edges_stream(kb1, kb2, report, bridge=stream_bridge)
-            match = match and stream_bridge
-        report.edges = edges
-        if not match:
-            return report
+        obs = self.obs
+        with obs.span("pipeline.run", backend=kind) as root:
+            if kind == "sequential":
+                edges = self._edges_sequential(kb1, kb2, report, processed_blocks)
+            elif kind == "mapreduce":
+                edges = self._edges_mapreduce(kb1, kb2, report, processed_blocks)
+            else:
+                edges = self._edges_stream(kb1, kb2, report, bridge=stream_bridge)
+                match = match and stream_bridge
+            report.edges = edges
+            root.set(edges=len(edges))
+            if not match:
+                return report
 
-        collections = [kb1] if kb2 is None else [kb1, kb2]
-        t0 = time.perf_counter()
-        report.progressive = self.match(edges, collections, gold=gold, label=label)
-        report.phase_seconds["match_s"] = time.perf_counter() - t0
-
-        if gold is not None:
+            collections = [kb1] if kb2 is None else [kb1, kb2]
             t0 = time.perf_counter()
-            evaluation = self.spec.evaluation
-            if evaluation.blocks and report.processed_blocks is not None:
-                report.block_quality = evaluate_blocks(
-                    report.processed_blocks,
-                    gold,
-                    len(kb1),
-                    len(kb2) if kb2 is not None else None,
+            with obs.span("pipeline.matching") as span:
+                report.progressive = self.match(
+                    edges, collections, gold=gold, label=label
                 )
-            if evaluation.matches:
-                report.match_quality = evaluate_matches(
-                    report.progressive.matched_pairs(), gold
+                span.set(
+                    comparisons=report.progressive.comparisons_executed,
+                    matches=report.progressive.match_graph.match_count,
                 )
-            report.phase_seconds["evaluate_s"] = time.perf_counter() - t0
+            report.phase_seconds["match_s"] = time.perf_counter() - t0
+
+            if gold is not None:
+                t0 = time.perf_counter()
+                with obs.span("pipeline.evaluation") as span:
+                    evaluation = self.spec.evaluation
+                    if evaluation.blocks and report.processed_blocks is not None:
+                        report.block_quality = evaluate_blocks(
+                            report.processed_blocks,
+                            gold,
+                            len(kb1),
+                            len(kb2) if kb2 is not None else None,
+                        )
+                    if evaluation.matches:
+                        report.match_quality = evaluate_matches(
+                            report.progressive.matched_pairs(), gold
+                        )
+                report.phase_seconds["evaluate_s"] = time.perf_counter() - t0
         return report

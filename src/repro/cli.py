@@ -29,6 +29,12 @@ Subcommands::
     python -m repro components [--kind KIND]         # registry listing
     python -m repro synthesize --entities N --profile center|periphery
                                --out-dir DIR
+    python -m repro obs        report DIR            # render telemetry
+
+``run``, ``stream`` and ``mapreduce`` accept ``--trace-dir DIR`` /
+``--metrics`` to capture span traces (``DIR/trace.jsonl``) and the
+metric exposition (``DIR/metrics.txt``); ``repro obs report DIR``
+renders the per-stage time-attribution tree and histogram tables.
 """
 
 from __future__ import annotations
@@ -62,6 +68,42 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return parsed
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (run/stream/mapreduce)."""
+    parser.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="enable observability and write DIR/trace.jsonl (span "
+        "trace) plus DIR/metrics.txt (metric exposition); render with "
+        "`repro obs report DIR`",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable observability and print the metric exposition "
+        "after the run (combines with --trace-dir)",
+    )
+
+
+def _make_obs(args: argparse.Namespace):
+    """--trace-dir/--metrics → an :class:`Observability`, else None."""
+    if not (args.trace_dir or args.metrics):
+        return None
+    from repro.obs import Observability
+
+    return Observability(directory=args.trace_dir)
+
+
+def _finish_obs(obs, args: argparse.Namespace) -> None:
+    """Final telemetry export: close sinks, honour --metrics."""
+    if obs is None:
+        return
+    obs.close()
+    if args.metrics:
+        print()
+        print(obs.metrics_text().rstrip())
+    if args.trace_dir:
+        print(f"\ntelemetry written to {args.trace_dir} ({obs.span_count} spans)")
 
 
 def _add_component_flags(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's backend kind",
     )
     run.add_argument("--out", help="write matched pairs to this CSV")
+    _add_obs_flags(run)
 
     components = sub.add_parser(
         "components", help="list every registered component and its parameters"
@@ -227,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "hosts the crash harness, alone it prints the recovered state "
         "summary (no --kb1 needed)",
     )
+    _add_obs_flags(stream)
 
     mapreduce = sub.add_parser(
         "mapreduce", help="parallel meta-blocking worker/executor sweep"
@@ -245,6 +289,19 @@ def build_parser() -> argparse.ArgumentParser:
     mapreduce.add_argument(
         "--formulation", choices=("int", "string", "both"), default="int",
         help="int-ID record batches vs the string-tuple reference jobs",
+    )
+    _add_obs_flags(mapreduce)
+
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry directories written by --trace-dir"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="per-stage time-attribution tree + histogram/counter tables",
+    )
+    obs_report.add_argument(
+        "directory", help="telemetry directory (holds trace.jsonl)"
     )
 
     synthesize = sub.add_parser("synthesize", help="generate a synthetic workload")
@@ -432,13 +489,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     kb1 = _load(args.kb1) if args.kb1 else None
     kb2 = _load(args.kb2) if args.kb2 else None
     gold = _maybe_gold(args.gold)
+    obs = _make_obs(args)
     try:
-        report = Pipeline.run(spec, kb1, kb2, gold=gold)
+        report = Pipeline.run(spec, kb1, kb2, gold=gold, obs=obs)
     except SpecError as exc:
         print(f"cannot run spec: {exc}")
         return 2
     print(f"spec {os.path.basename(args.spec)} → cache key {report.spec_key[:16]}…\n")
     _print_report(report, args.out)
+    _finish_obs(obs, args)
     return 0
 
 
@@ -608,6 +667,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if args.crash_at is not None and not args.recover_dir:
         print("--crash-at requires --recover-dir (the durability directory)")
         return 1
+    if (args.trace_dir or args.metrics) and args.crash_at is not None:
+        print("--trace-dir/--metrics need a live replay; the crash harness "
+              "replays twice and would interleave their telemetry")
+        return 1
     if not args.kb1:
         if args.recover_dir and args.crash_at is None:
             return _stream_recover_only(args)
@@ -646,6 +709,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
         print("--durability-dir cannot be combined with a reconcile-interval "
               "sweep: each replay would overwrite the same WAL")
         return 1
+    if (args.trace_dir or args.metrics) and len(intervals) > 1:
+        print("--trace-dir/--metrics cannot be combined with a reconcile-"
+              "interval sweep: the replays would interleave one telemetry "
+              "stream")
+        return 1
 
     base = PipelineSpec.from_dict(
         {
@@ -670,13 +738,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
             },
         }
     )
+    obs = _make_obs(args)
     interrupted = False
     for interval in intervals:
         spec = base.with_backend(reconcile_every=interval)
         # Replay-only execution: the workload statistics are the
         # subcommand's product; the batch bridge + matching stages are
         # `repro run --backend stream`'s job.
-        report = Pipeline(spec).execute(kb1, kb2, stream_bridge=False)
+        report = Pipeline(spec, obs=obs).execute(kb1, kb2, stream_bridge=False)
         stats = report.workload
         title = (
             f"Streaming workload: {args.scenario} "
@@ -698,6 +767,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
             # conventional 128+SIGINT exit code reports the interrupt.
             interrupted = True
             break
+    # The runner already flushed the telemetry snapshot before closing
+    # the WAL, so an interrupted replay reaches this close with its
+    # trace and metrics safely on disk.
+    _finish_obs(obs, args)
     return 130 if interrupted else 0
 
 
@@ -736,16 +809,17 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
     )
     rows = []
     base_wall: dict[tuple[str, str], float] = {}
+    obs = _make_obs(args)
     # Blocking is identical across cells: build once, reuse per cell so
     # the sweep times only the meta-blocking stage.
-    _, processed_blocks = Pipeline(base).block(kb1, kb2)
+    _, processed_blocks = Pipeline(base, obs=obs).block(kb1, kb2)
     for formulation in formulations:
         for executor in executors:
             for workers in args.workers:
                 spec = base.with_backend(
                     workers=workers, executor=executor, formulation=formulation
                 )
-                report = Pipeline(spec).execute(
+                report = Pipeline(spec, obs=obs).execute(
                     kb1, kb2, match=False, processed_blocks=processed_blocks
                 )
                 elapsed = report.phase_seconds["metablock_s"]
@@ -785,6 +859,22 @@ def cmd_mapreduce(args: argparse.Namespace) -> int:
         "same (formulation, executor); serial wall time simulates, the "
         "process executor actually parallelizes."
     )
+    _finish_obs(obs, args)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import TraceSchemaError
+    from repro.obs.report import render_report
+
+    try:
+        print(render_report(args.directory))
+    except FileNotFoundError as error:
+        print(error)
+        return 1
+    except TraceSchemaError as error:
+        print(f"malformed trace in {args.directory}: {error}")
+        return 1
     return 0
 
 
@@ -869,6 +959,7 @@ _COMMANDS = {
     "components": cmd_components,
     "stream": cmd_stream,
     "mapreduce": cmd_mapreduce,
+    "obs": cmd_obs,
     "synthesize": cmd_synthesize,
     "workflow": cmd_workflow,
 }

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.obs import DISABLED, Observability
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.utils.rng import stable_hash, stable_hash_int
 
 #: mapper: (key, value) -> iterable of (key, value)
@@ -294,27 +296,71 @@ class ArrayMapReduceJob:
     params: dict = field(default_factory=dict)
 
 
-@dataclass
-class JobMetrics:
-    """Execution metrics of one job run (the paper's cluster counters)."""
+def _counter_property(attr: str):
+    """A Counter-backed int field that still supports ``m.x += n``."""
 
-    job_name: str
-    workers: int
-    executor: str = "serial"
-    map_input_records: int = 0
-    map_output_records: int = 0
-    combine_output_records: int = 0
-    shuffle_records: int = 0
-    shuffle_bytes: int = 0
-    reduce_groups: int = 0
-    reduce_output_records: int = 0
-    map_task_costs: list[int] = field(default_factory=list)
-    reduce_task_costs: list[int] = field(default_factory=list)
-    #: measured wall-clock seconds of the map / reduce phases (real time,
-    #: meaningful for comparing executors; the critical path below stays
-    #: the simulated cluster model)
-    map_wall_s: float = 0.0
-    reduce_wall_s: float = 0.0
+    def getter(self):
+        return getattr(self, attr).value
+
+    def setter(self, value):
+        getattr(self, attr).value = value
+
+    return property(getter, setter)
+
+
+#: the Counter-backed JobMetrics count fields, in declaration order
+_JOB_COUNT_FIELDS = (
+    "map_input_records",
+    "map_output_records",
+    "combine_output_records",
+    "shuffle_records",
+    "shuffle_bytes",
+    "reduce_groups",
+    "reduce_output_records",
+)
+
+
+class JobMetrics:
+    """Execution metrics of one job run (the paper's cluster counters).
+
+    The record/byte counts are backed by
+    :class:`~repro.obs.metrics.Counter` objects; the public int fields
+    are live views onto them, so :meth:`bind` can expose the *same*
+    objects through a metrics registry (``metrics.txt`` then shows the
+    figures the legacy fields report, identically).
+    """
+
+    def __init__(
+        self, job_name: str, workers: int, executor: str = "serial"
+    ) -> None:
+        self.job_name = job_name
+        self.workers = workers
+        self.executor = executor
+        for name in _JOB_COUNT_FIELDS:
+            setattr(self, "_" + name, Counter())
+        self.map_task_costs: list[int] = []
+        self.reduce_task_costs: list[int] = []
+        #: measured wall-clock seconds of the map / reduce phases (real
+        #: time, meaningful for comparing executors; the critical path
+        #: below stays the simulated cluster model)
+        self.map_wall_s = 0.0
+        self.reduce_wall_s = 0.0
+
+    map_input_records = _counter_property("_map_input_records")
+    map_output_records = _counter_property("_map_output_records")
+    combine_output_records = _counter_property("_combine_output_records")
+    shuffle_records = _counter_property("_shuffle_records")
+    shuffle_bytes = _counter_property("_shuffle_bytes")
+    reduce_groups = _counter_property("_reduce_groups")
+    reduce_output_records = _counter_property("_reduce_output_records")
+
+    def bind(self, registry: MetricsRegistry, prefix: str = "repro.mapreduce") -> None:
+        """Register the backing counters as ``<prefix>.<field>.count``."""
+        for name in _JOB_COUNT_FIELDS:
+            registry.register(
+                f"{prefix}.{name.replace('_', '.')}.count",
+                getattr(self, "_" + name),
+            )
 
     @property
     def wall_s(self) -> float:
@@ -345,23 +391,42 @@ class JobMetrics:
 
 def _run_record_map_task(
     job: MapReduceJob, split: list[tuple[Any, Any]]
-) -> tuple[int, list[tuple[Any, Any]]]:
+) -> tuple[int, list[tuple[Any, Any]], float]:
     """One map task: mapper over the split, then the optional combiner.
 
-    Returns ``(pre_combine_record_count, task_output)``.
+    Returns ``(pre_combine_record_count, task_output, combine_seconds)``
+    — the combine time is measured in the worker and travels back with
+    the result, so the driver can attribute it without a second clock.
     """
     task_output: list[tuple[Any, Any]] = []
     for key, value in split:
         for out in job.mapper(key, value):
             task_output.append(out)
     raw_count = len(task_output)
+    combine_s = 0.0
     if job.combiner is not None:
+        t0 = time.perf_counter()
         grouped = _group(task_output)
         combined: list[tuple[Any, Any]] = []
         for key in grouped:
             combined.extend(job.combiner(key, grouped[key]))
         task_output = combined
-    return raw_count, task_output
+        combine_s = time.perf_counter() - t0
+    return raw_count, task_output, combine_s
+
+
+def _timed_task(task: Callable[[], Any]) -> tuple[float, Any]:
+    """Wrap one closure task: measure its wall in the worker."""
+    t0 = time.perf_counter()
+    result = task()
+    return time.perf_counter() - t0, result
+
+
+def _timed_spec(fn: Callable, *args) -> tuple[float, Any]:
+    """Picklable spec wrapper: ``(duration_s, fn(*args))``."""
+    t0 = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - t0, result
 
 
 def _run_record_reduce_task(
@@ -394,13 +459,24 @@ class MapReduceEngine:
             in-process oracle, the default), ``"process"`` (real
             ``multiprocessing`` workers) or an :class:`Executor`
             instance.  Results are identical across executors.
+        obs: an :class:`~repro.obs.Observability` handle — every job
+            then emits a ``mapreduce.job`` span with
+            map/combine/shuffle/reduce children (per-task spans carry
+            worker-measured durations) plus aggregate record/byte
+            counters.  Default: the disabled no-op handle.
     """
 
-    def __init__(self, workers: int = 4, executor: str | Executor = "serial") -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        executor: str | Executor = "serial",
+        obs: Observability | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.executor = make_executor(executor, workers)
+        self.obs = obs if obs is not None else DISABLED
 
     def close(self) -> None:
         """Release the executor's resources (worker pools)."""
@@ -429,43 +505,100 @@ class MapReduceEngine:
             job_name=job.name, workers=self.workers, executor=self.executor.name
         )
         metrics.map_input_records = len(record_list)
+        obs = self.obs
 
-        # -- map phase (with per-task combining) --------------------------
-        # Record jobs carry closure mappers/reducers (not picklable), so
-        # they dispatch as bound tasks: the serial executor calls them
-        # inline, the process executor fork-inherits them.
-        splits = list(self._split(record_list))
-        started = time.perf_counter()
-        map_results = self.executor.run_tasks(
-            [partial(_run_record_map_task, job, split) for split in splits]
-        )
-        metrics.map_wall_s = time.perf_counter() - started
+        with obs.span(
+            "mapreduce.job",
+            job=job.name,
+            workers=self.workers,
+            executor=self.executor.name,
+        ) as job_span:
+            # -- map phase (with per-task combining) ----------------------
+            # Record jobs carry closure mappers/reducers (not picklable),
+            # so they dispatch as bound tasks: the serial executor calls
+            # them inline, the process executor fork-inherits them.
+            splits = list(self._split(record_list))
+            tasks = [
+                partial(_run_record_map_task, job, split) for split in splits
+            ]
+            if obs.enabled:
+                tasks = [partial(_timed_task, task) for task in tasks]
+            with obs.timed(
+                "mapreduce.map",
+                metric="repro.mapreduce.map.seconds",
+                tasks=len(tasks),
+            ) as timer:
+                raw_results = self.executor.run_tasks(tasks)
+                if obs.enabled:
+                    map_results = []
+                    for index, (task_s, result) in enumerate(raw_results):
+                        obs.event(
+                            "mapreduce.map.task", task_s, worker=index
+                        )
+                        if job.combiner is not None:
+                            obs.event(
+                                "mapreduce.combine.task",
+                                result[2],
+                                worker=index,
+                            )
+                        map_results.append(result)
+                else:
+                    map_results = raw_results
+            metrics.map_wall_s = timer.duration_s
 
-        # -- shuffle (driver-side, deterministic) -------------------------
-        partitions: list[dict[Any, list[Any]]] = [dict() for _ in range(self.workers)]
-        for split, (raw_count, task_output) in zip(splits, map_results):
-            metrics.map_output_records += raw_count
-            metrics.map_task_costs.append(len(split) + raw_count)
-            if job.combiner is not None:
-                metrics.combine_output_records += len(task_output)
-            for key, value in task_output:
-                partition = job.partitioner(key, self.workers)
-                partitions[partition].setdefault(key, []).append(value)
-                metrics.shuffle_records += 1
-                metrics.shuffle_bytes += _record_size(key, value)
+            # -- shuffle (driver-side, deterministic) ---------------------
+            with obs.timed(
+                "mapreduce.shuffle", metric="repro.mapreduce.shuffle.seconds"
+            ) as shuffle_span:
+                partitions: list[dict[Any, list[Any]]] = [
+                    dict() for _ in range(self.workers)
+                ]
+                for split, (raw_count, task_output, _combine_s) in zip(
+                    splits, map_results
+                ):
+                    metrics.map_output_records += raw_count
+                    metrics.map_task_costs.append(len(split) + raw_count)
+                    if job.combiner is not None:
+                        metrics.combine_output_records += len(task_output)
+                    for key, value in task_output:
+                        partition = job.partitioner(key, self.workers)
+                        partitions[partition].setdefault(key, []).append(value)
+                        metrics.shuffle_records += 1
+                        metrics.shuffle_bytes += _record_size(key, value)
+                shuffle_span.set(
+                    records=metrics.shuffle_records,
+                    bytes=metrics.shuffle_bytes,
+                )
 
-        # -- reduce phase --------------------------------------------------
-        started = time.perf_counter()
-        reduce_results = self.executor.run_tasks(
-            [partial(_run_record_reduce_task, job, grouped) for grouped in partitions]
-        )
-        metrics.reduce_wall_s = time.perf_counter() - started
-        output: list[tuple[Any, Any]] = []
-        for partition_output, task_cost, groups in reduce_results:
-            output.extend(partition_output)
-            metrics.reduce_task_costs.append(task_cost)
-            metrics.reduce_groups += groups
-        metrics.reduce_output_records = len(output)
+            # -- reduce phase ---------------------------------------------
+            tasks = [
+                partial(_run_record_reduce_task, job, grouped)
+                for grouped in partitions
+            ]
+            if obs.enabled:
+                tasks = [partial(_timed_task, task) for task in tasks]
+            with obs.timed(
+                "mapreduce.reduce",
+                metric="repro.mapreduce.reduce.seconds",
+                tasks=len(tasks),
+            ) as timer:
+                raw_results = self.executor.run_tasks(tasks)
+                reduce_results = self._unwrap_timed(
+                    raw_results, "mapreduce.reduce.task"
+                )
+            metrics.reduce_wall_s = timer.duration_s
+
+            output: list[tuple[Any, Any]] = []
+            for partition_output, task_cost, groups in reduce_results:
+                output.extend(partition_output)
+                metrics.reduce_task_costs.append(task_cost)
+                metrics.reduce_groups += groups
+            metrics.reduce_output_records = len(output)
+            job_span.set(
+                input_records=metrics.map_input_records,
+                output_records=metrics.reduce_output_records,
+            )
+        self._count_job(metrics)
         return output, metrics
 
     def run_chain(
@@ -503,41 +636,114 @@ class MapReduceEngine:
         metrics = JobMetrics(
             job_name=job.name, workers=self.workers, executor=self.executor.name
         )
-        started = time.perf_counter()
-        map_results = self.executor.run_specs(
-            [(job.mapper, (chunk, self.workers, job.params)) for chunk in chunks]
-        )
-        metrics.map_wall_s = time.perf_counter() - started
+        obs = self.obs
 
-        partitions: list[list[Any]] = [[] for _ in range(self.workers)]
-        for index, (routed, input_rows) in enumerate(map_results):
-            if chunk_rows is not None:
-                input_rows = chunk_rows[index]
-            metrics.map_input_records += input_rows
-            task_out = 0
-            for partition, batch in routed:
-                rows = len(batch)
-                partitions[partition].append(batch)
-                task_out += rows
-                metrics.shuffle_records += rows
-                metrics.shuffle_bytes += batch.nbytes
-            metrics.map_output_records += task_out
-            metrics.combine_output_records += task_out
-            metrics.map_task_costs.append(input_rows + task_out)
+        with obs.span(
+            "mapreduce.job",
+            job=job.name,
+            workers=self.workers,
+            executor=self.executor.name,
+        ) as job_span:
+            specs = [
+                (job.mapper, (chunk, self.workers, job.params))
+                for chunk in chunks
+            ]
+            if obs.enabled:
+                # The timing wrapper is a module-level function over the
+                # picklable spec, so the process pool ships it unchanged.
+                specs = [(_timed_spec, (fn,) + args) for fn, args in specs]
+            with obs.timed(
+                "mapreduce.map",
+                metric="repro.mapreduce.map.seconds",
+                tasks=len(specs),
+            ) as timer:
+                raw_results = self.executor.run_specs(specs)
+                map_results = self._unwrap_timed(
+                    raw_results, "mapreduce.map.task"
+                )
+            metrics.map_wall_s = timer.duration_s
 
-        started = time.perf_counter()
-        reduce_results = self.executor.run_specs(
-            [(job.reducer, (batches, job.params)) for batches in partitions]
-        )
-        metrics.reduce_wall_s = time.perf_counter() - started
-        outputs: list[Any] = []
-        for batches, (output, output_rows) in zip(partitions, reduce_results):
-            input_rows = sum(len(batch) for batch in batches)
-            metrics.reduce_task_costs.append(input_rows + output_rows)
-            metrics.reduce_groups += output_rows
-            metrics.reduce_output_records += output_rows
-            outputs.append(output)
+            with obs.timed(
+                "mapreduce.shuffle", metric="repro.mapreduce.shuffle.seconds"
+            ) as shuffle_span:
+                partitions: list[list[Any]] = [[] for _ in range(self.workers)]
+                for index, (routed, input_rows) in enumerate(map_results):
+                    if chunk_rows is not None:
+                        input_rows = chunk_rows[index]
+                    metrics.map_input_records += input_rows
+                    task_out = 0
+                    for partition, batch in routed:
+                        rows = len(batch)
+                        partitions[partition].append(batch)
+                        task_out += rows
+                        metrics.shuffle_records += rows
+                        metrics.shuffle_bytes += batch.nbytes
+                    metrics.map_output_records += task_out
+                    metrics.combine_output_records += task_out
+                    metrics.map_task_costs.append(input_rows + task_out)
+                shuffle_span.set(
+                    records=metrics.shuffle_records,
+                    bytes=metrics.shuffle_bytes,
+                )
+
+            specs = [
+                (job.reducer, (batches, job.params)) for batches in partitions
+            ]
+            if obs.enabled:
+                specs = [(_timed_spec, (fn,) + args) for fn, args in specs]
+            with obs.timed(
+                "mapreduce.reduce",
+                metric="repro.mapreduce.reduce.seconds",
+                tasks=len(specs),
+            ) as timer:
+                raw_results = self.executor.run_specs(specs)
+                reduce_results = self._unwrap_timed(
+                    raw_results, "mapreduce.reduce.task"
+                )
+            metrics.reduce_wall_s = timer.duration_s
+
+            outputs: list[Any] = []
+            for batches, (output, output_rows) in zip(partitions, reduce_results):
+                input_rows = sum(len(batch) for batch in batches)
+                metrics.reduce_task_costs.append(input_rows + output_rows)
+                metrics.reduce_groups += output_rows
+                metrics.reduce_output_records += output_rows
+                outputs.append(output)
+            job_span.set(
+                input_records=metrics.map_input_records,
+                output_records=metrics.reduce_output_records,
+            )
+        self._count_job(metrics)
         return outputs, metrics
+
+    def _unwrap_timed(self, results: list[Any], name: str) -> list[Any]:
+        """Emit per-task spans from ``(duration, result)`` wrappers."""
+        if not self.obs.enabled:
+            return results
+        unwrapped = []
+        for index, (task_s, result) in enumerate(results):
+            self.obs.event(name, task_s, worker=index)
+            unwrapped.append(result)
+        return unwrapped
+
+    def _count_job(self, metrics: JobMetrics) -> None:
+        """Fold one job's counts into the engine's aggregate counters."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.count("repro.mapreduce.jobs.count")
+        obs.count(
+            "repro.mapreduce.map.input.records.count",
+            metrics.map_input_records,
+        )
+        obs.count(
+            "repro.mapreduce.shuffle.records.count", metrics.shuffle_records
+        )
+        obs.count("repro.mapreduce.shuffle.bytes.count", metrics.shuffle_bytes)
+        obs.count(
+            "repro.mapreduce.reduce.output.records.count",
+            metrics.reduce_output_records,
+        )
 
     def _split(self, records: list[tuple[Any, Any]]) -> Iterator[list[tuple[Any, Any]]]:
         """Round-robin input splits, as contiguous ranges (like HDFS splits)."""

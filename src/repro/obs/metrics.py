@@ -1,0 +1,254 @@
+"""Named metric primitives: counters, gauges and latency histograms.
+
+The registry is the process's shared vocabulary of measurements.  Every
+metric has a dotted name following the ``repro.<layer>.<op>.<unit>``
+convention (``repro.stream.insert.seconds``,
+``repro.durability.wal.append.bytes``); the Prometheus-style exposition
+in :mod:`repro.obs.sinks` derives its sanitized sample names from it.
+
+Two properties matter for the rest of the system:
+
+* **exact percentiles** — histograms keep the raw observation list in
+  addition to the fixed cumulative buckets, and extract percentiles
+  with the same nearest-rank rule the streaming workload stats always
+  used, so the numbers in ``metrics.txt`` equal the legacy stats rows
+  bit for bit (regression-tested);
+* **cheap when disabled** — a disabled registry hands out shared no-op
+  singletons, so instrumented code paths cost one dict-free method
+  call, never allocation or bookkeeping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: default latency bucket upper bounds in seconds (Prometheus-ish
+#: decade ladder from 100µs to 10s; +Inf is implicit)
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile — identical to the workload stats rule."""
+    if not sorted_values:
+        return 0.0
+    index = min(int(fraction * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+class Counter:
+    """A monotonically-increasing (by convention) integer-ish total."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket latency histogram that also keeps raw observations.
+
+    The buckets drive the Prometheus-style exposition (cumulative
+    ``le`` counts); the raw value list makes percentiles **exact** —
+    same nearest-rank rule, and therefore the same floats, as the
+    legacy ``WorkloadStats.latency_summary`` rows the streaming layer
+    migrated from.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "values", "sum")
+
+    def __init__(self, buckets: tuple[float, ...] | None = None) -> None:
+        self.bounds = tuple(sorted(buckets or DEFAULT_LATENCY_BUCKETS))
+        #: per-bucket (non-cumulative) counts; last slot is the +Inf bucket
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.values: list[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+        self.sum += value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Exact nearest-rank percentile over the raw observations."""
+        return _percentile(sorted(self.values), fraction)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def summary(self) -> dict[str, float]:
+        """mean/p50/p95/p99/max — the legacy workload-stats row shape."""
+        if not self.values:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        ordered = sorted(self.values)
+        return {
+            "mean": self.sum / len(ordered),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+            "max": ordered[-1],
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create metric store keyed by dotted name.
+
+    A disabled registry returns the shared null singletons from every
+    accessor and records nothing — instrumented code needs no
+    ``if enabled`` guards around metric updates.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get(name, lambda: Histogram(buckets), "histogram")
+
+    def register(self, name: str, metric) -> None:
+        """Expose an externally-owned metric object under *name*.
+
+        The same live object is shared — the owner keeps updating it,
+        the exposition reads it — which is how legacy stats fields and
+        ``metrics.txt`` are guaranteed to agree.  Re-registering a name
+        replaces the previous object (a fresh replay owns its metrics).
+        """
+        if not self.enabled:
+            return
+        self._metrics[name] = metric
+
+    def get(self, name: str):
+        """The metric registered under *name*, or None."""
+        return self._metrics.get(name)
+
+    def items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        """(name, metric) pairs in sorted name order."""
+        return sorted(self._metrics.items())
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+#: the process-global default registry (enabled)
+_global_registry = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global default :class:`MetricsRegistry`."""
+    return _global_registry
+
+
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous

@@ -1,0 +1,162 @@
+"""Nested span tracing with an injectable monotonic clock.
+
+A span is one timed operation: name, start offset, duration, free-form
+attributes, and the id of the span that was open when it began.  The
+tracer keeps the open-span stack, so nesting mirrors the call structure
+without any explicit parent plumbing; spans are emitted to the attached
+sinks **when they finish**, which puts children before their parents in
+the sink stream (the order a streaming consumer can always rely on).
+
+The clock is injectable (:class:`ManualClock`) so tests get bit-stable
+start offsets and durations; the default is ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timed operation."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: start offset in seconds since the tracer was created
+    start_s: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+
+class ManualClock:
+    """Deterministic clock for tests: advances only when told to.
+
+    Args:
+        start: initial reading.
+        step: seconds auto-advanced *after* every reading (0 = frozen);
+            a fixed step makes every span duration deterministic.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class _SpanHandle:
+    """Context manager over one tracer span; ``set()`` adds attributes."""
+
+    __slots__ = ("_tracer", "_name", "attrs", "_frame", "span", "duration_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self.attrs = attrs
+        self.span: Span | None = None
+        self.duration_s = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._frame = self._tracer.begin(self._name)
+        return self
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span = self._tracer.finish(self._frame, self.attrs)
+        self.duration_s = self.span.duration_s
+        return False
+
+
+class Tracer:
+    """Produces nested spans; emission is push-based via sinks.
+
+    Args:
+        clock: monotonic zero-argument callable (default
+            ``time.perf_counter``); inject a :class:`ManualClock` for
+            deterministic traces.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self._origin = self.clock()
+        self._sinks: list = []
+        self._stack: list[int] = []
+        self._next_id = 1
+        #: spans finished (== emitted) so far
+        self.span_count = 0
+
+    def add_sink(self, sink) -> None:
+        """Attach a sink; its ``emit(span)`` is called per finished span."""
+        self._sinks.append(sink)
+
+    # -- low-level span lifecycle (the facade's timed() drives these) --------
+
+    def begin(self, name: str) -> tuple[int, int | None, str, float]:
+        """Open a span; returns the frame ``finish()`` consumes."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        return (span_id, parent_id, name, self.clock())
+
+    def finish(self, frame, attrs: dict | None = None) -> Span:
+        """Close the span opened by *frame*; emits and returns it."""
+        end = self.clock()
+        span_id, parent_id, name, start = frame
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        else:  # pragma: no cover - misnested finish; recover best-effort
+            if span_id in self._stack:
+                while self._stack and self._stack.pop() != span_id:
+                    pass
+        span = Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start_s=start - self._origin,
+            duration_s=end - start,
+            attrs=dict(attrs or {}),
+        )
+        self._emit(span)
+        return span
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """``with tracer.span("stage") as s: ... s.set(k=v)``"""
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, duration_s: float = 0.0, **attrs) -> Span:
+        """Record a completed span whose duration was measured elsewhere.
+
+        Used for work timed inside worker processes: the duration
+        travelled back with the result, the span slots under whatever
+        is currently open (the phase span).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        now = self.clock() - self._origin
+        span = Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start_s=max(0.0, now - duration_s),
+            duration_s=duration_s,
+            attrs=dict(attrs),
+        )
+        self._emit(span)
+        return span
+
+    def _emit(self, span: Span) -> None:
+        self.span_count += 1
+        for sink in self._sinks:
+            sink.emit(span)

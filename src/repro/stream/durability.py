@@ -53,6 +53,7 @@ from repro.blocking.base import Blocker
 from repro.blocking.filtering import BlockFiltering
 from repro.blocking.purging import BlockPurging
 from repro.model.description import EntityDescription
+from repro.obs import DISABLED, Observability
 from repro.stream.index import _POSTING_TYPECODE, IncrementalBlockIndex
 from repro.stream.pairs import DeltaPairTable
 from repro.stream.processed_view import IncrementalProcessedView, SurvivorPairTable
@@ -205,6 +206,8 @@ class WriteAheadLog:
         self.path = path
         self.files = files or OsFiles()
         self.fsync_every = max(int(fsync_every), 0)
+        #: observability handle (the owning controller re-points this)
+        self.obs = DISABLED
         self.header: dict | None = None
         #: event records surviving the open-time scan (header excluded)
         self._records: list[tuple[int, str, object]] = []
@@ -292,7 +295,11 @@ class WriteAheadLog:
         if self._next_lsn == 0:
             raise ValueError("write the WAL header before appending events")
         lsn = self._next_lsn
-        self._handle().write(_encode_record(lsn, kind, payload))
+        encoded = _encode_record(lsn, kind, payload)
+        self._handle().write(encoded)
+        if self.obs.enabled:
+            self.obs.count("repro.durability.wal.append.count")
+            self.obs.count("repro.durability.wal.append.bytes", len(encoded))
         self._next_lsn = lsn + 1
         self._records.append((lsn, kind, payload))
         self._since_fsync += 1
@@ -303,7 +310,8 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force the log to stable storage now."""
         if self._file is not None and not getattr(self._file, "closed", True):
-            self.files.fsync(self._file)
+            with self.obs.timed(metric="repro.durability.wal.fsync.seconds"):
+                self.files.fsync(self._file)
         self._since_fsync = 0
 
     def close(self) -> None:
@@ -670,6 +678,17 @@ class Durability:
                 self.last_snapshot_lsn = document["lsn"]
                 break
         self._components = None
+        self._obs = DISABLED
+
+    @property
+    def obs(self) -> Observability:
+        """Observability handle; assigning propagates it into the WAL."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: Observability) -> None:
+        self._obs = value if value is not None else DISABLED
+        self.wal.obs = self._obs
 
     def bind(
         self,
@@ -749,14 +768,20 @@ class Durability:
         if self._components is None:
             raise ValueError("bind() the durability controller first")
         store, index, pairs, view, view_pairs = self._components
-        state = capture_state(store, index, pairs, view, view_pairs)
-        path = write_snapshot(
-            self.directory,
-            self.wal.last_lsn,
-            state,
-            dict(self.wal.header or {}),
-            self.files,
-        )
+        obs = self._obs
+        with obs.span("durability.snapshot", lsn=self.wal.last_lsn):
+            with obs.timed(
+                metric="repro.durability.snapshot.capture.seconds"
+            ):
+                state = capture_state(store, index, pairs, view, view_pairs)
+            path = write_snapshot(
+                self.directory,
+                self.wal.last_lsn,
+                state,
+                dict(self.wal.header or {}),
+                self.files,
+            )
+        obs.count("repro.durability.snapshot.count")
         self.last_snapshot_lsn = self.wal.last_lsn
         self.snapshots_written += 1
         self._prune_snapshots()
@@ -841,6 +866,7 @@ def recover(
     blocker: Blocker | None = None,
     files: OsFiles | None = None,
     from_scratch: bool = False,
+    obs: Observability | None = None,
 ) -> RecoveryResult:
     """Rebuild the streaming state from *directory*'s snapshot + WAL.
 
@@ -855,41 +881,48 @@ def recover(
     Raises:
         FileNotFoundError: when the directory holds no usable WAL.
     """
+    obs = obs if obs is not None else DISABLED
     wal = WriteAheadLog(os.path.join(directory, WAL_NAME), 0, files)
     if wal.header is None:
         raise FileNotFoundError(f"no usable write-ahead log in {directory!r}")
 
-    snapshot_lsn = 0
-    snapshot_path = None
-    components = None
-    if not from_scratch:
-        for path in list_snapshots(directory):
-            document = load_snapshot(path)
-            if document is None or document["lsn"] > wal.last_lsn:
-                continue
-            components = restore_components(document["state"], blocker)
-            snapshot_lsn = document["lsn"]
-            snapshot_path = path
-            break
-    if components is None:
-        components = _fresh_components(wal.header, blocker)
-    store, index, pairs, view, view_pairs = components
+    with obs.span("durability.recover") as recover_span:
+        snapshot_lsn = 0
+        snapshot_path = None
+        components = None
+        if not from_scratch:
+            for path in list_snapshots(directory):
+                document = load_snapshot(path)
+                if document is None or document["lsn"] > wal.last_lsn:
+                    continue
+                with obs.timed(
+                    metric="repro.durability.snapshot.restore.seconds"
+                ):
+                    components = restore_components(document["state"], blocker)
+                snapshot_lsn = document["lsn"]
+                snapshot_path = path
+                break
+        if components is None:
+            components = _fresh_components(wal.header, blocker)
+        store, index, pairs, view, view_pairs = components
 
-    replayed = 0
-    for _lsn, kind, payload in wal.records(after_lsn=snapshot_lsn):
-        if kind == "insert":
-            store.insert(_restore_description(payload[0]), payload[1])
-        elif kind == "delete":
-            store.delete(payload[0])
-        elif kind == "reconcile":
-            if view is not None:
-                view.reconcile()
-        elif kind == "apply":
-            if view is not None:
-                view._apply_pending()
-        else:
-            raise ValueError(f"unknown WAL record kind {kind!r}")
-        replayed += 1
+        replayed = 0
+        for _lsn, kind, payload in wal.records(after_lsn=snapshot_lsn):
+            if kind == "insert":
+                store.insert(_restore_description(payload[0]), payload[1])
+            elif kind == "delete":
+                store.delete(payload[0])
+            elif kind == "reconcile":
+                if view is not None:
+                    view.reconcile()
+            elif kind == "apply":
+                if view is not None:
+                    view._apply_pending()
+            else:
+                raise ValueError(f"unknown WAL record kind {kind!r}")
+            replayed += 1
+        obs.count("repro.durability.recover.replayed.count", replayed)
+        recover_span.set(snapshot_lsn=snapshot_lsn, replayed=replayed)
     wal.close()
     return RecoveryResult(
         store=store,

@@ -42,6 +42,7 @@ from repro.blocking.block import Block, BlockCollection
 from repro.blocking.filtering import BlockFiltering, retained_keys
 from repro.blocking.purging import BlockPurging, threshold_from_histogram
 from repro.model.interner import pack_pair
+from repro.obs import DISABLED
 from repro.stream.index import DeltaConsumer, IncrementalBlockIndex
 from repro.stream.pairs import PairStatsView
 
@@ -121,8 +122,13 @@ class IncrementalProcessedView(DeltaConsumer):
         self.purging = purging or BlockPurging()
         self.filtering = filtering or BlockFiltering()
         self.reconcile_every = reconcile_every
+        #: observability handle (the owning resolver re-points this)
+        self.obs = DISABLED
         #: exact reconciliations performed so far
         self.reconcile_count = 0
+        #: pending-buffer drains performed so far (always counted, so
+        #: traced span counts can be cross-checked against it)
+        self.drain_count = 0
         #: report of the most recent :meth:`reconcile` (None before any)
         self.last_report: ReconcileReport | None = None
         #: keys touched since the last application (ordered, deduplicated)
@@ -310,6 +316,19 @@ class IncrementalProcessedView(DeltaConsumer):
         # event before any state moves.
         for listener in self._apply_listeners:
             listener()
+        self.drain_count += 1
+        if not self.obs.enabled:
+            self._drain()
+            return
+        with self.obs.span(
+            "stream.view.drain",
+            keys=len(self._pending_keys),
+            entities=len(self._pending_entities),
+        ):
+            self._drain()
+
+    def _drain(self) -> None:
+        """The drain body: fold the buffered touches (see above)."""
         index = self.index
         pending_keys = list(self._pending_keys)
         pending_entities = list(self._pending_entities)
@@ -585,7 +604,11 @@ class IncrementalProcessedView(DeltaConsumer):
         the exact collection so :meth:`materialize` returns it
         bit-identically until the next insert.
         """
-        started = time.perf_counter()
+        # Metric-only timing (no span: the resolver's query path owns the
+        # reconcile span); the measured wall feeds both the report and
+        # the registry, so legacy stats and metrics.txt agree exactly.
+        timer = self.obs.timed(metric="repro.stream.view.reconcile.seconds")
+        timer.__enter__()
         self._apply_pending()
         index = self.index
         staleness = self.staleness
@@ -640,9 +663,10 @@ class IncrementalProcessedView(DeltaConsumer):
         self._approx = None
         self._reconciled_version = version
         self.reconcile_count += 1
+        timer.__exit__(None, None, None)
         report = ReconcileReport(
             staleness=staleness,
-            wall_s=time.perf_counter() - started,
+            wall_s=timer.duration_s,
             blocks_added=blocks_added,
             blocks_removed=blocks_removed,
             placements_added=placements_added,

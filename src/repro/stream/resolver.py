@@ -34,6 +34,7 @@ from repro.metablocking.graph import BlockingGraph, WeightedEdge
 from repro.metablocking.pruning import make_pruner
 from repro.metablocking.weighting import make_scheme
 from repro.model.description import EntityDescription
+from repro.obs import DISABLED, Observability
 from repro.stream.durability import (
     Durability,
     OsFiles,
@@ -123,6 +124,11 @@ class StreamResolver:
             Every insert/delete is then write-ahead logged before it is
             applied, and :meth:`recover` can rebuild this resolver's
             state after a crash.
+        obs: an :class:`~repro.obs.Observability` handle — every
+            insert/delete/query then emits spans (queries one child
+            span per phase) and per-phase latency histograms, and the
+            handle is propagated into the processed view and the
+            durability layer.  Default: the disabled no-op handle.
     """
 
     def __init__(
@@ -140,8 +146,10 @@ class StreamResolver:
         filtering: BlockFiltering | None = None,
         reconcile_every: int | None = None,
         durability: Durability | str | None = None,
+        obs: Observability | None = None,
         _components: tuple | None = None,
     ) -> None:
+        self.obs = obs if obs is not None else DISABLED
         if store is None:
             sources = ("kb1", "kb2") if clean_clean else ("stream",)
             store = StreamingEntityStore(sources=sources)
@@ -150,6 +158,8 @@ class StreamResolver:
             # Recovery path: the derived structures were rebuilt (and
             # already subscribed to the store) by the durability layer.
             self.index, self.pairs, self.view, self.view_pairs = _components
+            if self.view is not None:
+                self.view.obs = self.obs
         else:
             self.index = IncrementalBlockIndex(store, blocker)
             self.pairs = DeltaPairTable(self.index)
@@ -159,6 +169,7 @@ class StreamResolver:
                 self.view = IncrementalProcessedView(
                     self.index, purging, filtering, reconcile_every=reconcile_every
                 )
+                self.view.obs = self.obs
                 self.view_pairs = SurvivorPairTable(self.view)
             # A pre-populated store is replayed into every derived
             # structure (after the pair table and view attached, so no
@@ -180,6 +191,7 @@ class StreamResolver:
         if durability is not None:
             if isinstance(durability, str):
                 durability = Durability(durability)
+            durability.obs = self.obs
             durability.bind(
                 store, self.index, self.pairs, self.view, self.view_pairs
             )
@@ -189,11 +201,21 @@ class StreamResolver:
 
     def ingest(self, description: EntityDescription, source: int = 0) -> int:
         """Ingest one description; returns its entity id."""
-        return self.store.insert(description, source)
+        if not self.obs.enabled:
+            return self.store.insert(description, source)
+        with self.obs.span("stream.insert", source=source) as span:
+            entity_id = self.store.insert(description, source)
+            span.set(entity_id=entity_id)
+        return entity_id
 
     def ingest_batch(self, descriptions, source: int = 0) -> list[int]:
         """Ingest a micro-batch of descriptions."""
-        return self.store.insert_batch(descriptions, source)
+        if not self.obs.enabled:
+            return self.store.insert_batch(descriptions, source)
+        with self.obs.span("stream.insert_batch", source=source) as span:
+            ids = self.store.insert_batch(descriptions, source)
+            span.set(count=len(ids))
+        return ids
 
     def delete(self, uri: str) -> bool:
         """Retract *uri* from the live corpus; True when it was held.
@@ -205,7 +227,12 @@ class StreamResolver:
         decisions already recorded against it are suppressed from query
         results while it is absent (see :meth:`resolve`).
         """
-        return self.store.delete(uri)
+        if not self.obs.enabled:
+            return self.store.delete(uri)
+        with self.obs.span("stream.delete") as span:
+            present = self.store.delete(uri)
+            span.set(present=present)
+        return present
 
     @property
     def match_graph(self) -> MatchGraph:
@@ -244,97 +271,129 @@ class StreamResolver:
             The query result with matches (weight-ordered execution,
             similarity recorded) and per-phase latency.
         """
+        with self.obs.span("stream.query", source=source) as query_span:
+            result = self._resolve(
+                description, source, scheme, pruner, budget, ingest
+            )
+            query_span.set(
+                candidates=result.candidates,
+                comparisons=result.comparisons,
+                matches=len(result.matches),
+            )
+        return result
+
+    def _resolve(
+        self,
+        description: EntityDescription,
+        source: int,
+        scheme: str,
+        pruner: str,
+        budget: int | None,
+        ingest: bool,
+    ) -> StreamQueryResult:
+        obs = self.obs
         t_total = time.perf_counter()
         latency: dict[str, float] = {}
 
-        t0 = time.perf_counter()
-        if ingest:
-            entity_id = self.store.insert(description, source)
-        else:
-            entity_id = self.store.interner.id_of(description.uri)
-        latency["ingest_s"] = time.perf_counter() - t0
+        with obs.timed(
+            "stream.query.ingest", metric="repro.stream.query.ingest.seconds"
+        ) as timer:
+            if ingest:
+                entity_id = self.store.insert(description, source)
+            else:
+                entity_id = self.store.interner.id_of(description.uri)
+        latency["ingest_s"] = timer.duration_s
 
         # Reconcile-vs-serve split: the view's periodic exact repair is
-        # accounted separately, so the workload driver can show where
+        # accounted separately, so the workload driver can report where
         # processed-view time goes (amortized repair vs per-query serve).
         latency["reconcile_s"] = 0.0
         if self.view is not None and self.view.due:
-            t0 = time.perf_counter()
-            if self.durability is not None:
-                self.durability.log_reconcile()
-            self.view.reconcile()
-            if self.durability is not None:
-                self.durability.maybe_snapshot()
-            latency["reconcile_s"] = time.perf_counter() - t0
+            with obs.span("stream.query.reconcile") as timer:
+                if self.durability is not None:
+                    self.durability.log_reconcile()
+                self.view.reconcile()
+                if self.durability is not None:
+                    self.durability.maybe_snapshot()
+            latency["reconcile_s"] = timer.duration_s
 
-        t0 = time.perf_counter()
-        if self.view is not None:
-            candidate_ids = self.view.partners_of(entity_id)
-        else:
-            candidate_ids = self.index.partners_of(
-                entity_id, self.max_key_cardinality, self.key_ratio
-            )
-        latency["candidates_s"] = time.perf_counter() - t0
+        with obs.timed(
+            "stream.query.candidates",
+            metric="repro.stream.query.candidates.seconds",
+        ) as timer:
+            if self.view is not None:
+                candidate_ids = self.view.partners_of(entity_id)
+            else:
+                candidate_ids = self.index.partners_of(
+                    entity_id, self.max_key_cardinality, self.key_ratio
+                )
+        latency["candidates_s"] = timer.duration_s
 
         uris = self.store.interner.uri_table()
         uri_q = description.uri
 
-        t0 = time.perf_counter()
-        weights: dict[int, float] = {}
-        pair_table = self.view_pairs if self.view_pairs is not None else self.pairs
-        for candidate_id in candidate_ids:
-            uri_c = uris[candidate_id]
-            if uri_c < uri_q:
-                weight = pair_table.weight_ids(scheme, candidate_id, entity_id)
-            else:
-                weight = pair_table.weight_ids(scheme, entity_id, candidate_id)
-            weights[candidate_id] = weight
-        survivors = self._prune_local(weights, pruner, uris)
-        latency["weigh_s"] = time.perf_counter() - t0
+        with obs.timed(
+            "stream.query.weigh", metric="repro.stream.query.weigh.seconds"
+        ) as timer:
+            weights: dict[int, float] = {}
+            pair_table = (
+                self.view_pairs if self.view_pairs is not None else self.pairs
+            )
+            for candidate_id in candidate_ids:
+                uri_c = uris[candidate_id]
+                if uri_c < uri_q:
+                    weight = pair_table.weight_ids(scheme, candidate_id, entity_id)
+                else:
+                    weight = pair_table.weight_ids(scheme, entity_id, candidate_id)
+                weights[candidate_id] = weight
+            survivors = self._prune_local(weights, pruner, uris)
+        latency["weigh_s"] = timer.duration_s
 
-        t0 = time.perf_counter()
-        scheduler = ComparisonScheduler(self.benefit, self.context)
-        for candidate_id, weight in survivors:
-            scheduler.schedule(uri_q, uris[candidate_id], weight)
-        scheduled = len(scheduler)
-        ordered: list[tuple[str, str]] = []
-        weight_of: dict[tuple[str, str], float] = {}
-        limit = len(scheduler) if budget is None else max(budget, 0)
-        skipped = 0
-        match_graph = self.context.match_graph
-        while scheduler and len(ordered) < limit:
-            pair, _priority = scheduler.pop()
-            if pair in match_graph:
-                skipped += 1
-                continue
-            ordered.append(pair)
-            weight_of[pair] = scheduler.base_weight(pair[0], pair[1])
-        decisions = self.matcher.decide_many(ordered)
-        matches: list[StreamMatch] = []
-        for decision in decisions:
-            match_graph.record(decision)
-            if decision.is_match:
-                other = (
-                    decision.right if decision.left == uri_q else decision.left
-                )
-                matches.append(
-                    StreamMatch(
-                        other, decision.similarity, weight_of[decision.pair]
+        with obs.timed(
+            "stream.query.match", metric="repro.stream.query.match.seconds"
+        ) as timer:
+            scheduler = ComparisonScheduler(self.benefit, self.context)
+            for candidate_id, weight in survivors:
+                scheduler.schedule(uri_q, uris[candidate_id], weight)
+            scheduled = len(scheduler)
+            ordered: list[tuple[str, str]] = []
+            weight_of: dict[tuple[str, str], float] = {}
+            limit = len(scheduler) if budget is None else max(budget, 0)
+            skipped = 0
+            match_graph = self.context.match_graph
+            while scheduler and len(ordered) < limit:
+                pair, _priority = scheduler.pop()
+                if pair in match_graph:
+                    skipped += 1
+                    continue
+                ordered.append(pair)
+                weight_of[pair] = scheduler.base_weight(pair[0], pair[1])
+            decisions = self.matcher.decide_many(ordered)
+            matches: list[StreamMatch] = []
+            for decision in decisions:
+                match_graph.record(decision)
+                if decision.is_match:
+                    other = (
+                        decision.right if decision.left == uri_q else decision.left
                     )
-                )
-        # Matches decided by earlier queries are still matches: a repeat
-        # lookup must report them, not silently skip them as "already
-        # decided".  They follow the fresh decisions, sorted by URI.
-        newly_matched = {match.uri for match in matches}
-        for partner in sorted(match_graph.partners(uri_q) - newly_matched):
-            if self.store.get(partner) is None:
-                continue  # partner retracted since the decision
-            known = match_graph.decision_for(uri_q, partner)
-            assert known is not None
-            matches.append(StreamMatch(partner, known.similarity, weights.get(
-                self.store.interner.get(partner), 0.0
-            )))
-        latency["match_s"] = time.perf_counter() - t0
+                    matches.append(
+                        StreamMatch(
+                            other, decision.similarity, weight_of[decision.pair]
+                        )
+                    )
+            # Matches decided by earlier queries are still matches: a repeat
+            # lookup must report them, not silently skip them as "already
+            # decided".  They follow the fresh decisions, sorted by URI.
+            newly_matched = {match.uri for match in matches}
+            for partner in sorted(match_graph.partners(uri_q) - newly_matched):
+                if self.store.get(partner) is None:
+                    continue  # partner retracted since the decision
+                known = match_graph.decision_for(uri_q, partner)
+                assert known is not None
+                matches.append(StreamMatch(partner, known.similarity, weights.get(
+                    self.store.interner.get(partner), 0.0
+                )))
+        latency["match_s"] = timer.duration_s
         latency["total_s"] = time.perf_counter() - t_total
         latency["serve_s"] = latency["total_s"] - latency["reconcile_s"]
 
@@ -430,7 +489,11 @@ class StreamResolver:
             FileNotFoundError: when the directory has no usable WAL.
         """
         result = recover_state(
-            directory, blocker=blocker, files=files, from_scratch=from_scratch
+            directory,
+            blocker=blocker,
+            files=files,
+            from_scratch=from_scratch,
+            obs=serving_kwargs.get("obs"),
         )
         controller = None
         if resume:

@@ -33,10 +33,11 @@ store grows.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.model.collection import EntityCollection
 from repro.model.description import EntityDescription
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.stream.resolver import StreamQueryResult, StreamResolver
 from repro.utils.rng import deterministic_rng
 
@@ -234,30 +235,105 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
-@dataclass
-class WorkloadStats:
-    """Aggregated replay measurements."""
+def _count_property(attr: str):
+    """A Counter-backed int field that still supports ``stats.x += 1``."""
 
-    scenario: str
-    inserts: int = 0
-    queries: int = 0
-    deletes: int = 0
-    matches_found: int = 0
-    comparisons: int = 0
-    elapsed_s: float = 0.0
-    #: True when the replay was cut short (SIGINT / KeyboardInterrupt);
-    #: the stats then cover the prefix actually executed
-    interrupted: bool = False
-    insert_latencies_s: list[float] = field(default_factory=list)
-    query_latencies_s: list[float] = field(default_factory=list)
-    delete_latencies_s: list[float] = field(default_factory=list)
-    #: processed-view accounting (zero when the resolver serves raw):
-    #: queries that triggered an exact reconciliation, total wall time
-    #: spent reconciling, and total serve-side query time — the
-    #: reconcile-vs-serve split of the view's query-time cost
-    reconciles: int = 0
-    reconcile_s: float = 0.0
-    serve_s: float = 0.0
+    def getter(self):
+        return getattr(self, attr).value
+
+    def setter(self, value):
+        getattr(self, attr).value = value
+
+    return property(getter, setter)
+
+
+class WorkloadStats:
+    """Aggregated replay measurements, backed by metric primitives.
+
+    Counts live in :class:`~repro.obs.metrics.Counter` objects and
+    latency series in :class:`~repro.obs.metrics.Histogram` objects
+    (raw observations retained); the legacy fields — ``inserts``,
+    ``insert_latencies_s``, ``reconcile_s``, ... — are live views of
+    the same state.  :meth:`bind` registers the *same objects* in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so the numbers in the
+    legacy summary rows and in an exported ``metrics.txt`` are
+    identical by construction, not by synchronization.
+    """
+
+    def __init__(self, scenario: str) -> None:
+        self.scenario = scenario
+        self._inserts = Counter()
+        self._queries = Counter()
+        self._deletes = Counter()
+        self._matches_found = Counter()
+        self._comparisons = Counter()
+        self.elapsed_s = 0.0
+        #: True when the replay was cut short (SIGINT / KeyboardInterrupt);
+        #: the stats then cover the prefix actually executed
+        self.interrupted = False
+        #: per-event wall-clock histograms (``.values`` is the raw series)
+        self.insert_hist = Histogram()
+        self.query_hist = Histogram()
+        self.delete_hist = Histogram()
+        #: processed-view accounting (empty when the resolver serves
+        #: raw): reconcile-triggering queries and the reconcile-vs-serve
+        #: split of the view's query-time cost
+        self.reconcile_hist = Histogram()
+        self.serve_hist = Histogram()
+
+    inserts = _count_property("_inserts")
+    queries = _count_property("_queries")
+    deletes = _count_property("_deletes")
+    matches_found = _count_property("_matches_found")
+    comparisons = _count_property("_comparisons")
+
+    @property
+    def insert_latencies_s(self) -> list[float]:
+        """Raw insert latency series (the histogram's live value list)."""
+        return self.insert_hist.values
+
+    @property
+    def query_latencies_s(self) -> list[float]:
+        return self.query_hist.values
+
+    @property
+    def delete_latencies_s(self) -> list[float]:
+        return self.delete_hist.values
+
+    @property
+    def reconciles(self) -> int:
+        """Queries that triggered an exact view reconciliation."""
+        return self.reconcile_hist.count
+
+    @property
+    def reconcile_s(self) -> float:
+        """Total wall seconds spent reconciling the processed view."""
+        return self.reconcile_hist.sum
+
+    @property
+    def serve_s(self) -> float:
+        """Total serve-side query seconds (reconcile time excluded)."""
+        return self.serve_hist.sum
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Register the backing metric objects under their public names.
+
+        The registry shares the live objects — the replay keeps
+        updating them, the exposition reads them — which is what makes
+        the ``metrics.txt`` figures equal the legacy stats rows
+        bit for bit.
+        """
+        registry.register("repro.stream.insert.count", self._inserts)
+        registry.register("repro.stream.query.count", self._queries)
+        registry.register("repro.stream.delete.count", self._deletes)
+        registry.register("repro.stream.matches.count", self._matches_found)
+        registry.register("repro.stream.comparisons.count", self._comparisons)
+        registry.register("repro.stream.insert.seconds", self.insert_hist)
+        registry.register("repro.stream.query.seconds", self.query_hist)
+        registry.register("repro.stream.delete.seconds", self.delete_hist)
+        registry.register("repro.stream.view.reconcile.total.seconds",
+                          self.reconcile_hist)
+        registry.register("repro.stream.serve.seconds", self.serve_hist)
 
     @property
     def events(self) -> int:
@@ -272,21 +348,12 @@ class WorkloadStats:
     def latency_summary(self, kind: str = "insert") -> dict[str, float]:
         """mean/p50/p95/p99/max (seconds) for ``insert``/``query``/``delete``."""
         if kind == "insert":
-            values = self.insert_latencies_s
+            hist = self.insert_hist
         elif kind == "delete":
-            values = self.delete_latencies_s
+            hist = self.delete_hist
         else:
-            values = self.query_latencies_s
-        if not values:
-            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-        ordered = sorted(values)
-        return {
-            "mean": sum(values) / len(values),
-            "p50": _percentile(ordered, 0.50),
-            "p95": _percentile(ordered, 0.95),
-            "p99": _percentile(ordered, 0.99),
-            "max": ordered[-1],
-        }
+            hist = self.query_hist
+        return hist.summary()
 
     def insert_latency_by_quartile(self) -> list[float]:
         """Mean insert latency per stream quartile (the flatness series).
@@ -375,13 +442,18 @@ class WorkloadDriver:
         """
         resolver = self.resolver
         stats = WorkloadStats(scenario=scenario)
+        if resolver.obs.enabled:
+            # Expose the replay's backing metrics through the resolver's
+            # registry: the same live objects feed the legacy summary
+            # rows and the metrics.txt exposition.
+            stats.bind(resolver.obs.registry)
         t_start = time.perf_counter()
         try:
             for event in events:
                 if event.kind == "insert":
                     t0 = time.perf_counter()
                     resolver.ingest(event.description, event.source)
-                    stats.insert_latencies_s.append(time.perf_counter() - t0)
+                    stats.insert_hist.observe(time.perf_counter() - t0)
                     stats.inserts += 1
                 elif event.kind == "query":
                     t0 = time.perf_counter()
@@ -393,23 +465,25 @@ class WorkloadDriver:
                         budget=budget,
                         ingest=True,
                     )
-                    stats.query_latencies_s.append(time.perf_counter() - t0)
+                    stats.query_hist.observe(time.perf_counter() - t0)
                     stats.queries += 1
                     stats.matches_found += len(result.matches)
                     stats.comparisons += result.comparisons
                     reconcile_s = result.latency.get("reconcile_s", 0.0)
+                    # Zero observations are skipped, not recorded: the
+                    # histogram count doubles as the reconcile counter,
+                    # and adding 0.0 would not change the sum anyway.
                     if reconcile_s > 0.0:
-                        stats.reconciles += 1
-                    stats.reconcile_s += reconcile_s
-                    stats.serve_s += result.latency.get(
+                        stats.reconcile_hist.observe(reconcile_s)
+                    stats.serve_hist.observe(result.latency.get(
                         "serve_s", result.latency.get("total_s", 0.0)
-                    )
+                    ))
                     if on_query is not None:
                         on_query(result)
                 elif event.kind == "delete":
                     t0 = time.perf_counter()
                     resolver.delete(event.description.uri)
-                    stats.delete_latencies_s.append(time.perf_counter() - t0)
+                    stats.delete_hist.observe(time.perf_counter() - t0)
                     stats.deletes += 1
                 else:
                     raise ValueError(f"unknown event kind {event.kind!r}")

@@ -1,0 +1,141 @@
+"""Metric primitives: counters, gauges, exact-percentile histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    global_registry,
+    set_global_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.kind == "counter"
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 4.0
+        assert gauge.kind == "gauge"
+
+
+class TestHistogram:
+    def test_exact_percentiles_on_known_inputs(self):
+        hist = Histogram()
+        for value in (0.005, 0.001, 0.004, 0.002, 0.003):
+            hist.observe(value)
+        # Nearest-rank over sorted [1,2,3,4,5]ms: index = min(f*5, 4).
+        assert hist.percentile(0.50) == 0.003
+        assert hist.percentile(0.90) == 0.005
+        assert hist.percentile(0.99) == 0.005
+        assert hist.p50 == 0.003
+        assert hist.percentile(0.0) == 0.001
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(0.003)
+
+    def test_percentile_identical_to_legacy_rule(self):
+        # The exact rule the streaming workload stats always used:
+        # index = min(int(fraction * n), n - 1) over the sorted list.
+        values = [0.0017 * i for i in range(1, 38)]
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        ordered = sorted(values)
+        for fraction in (0.5, 0.9, 0.95, 0.99):
+            index = min(int(fraction * len(ordered)), len(ordered) - 1)
+            assert hist.percentile(fraction) == ordered[index]
+
+    def test_summary_matches_legacy_row_shape(self):
+        hist = Histogram()
+        assert hist.summary() == {
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0
+        }
+        for value in (0.2, 0.1, 0.3):
+            hist.observe(value)
+        summary = hist.summary()
+        assert set(summary) == {"mean", "p50", "p95", "p99", "max"}
+        assert summary["max"] == 0.3
+        assert summary["p50"] == 0.2
+
+    def test_bucket_counts_are_per_bucket_with_inf_slot(self):
+        hist = Histogram(buckets=(0.01, 0.1))
+        hist.observe(0.005)   # <= 0.01
+        hist.observe(0.01)    # boundary lands in the first bucket
+        hist.observe(0.05)    # <= 0.1
+        hist.observe(5.0)     # +Inf
+        assert hist.bounds == (0.01, 0.1)
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.sum == pytest.approx(5.065)
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_LATENCY_BUCKETS)) == DEFAULT_LATENCY_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.test.count")
+        counter.inc()
+        assert registry.counter("repro.test.count") is counter
+        assert registry.get("repro.test.count").value == 1
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.test.x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.histogram("repro.test.x")
+
+    def test_register_shares_the_live_object(self):
+        registry = MetricsRegistry()
+        hist = Histogram()
+        registry.register("repro.test.seconds", hist)
+        hist.observe(0.25)
+        assert registry.get("repro.test.seconds").count == 1
+        assert registry.get("repro.test.seconds") is hist
+
+    def test_items_sorted_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert [name for name, _ in registry.items()] == ["a", "b"]
+        assert len(registry) == 2
+        assert "a" in registry
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_disabled_registry_hands_out_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("x") is NULL_GAUGE
+        assert registry.histogram("x") is NULL_HISTOGRAM
+        registry.counter("x").inc()
+        registry.histogram("x").observe(1.0)
+        registry.register("x", Counter())
+        assert NULL_COUNTER.value == 0
+        assert NULL_HISTOGRAM.count == 0
+        assert len(registry) == 0
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_global_registry(fresh)
+        try:
+            assert global_registry() is fresh
+        finally:
+            set_global_registry(previous)
+        assert global_registry() is previous

@@ -1,0 +1,233 @@
+"""Cross-layer observability: every backend emits stage spans, span
+counts match oracle event counts, and telemetry never changes results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.datasets.samples import load_movies, load_restaurants
+from repro.obs import InMemorySink, Observability
+from repro.stream import StreamResolver, WorkloadDriver, uniform_workload
+
+SPEC = PipelineSpec.from_dict(
+    {
+        "weighting": "ARCS",
+        "pruning": "CNP",
+        "matching": {
+            "matcher": {"name": "threshold", "params": {"threshold": 0.35}},
+        },
+    }
+)
+
+PIPELINE_STAGES = (
+    "pipeline.blocking",
+    "pipeline.purging",
+    "pipeline.filtering",
+    "pipeline.weighting",
+    "pipeline.pruning",
+    "pipeline.matching",
+    "pipeline.evaluation",
+)
+
+
+def _traced(spec, **execute_kwargs):
+    sink = InMemorySink()
+    obs = Observability(sink=sink)
+    kb1, kb2, gold = load_movies()
+    report = Pipeline(spec, obs=obs).execute(kb1, kb2, gold=gold, **execute_kwargs)
+    return report, sink
+
+
+def edge_triples(edges):
+    return [(e.left, e.right, e.weight) for e in edges]
+
+
+class TestEveryBackendEmitsEveryStage:
+    def test_sequential(self):
+        report, sink = _traced(SPEC)
+        counts = sink.by_name()
+        assert counts["pipeline.run"] == 1
+        for stage in PIPELINE_STAGES:
+            assert counts[stage] == 1, stage
+
+    def test_mapreduce(self):
+        report, sink = _traced(SPEC.with_backend(kind="mapreduce", workers=2))
+        counts = sink.by_name()
+        assert counts["pipeline.run"] == 1
+        for stage in PIPELINE_STAGES:
+            assert counts[stage] == 1, stage
+        # The engine's spans nest under the (fused) weighting stage.
+        assert counts["mapreduce.job"] >= 1
+        for name in ("mapreduce.map", "mapreduce.shuffle", "mapreduce.reduce",
+                     "mapreduce.map.task", "mapreduce.reduce.task"):
+            assert counts[name] >= 1, name
+        by_name = {s.name: s for s in sink.spans}
+        weighting = by_name["pipeline.weighting"]
+        assert weighting.attrs.get("fused") is True
+        assert by_name["mapreduce.job"].parent_id == weighting.span_id
+
+    def test_stream_bridge(self):
+        report, sink = _traced(
+            SPEC.with_backend(kind="stream", scenario="uniform")
+        )
+        counts = sink.by_name()
+        assert counts["pipeline.run"] == 1
+        assert counts["stream.replay"] == 1
+        assert counts["stream.query"] >= 1
+        for stage in PIPELINE_STAGES:
+            assert counts[stage] == 1, stage
+
+    def test_root_span_carries_backend_and_edges(self):
+        report, sink = _traced(SPEC)
+        root = [s for s in sink.spans if s.name == "pipeline.run"][0]
+        assert root.parent_id is None
+        assert root.attrs["backend"] == "sequential"
+        assert root.attrs["edges"] == len(report.edges)
+        # Every stage span is a child of the root.
+        by_name = {s.name: s for s in sink.spans}
+        for stage in PIPELINE_STAGES:
+            assert by_name[stage].parent_id == root.span_id
+
+
+class TestSpanCountOracle:
+    """Span counts equal oracle event counts exactly — no sampling."""
+
+    def test_streaming_replay_counts(self):
+        kb1, kb2, _ = load_restaurants()
+        events = uniform_workload(kb1, kb2, query_every=4)
+        sink = InMemorySink()
+        obs = Observability(sink=sink)
+        resolver = StreamResolver(
+            clean_clean=True, processed_view=True, obs=obs
+        )
+        stats = WorkloadDriver(resolver).run(events, scenario="uniform")
+        counts = sink.by_name()
+
+        assert counts["stream.insert"] == stats.inserts
+        assert counts["stream.query"] == stats.queries
+        assert counts.get("stream.delete", 0) == stats.deletes
+        # Each query emits exactly one span per phase.
+        for phase in ("ingest", "candidates", "weigh", "match"):
+            assert counts[f"stream.query.{phase}"] == stats.queries, phase
+        assert counts.get("stream.query.reconcile", 0) == stats.reconciles
+        assert counts.get("stream.view.drain", 0) == resolver.view.drain_count
+        # The registry agrees with the sink.
+        registry = obs.registry
+        assert registry.get("repro.stream.query.ingest.seconds").count == (
+            stats.queries
+        )
+
+    def test_total_span_count_is_exact(self):
+        kb1, kb2, _ = load_restaurants()
+        events = uniform_workload(kb1, kb2, query_every=5)
+        sink = InMemorySink()
+        obs = Observability(sink=sink)
+        resolver = StreamResolver(clean_clean=True, obs=obs)
+        stats = WorkloadDriver(resolver).run(events)
+        # No view: every query is exactly 5 spans, every insert 1.
+        expected = stats.inserts + 5 * stats.queries
+        assert obs.span_count == expected
+        assert len(sink) == expected
+
+
+class TestTelemetryNeverChangesResults:
+    def test_batch_outputs_bit_identical_obs_on_vs_off(self):
+        kb1, kb2, gold = load_movies()
+        plain = Pipeline(SPEC).execute(kb1, kb2, gold=gold)
+        traced, _ = _traced(SPEC)
+        assert edge_triples(traced.edges) == edge_triples(plain.edges)
+        assert traced.matched_pairs() == plain.matched_pairs()
+        assert (
+            traced.progressive.comparisons_executed
+            == plain.progressive.comparisons_executed
+        )
+
+    def test_stream_state_bit_identical_obs_on_vs_off(self):
+        from repro.stream.durability import capture_state
+
+        kb1, kb2, _ = load_restaurants()
+        events = uniform_workload(kb1, kb2, query_every=4)
+
+        def replay(obs=None):
+            resolver = StreamResolver(
+                clean_clean=True, processed_view=True, obs=obs
+            )
+            WorkloadDriver(resolver).run(events)
+            return resolver
+
+        plain, traced = replay(), replay(Observability(sink=InMemorySink()))
+        assert capture_state(
+            plain.store, plain.index, plain.pairs, plain.view, plain.view_pairs
+        ) == capture_state(
+            traced.store, traced.index, traced.pairs, traced.view,
+            traced.view_pairs,
+        )
+
+
+class TestDurabilityTelemetry:
+    def test_wal_snapshot_and_recovery_metrics(self, tmp_path):
+        from repro.stream.durability import Durability, recover
+
+        kb1, kb2, _ = load_restaurants()
+        events = uniform_workload(kb1, kb2, query_every=4)
+        sink = InMemorySink()
+        obs = Observability(sink=sink)
+        resolver = StreamResolver(
+            clean_clean=True,
+            durability=Durability(str(tmp_path), snapshot_every=10),
+            obs=obs,
+        )
+        WorkloadDriver(resolver).run(events)
+        resolver.close()
+
+        registry = obs.registry
+        appends = registry.get("repro.durability.wal.append.count")
+        assert appends is not None and appends.value == len(events)
+        wal_bytes = registry.get("repro.durability.wal.append.bytes")
+        assert wal_bytes.value > appends.value  # every record is >1 byte
+        assert registry.get("repro.durability.wal.fsync.seconds").count > 0
+        snapshots = registry.get("repro.durability.snapshot.count")
+        assert snapshots.value >= 1
+        assert sink.by_name()["durability.snapshot"] == snapshots.value
+        assert (
+            registry.get("repro.durability.snapshot.capture.seconds").count
+            == snapshots.value
+        )
+
+        recovery_sink = InMemorySink()
+        recovery_obs = Observability(sink=recovery_sink)
+        result = recover(str(tmp_path), obs=recovery_obs)
+        recovered_counts = recovery_sink.by_name()
+        assert recovered_counts["durability.recover"] == 1
+        replayed = recovery_obs.registry.get(
+            "repro.durability.recover.replayed.count"
+        )
+        assert replayed is not None
+        assert replayed.value == result.report.replayed_events
+        restore = recovery_obs.registry.get(
+            "repro.durability.snapshot.restore.seconds"
+        )
+        assert restore is not None and restore.count == 1
+
+
+class TestJsonlEndToEnd:
+    def test_directory_artifacts_validate_and_render(self, tmp_path):
+        from repro.obs import load_trace, parse_metrics_text
+        from repro.obs.report import render_report
+
+        directory = str(tmp_path)
+        obs = Observability(directory=directory)
+        kb1, kb2, gold = load_movies()
+        Pipeline(SPEC, obs=obs).execute(kb1, kb2, gold=gold)
+        obs.close()
+
+        spans = load_trace(f"{directory}/trace.jsonl")
+        assert len(spans) == obs.span_count
+        names = {span.name for span in spans}
+        assert set(PIPELINE_STAGES) <= names
+        with open(f"{directory}/metrics.txt", encoding="utf-8") as handle:
+            assert parse_metrics_text(handle.read()) is not None
+        text = render_report(directory)
+        assert "pipeline.run" in text

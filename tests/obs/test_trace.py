@@ -1,0 +1,134 @@
+"""Tracer: nesting mirrors call structure, deterministic under ManualClock."""
+
+from __future__ import annotations
+
+from repro.obs import InMemorySink, ManualClock, Observability, Tracer
+
+
+def test_parent_child_nesting_matches_call_structure():
+    sink = InMemorySink()
+    tracer = Tracer(clock=ManualClock(step=1.0))
+    tracer.add_sink(sink)
+    with tracer.span("outer"):
+        with tracer.span("inner.a"):
+            pass
+        with tracer.span("inner.b"):
+            with tracer.span("leaf"):
+                pass
+    by_name = {span.name: span for span in sink.spans}
+    outer = by_name["outer"]
+    assert outer.parent_id is None
+    assert by_name["inner.a"].parent_id == outer.span_id
+    assert by_name["inner.b"].parent_id == outer.span_id
+    assert by_name["leaf"].parent_id == by_name["inner.b"].span_id
+
+
+def test_children_emit_before_parents():
+    sink = InMemorySink()
+    tracer = Tracer()
+    tracer.add_sink(sink)
+    with tracer.span("parent"):
+        with tracer.span("child"):
+            pass
+    assert [span.name for span in sink.spans] == ["child", "parent"]
+    assert tracer.span_count == 2
+
+
+def test_deterministic_trace_under_manual_clock():
+    def run_once():
+        sink = InMemorySink()
+        tracer = Tracer(clock=ManualClock(start=10.0, step=0.5))
+        tracer.add_sink(sink)
+        with tracer.span("a", phase=1):
+            with tracer.span("b"):
+                pass
+        tracer.event("c", duration_s=0.25)
+        return [
+            (s.span_id, s.parent_id, s.name, s.start_s, s.duration_s, s.attrs)
+            for s in sink.spans
+        ]
+
+    first, second = run_once(), run_once()
+    assert first == second
+    # ManualClock(start=10, step=0.5): origin=10, a opens at 10.5,
+    # b opens at 11 and closes at 11.5, a closes at 12.
+    by_name = {row[2]: row for row in first}
+    assert by_name["a"][3] == 0.5 and by_name["a"][4] == 1.5
+    assert by_name["b"][3] == 1.0 and by_name["b"][4] == 0.5
+
+
+def test_event_slots_under_the_open_span():
+    sink = InMemorySink()
+    tracer = Tracer(clock=ManualClock(step=1.0))
+    tracer.add_sink(sink)
+    with tracer.span("phase") as handle:
+        tracer.event("task", duration_s=0.5, worker=2)
+    event = sink.spans[0]
+    assert event.name == "task"
+    assert event.parent_id == handle.span.span_id
+    assert event.duration_s == 0.5
+    assert event.attrs == {"worker": 2}
+    assert event.start_s >= 0.0
+
+
+def test_span_handle_set_attaches_attributes():
+    sink = InMemorySink()
+    tracer = Tracer()
+    tracer.add_sink(sink)
+    with tracer.span("stage", fixed=True) as handle:
+        handle.set(entities=7)
+    assert sink.spans[0].attrs == {"fixed": True, "entities": 7}
+
+
+def test_exception_inside_span_still_closes_the_stack():
+    sink = InMemorySink()
+    tracer = Tracer()
+    tracer.add_sink(sink)
+    try:
+        with tracer.span("outer"):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert [span.name for span in sink.spans] == ["failing", "outer"]
+    with tracer.span("after"):
+        pass
+    assert sink.spans[-1].parent_id is None
+
+
+def test_observability_timed_duration_matches_span_and_histogram():
+    sink = InMemorySink()
+    obs = Observability(clock=ManualClock(step=1.0), sink=sink)
+    with obs.timed("op", metric="repro.test.op.seconds") as timer:
+        pass
+    span = sink.spans[0]
+    hist = obs.registry.get("repro.test.op.seconds")
+    # One measured dt lands in all three places.
+    assert timer.duration_s == span.duration_s == hist.values[0]
+
+
+def test_metric_only_timer_pushes_no_span():
+    sink = InMemorySink()
+    obs = Observability(sink=sink)
+    with obs.timed(metric="repro.test.seconds") as timer:
+        pass
+    assert len(sink.spans) == 0
+    assert timer.duration_s >= 0.0
+    assert obs.registry.get("repro.test.seconds").count == 1
+
+
+def test_disabled_obs_measures_but_records_nothing():
+    from repro.obs import DISABLED
+
+    with DISABLED.timed("anything", metric="repro.x.seconds") as timer:
+        sum(range(100))
+    assert timer.duration_s > 0.0
+    assert DISABLED.span_count == 0
+    DISABLED.count("repro.x.count")
+    DISABLED.observe("repro.x.seconds", 1.0)
+    DISABLED.event("x", 1.0)
+    assert len(DISABLED.registry) == 0
+    assert DISABLED.metrics_text() == ""
+    assert DISABLED.write_metrics() is None
+    DISABLED.flush()
+    DISABLED.close()

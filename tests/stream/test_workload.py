@@ -171,3 +171,117 @@ class TestInterruptedReplay:
         assert capture_state(
             recovered.store, recovered.index, recovered.pairs
         ) == capture_state(reference.store, reference.index, reference.pairs)
+
+    def test_interrupt_flushes_telemetry_before_wal_close(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        """The `repro stream` Ctrl-C stat-loss fix: the runner flushes
+        the metrics/trace snapshot BEFORE closing the WAL, so telemetry
+        survives even when the durability shutdown itself fails."""
+        from repro.api import Pipeline, PipelineSpec
+        from repro.obs import Observability, load_trace, parse_metrics_text
+        from repro.stream.workload import WorkloadDriver
+
+        kb1, kb2 = corpus
+        interrupt_after = self._interrupt_after
+        original_run = WorkloadDriver.run
+
+        def interrupting_run(self, events, **kwargs):
+            return original_run(self, interrupt_after(events, 12), **kwargs)
+
+        monkeypatch.setattr(WorkloadDriver, "run", interrupting_run)
+
+        def failing_close(self):
+            raise OSError("disk gone at shutdown")
+
+        from repro.stream.resolver import StreamResolver as Resolver
+
+        monkeypatch.setattr(Resolver, "close", failing_close)
+
+        telemetry_dir = tmp_path / "telemetry"
+        spec = PipelineSpec.from_dict(
+            {
+                "backend": {
+                    "kind": "stream",
+                    "scenario": "uniform",
+                    "durability_dir": str(tmp_path / "wal"),
+                }
+            }
+        )
+        obs = Observability(directory=str(telemetry_dir))
+        with pytest.raises(OSError):
+            Pipeline(spec, obs=obs).execute(kb1, kb2, stream_bridge=False)
+
+        # The flush ran before the (failing) WAL close: both artifacts
+        # are on disk and reflect the executed prefix.
+        spans = load_trace(str(telemetry_dir / "trace.jsonl"))
+        assert any(span.name == "stream.insert" for span in spans)
+        with open(telemetry_dir / "metrics.txt", encoding="utf-8") as handle:
+            metrics = parse_metrics_text(handle.read())
+        assert metrics["repro.stream.insert.count"]["value"] > 0
+        assert metrics["repro.stream.insert.count"]["value"] < len(kb1) + len(kb2)
+
+
+class TestStatsMetricsAgreement:
+    """Satellite regression: the legacy stats rows and the metric
+    registry are the same live objects — summaries agree bit-for-bit."""
+
+    def test_latency_summaries_equal_registry_histograms(self, corpus):
+        from repro.obs import InMemorySink, Observability
+
+        kb1, kb2 = corpus
+        obs = Observability(sink=InMemorySink())
+        resolver = StreamResolver(clean_clean=True, obs=obs)
+        stats = WorkloadDriver(resolver).run(
+            uniform_workload(kb1, kb2, query_every=3), scenario="uniform"
+        )
+        registry = obs.registry
+        for kind in ("insert", "query", "delete"):
+            hist = registry.get(f"repro.stream.{kind}.seconds")
+            assert hist is getattr(stats, f"{kind}_hist")
+            assert stats.latency_summary(kind) == hist.summary()
+        assert registry.get("repro.stream.insert.count").value == stats.inserts
+        assert registry.get("repro.stream.query.count").value == stats.queries
+        assert (
+            registry.get("repro.stream.matches.count").value
+            == stats.matches_found
+        )
+        assert (
+            registry.get("repro.stream.serve.seconds").sum == stats.serve_s
+        )
+
+    def test_exposition_parses_back_to_the_stats_values(self, corpus):
+        from repro.obs import InMemorySink, Observability, parse_metrics_text, prometheus_text
+
+        kb1, kb2 = corpus
+        obs = Observability(sink=InMemorySink())
+        resolver = StreamResolver(clean_clean=True, obs=obs)
+        stats = WorkloadDriver(resolver).run(
+            uniform_workload(kb1, kb2, query_every=3)
+        )
+        parsed = parse_metrics_text(prometheus_text(obs.registry))
+        entry = parsed["repro.stream.query.seconds"]
+        # repr-rendered floats round-trip bit-identically to the stats.
+        assert entry["count"] == stats.queries
+        assert entry["sum"] == stats.query_hist.sum
+        assert entry["quantiles"][0.5] == stats.latency_summary("query")["p50"]
+        assert parsed["repro.stream.insert.count"]["value"] == stats.inserts
+
+    def test_reconcile_wall_agrees_with_view_metric(self, corpus):
+        from repro.obs import InMemorySink, Observability
+
+        kb1, kb2 = corpus
+        obs = Observability(sink=InMemorySink())
+        resolver = StreamResolver(
+            clean_clean=True, processed_view=True, reconcile_every=8, obs=obs
+        )
+        stats = WorkloadDriver(resolver).run(
+            uniform_workload(kb1, kb2, query_every=3)
+        )
+        assert stats.reconciles > 0
+        view_hist = obs.registry.get("repro.stream.view.reconcile.seconds")
+        assert view_hist.count == stats.reconciles
+        # The view's metric times the reconcile body; the stats' total
+        # (driver-side) includes it plus the durability hooks.
+        assert view_hist.sum <= stats.reconcile_s
+        assert resolver.view.last_report.wall_s in view_hist.values

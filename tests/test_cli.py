@@ -498,6 +498,115 @@ class TestMapReduce:
             main(["mapreduce", "--kb1", kb_a, "--executor", "gpu"])
 
 
+class TestObservability:
+    """--trace-dir/--metrics on run/stream/mapreduce + `repro obs report`."""
+
+    def _telemetry(self, directory):
+        from repro.obs import load_trace, parse_metrics_text
+
+        spans = load_trace(os.path.join(directory, "trace.jsonl"))
+        with open(
+            os.path.join(directory, "metrics.txt"), encoding="utf-8"
+        ) as handle:
+            metrics = parse_metrics_text(handle.read())
+        return spans, metrics
+
+    def test_stream_writes_and_reports_telemetry(self, capsys, movies_paths, tmp_path):
+        kb_a, kb_b, _ = movies_paths
+        directory = str(tmp_path / "telemetry")
+        assert (
+            main(
+                [
+                    "stream", "--kb1", kb_a, "--kb2", kb_b,
+                    "--trace-dir", directory,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"telemetry written to {directory}" in out
+        spans, metrics = self._telemetry(directory)
+        names = {span.name for span in spans}
+        assert {"pipeline.run", "stream.replay", "stream.query"} <= names
+        assert metrics["repro.stream.insert.count"]["value"] > 0
+
+        assert main(["obs", "report", directory]) == 0
+        report_out = capsys.readouterr().out
+        assert "span tree" in report_out
+        assert "stream.query" in report_out
+        assert "histograms (ms)" in report_out
+
+    def test_metrics_flag_prints_exposition(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert main(["stream", "--kb1", kb_a, "--kb2", kb_b, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_stream_insert_count counter" in out
+
+    def test_run_and_mapreduce_accept_trace_dir(self, capsys, movies_paths, tmp_path):
+        kb_a, kb_b, _ = movies_paths
+        run_dir = str(tmp_path / "run")
+        assert (
+            main(
+                [
+                    "run", "--spec", TestRun.SPEC,
+                    "--kb1", kb_a, "--kb2", kb_b, "--trace-dir", run_dir,
+                ]
+            )
+            == 0
+        )
+        spans, _ = self._telemetry(run_dir)
+        assert {"pipeline.blocking", "pipeline.matching"} <= {
+            s.name for s in spans
+        }
+
+        mr_dir = str(tmp_path / "mr")
+        assert (
+            main(
+                [
+                    "mapreduce", "--kb1", kb_a, "--kb2", kb_b,
+                    "--workers", "2", "--executor", "serial",
+                    "--formulation", "string", "--trace-dir", mr_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        spans, metrics = self._telemetry(mr_dir)
+        assert "mapreduce.job" in {s.name for s in spans}
+        assert metrics["repro.mapreduce.jobs.count"]["value"] > 0
+
+    def test_trace_dir_rejected_with_sweep_and_crash_harness(
+        self, capsys, movies_paths, tmp_path
+    ):
+        kb_a, _, _ = movies_paths
+        directory = str(tmp_path / "t")
+        assert (
+            main(
+                [
+                    "stream", "--kb1", kb_a,
+                    "--reconcile-interval", "8,16", "--trace-dir", directory,
+                ]
+            )
+            == 1
+        )
+        assert "sweep" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "stream", "--kb1", kb_a, "--crash-at", "5",
+                    "--recover-dir", str(tmp_path / "wal"),
+                    "--trace-dir", directory,
+                ]
+            )
+            == 1
+        )
+        assert "crash harness" in capsys.readouterr().out
+
+    def test_obs_report_without_trace_fails_cleanly(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path)]) == 1
+        assert "--trace-dir" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
