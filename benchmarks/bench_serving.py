@@ -1,0 +1,314 @@
+"""Perf — sharded serving tier: scaling, tail latency, recovery time.
+
+Drives the uniform arrival+query scenario on the center synthetic
+workload through :class:`repro.serving.Router` tiers and measures:
+
+* **throughput by shard count** — closed-loop replay (each event
+  dispatched as soon as the previous answer lands) at 1/2/4 shards;
+* **tail latency under open-loop load** — wrk2-style constant arrival
+  rate with latency measured from the *scheduled* arrival (coordinated
+  omission corrected), reported per period;
+* **recovery time** — a SIGKILL is injected mid-run; the supervisor's
+  outage-detected → shard-live-again histogram is the recovery cost.
+
+Four properties are gated:
+
+* **bit-identity** — the multi-shard tier's merged results equal a
+  replayed single-store oracle, float-for-float (strict, always on);
+* **zero degraded after recovery** — once the killed shard is live
+  again no query is served from partial coverage (strict, always on);
+* **throughput scaling floor** — the widest tier must reach at least
+  ``SCALING_FLOOR`` of single-shard throughput (the merge adds IPC cost;
+  the floor asserts sharding is never catastrophically slower) — only
+  gated on machines with >= 4 CPUs, like the MapReduce speedup gate;
+* **bounded recovery** — worst observed time-to-healthy stays under a
+  generous wall-clock bar sized for shared CI runners.
+
+Results are printed and written as a ``BENCH_serving.json`` artifact at
+the repository root (CI uploads it per run).  Run either way::
+
+    pytest benchmarks/bench_serving.py -s
+    PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
+
+from repro.datasets import SyntheticConfig, synthesize_pair
+from repro.serving import (
+    RetryPolicy,
+    Router,
+    parse_fault,
+    run_open_loop,
+    verify_equivalence,
+)
+from repro.stream.workload import SCENARIOS
+
+CENTER = SyntheticConfig(entities=200, overlap=0.7, seed=42)
+SCENARIO = "uniform"
+#: shard widths swept by the closed-loop throughput section
+SHARD_COUNTS = (1, 2, 4)
+#: open-loop arrival rate for the latency and recovery sections
+TARGET_EPS = 300.0
+#: widest tier must keep at least this fraction of 1-shard throughput
+#: (generous: the gate is "sharding never craters", not "sharding wins"
+#: — the sample workload is far below the per-shard saturation point
+#: where partitioned weighing pays off)
+SCALING_FLOOR = 0.5
+#: p99 end-to-end latency bar under open-loop load (generous for CI)
+TAIL_P99_BAR_MS = 500.0
+#: worst-case outage-detected -> live-again bar (includes the 0.5 s
+#: heartbeat deadline, the respawn fork, WAL-free rebuild and re-drive)
+RECOVERY_BAR_S = 10.0
+
+
+def _events():
+    dataset = synthesize_pair(CENTER)
+    return SCENARIOS[SCENARIO](dataset.kb1, dataset.kb2)
+
+
+def _drive_closed_loop(router, events):
+    """Replay every event as fast as answers land; returns elapsed s."""
+    t0 = time.perf_counter()
+    for event in events:
+        if event.kind == "delete":
+            router.delete(event.description.uri)
+        else:
+            router.resolve(
+                event.description,
+                event.source,
+                ingest=event.kind == "insert",
+            )
+    return time.perf_counter() - t0
+
+
+def _queries_of(events, limit=30):
+    sample = [
+        (event.description, event.source)
+        for event in events
+        if event.kind == "query"
+    ]
+    return sample[:limit]
+
+
+def run_benchmark() -> dict:
+    events = _events()
+    cpu_count = os.cpu_count() or 1
+    results: dict = {
+        "workload": {
+            "profile": "center",
+            "scenario": SCENARIO,
+            "events": len(events),
+            "queries": sum(1 for e in events if e.kind == "query"),
+            "cpu_count": cpu_count,
+        },
+    }
+
+    # -- closed-loop throughput by shard count + bit-identity gate -------
+    sweep = []
+    identical = True
+    for n_shards in SHARD_COUNTS:
+        # Always include a genuinely sharded width (the merge path is
+        # what the bit-identity gate exists for); skip only widths that
+        # would just time-share a saturated box.
+        if n_shards > max(2, cpu_count):
+            continue
+        with Router(n_shards, query_timeout_s=30.0) as router:
+            elapsed = _drive_closed_loop(router, events)
+            verdict = verify_equivalence(router, _queries_of(events))
+        identical = identical and verdict.ok
+        sweep.append(
+            {
+                "shards": n_shards,
+                "elapsed_s": round(elapsed, 3),
+                "events_per_s": round(len(events) / elapsed, 1),
+                "bit_identical": verdict.ok,
+                "queries_checked": verdict.checked,
+            }
+        )
+    results["throughput_by_shards"] = sweep
+    base_eps = sweep[0]["events_per_s"]
+    widest = sweep[-1]
+    results["scaling"] = {
+        "base_shards": sweep[0]["shards"],
+        "widest_shards": widest["shards"],
+        "ratio": round(widest["events_per_s"] / base_eps, 3),
+        "floor": SCALING_FLOOR,
+        "gated": cpu_count >= 4 and len(sweep) > 1,
+    }
+
+    # -- open-loop tail latency at the target rate -----------------------
+    with Router(2, query_timeout_s=30.0) as router:
+        report = run_open_loop(router, events, rate_eps=TARGET_EPS)
+        latencies = sorted(report.latencies_s())
+        p99_ms = latencies[min(int(0.99 * len(latencies)), len(latencies) - 1)] * 1e3
+        results["tail_latency"] = {
+            "target_eps": TARGET_EPS,
+            "achieved_eps": round(report.achieved_eps, 1),
+            "p50_ms": round(latencies[len(latencies) // 2] * 1e3, 3),
+            "p99_ms": round(p99_ms, 3),
+            "max_ms": round(latencies[-1] * 1e3, 3),
+            "bar_ms": TAIL_P99_BAR_MS,
+            "periods": report.period_rows(),
+        }
+
+    # -- injected kill: recovery time + zero degraded after recovery -----
+    kill_at = max(len(events) // 3, 1)
+    fault = parse_fault(f"kill:1@e={kill_at}")
+    router = Router(
+        2, query_timeout_s=30.0, heartbeat_deadline_s=0.5,
+        retry=RetryPolicy(attempts=3, timeout_s=0.5),
+    )
+    try:
+        report = run_open_loop(
+            router, events, rate_eps=TARGET_EPS, faults=[fault]
+        )
+        recovered_at = max(
+            (at - report.start_monotonic
+             for _, event, at in router.supervisor.events if event == "live"),
+            default=0.0,
+        )
+        healthy = router.stats.time_to_healthy_hist
+        summary = healthy.summary() if healthy.count else {}
+        verdict = verify_equivalence(router, _queries_of(events))
+        results["recovery"] = {
+            "fault": fault.spec(),
+            "fired": fault.fired,
+            "shard_deaths": router.stats.shard_deaths,
+            "respawns": router.stats.respawns,
+            "failovers": router.stats.failovers,
+            "time_to_healthy_ms": {
+                key: round(value * 1e3, 3) for key, value in summary.items()
+            },
+            "recovered_at_s": round(recovered_at, 3),
+            "degraded_after_recovery": report.degraded_after(recovered_at),
+            "degraded_total": report.degraded_queries,
+            "post_recovery_bit_identical": verdict.ok,
+            "bar_s": RECOVERY_BAR_S,
+        }
+    finally:
+        router.close()
+
+    results["bit_identical_ok"] = (
+        identical and results["recovery"]["post_recovery_bit_identical"]
+    )
+    results["zero_degraded_after_recovery_ok"] = (
+        results["recovery"]["degraded_after_recovery"] == 0
+        and results["recovery"]["respawns"] >= 1
+    )
+    results["scaling_ok"] = (
+        not results["scaling"]["gated"]
+        or results["scaling"]["ratio"] >= SCALING_FLOOR
+    )
+    results["tail_ok"] = results["tail_latency"]["p99_ms"] <= TAIL_P99_BAR_MS
+    results["recovery_ok"] = (
+        not results["recovery"]["fired"]
+        or results["recovery"]["time_to_healthy_ms"].get("max", 0.0)
+        <= RECOVERY_BAR_S * 1e3
+    )
+    return results
+
+
+def format_report(results: dict) -> str:
+    workload = results["workload"]
+    lines = [
+        "sharded serving tier: throughput, tail latency, recovery "
+        f"(center workload, {workload['scenario']})",
+        "",
+        f"{workload['events']} events ({workload['queries']} queries), "
+        f"{workload['cpu_count']} cpu(s)",
+        "",
+    ]
+    for entry in results["throughput_by_shards"]:
+        lines.append(
+            f"[shards={entry['shards']}] {entry['events_per_s']:.0f} ev/s "
+            f"({entry['elapsed_s']:.2f} s), bit-identical: "
+            f"{entry['bit_identical']} ({entry['queries_checked']} checked)"
+        )
+    scaling = results["scaling"]
+    lines.append(
+        f"scaling {scaling['widest_shards']} vs {scaling['base_shards']} "
+        f"shards: {scaling['ratio']:.2f}x (floor {scaling['floor']:.2f}x, "
+        f"{'gated' if scaling['gated'] else 'informational'})"
+    )
+    tail = results["tail_latency"]
+    lines.append("")
+    lines.append(
+        f"open loop @ {tail['target_eps']:.0f} ev/s (achieved "
+        f"{tail['achieved_eps']:.0f}): p50 {tail['p50_ms']:.1f} ms, "
+        f"p99 {tail['p99_ms']:.1f} ms, max {tail['max_ms']:.1f} ms "
+        f"(bar <= {tail['bar_ms']:.0f} ms)"
+    )
+    recovery = results["recovery"]
+    healthy = recovery["time_to_healthy_ms"]
+    lines.append("")
+    lines.append(
+        f"injected {recovery['fault']}: {recovery['shard_deaths']} death(s), "
+        f"{recovery['respawns']} respawn(s), {recovery['failovers']} "
+        f"failover(s)"
+    )
+    if healthy:
+        lines.append(
+            f"time-to-healthy: mean {healthy.get('mean', 0.0):.1f} ms, "
+            f"max {healthy.get('max', 0.0):.1f} ms "
+            f"(bar <= {recovery['bar_s'] * 1e3:.0f} ms)"
+        )
+    lines.append(
+        f"degraded queries after recovery: "
+        f"{recovery['degraded_after_recovery']} "
+        f"({recovery['degraded_total']} total during outage)"
+    )
+    lines.append("")
+    lines.append(f"merged results bit-identical: {results['bit_identical_ok']}")
+    lines.append(
+        "zero degraded after recovery: "
+        f"{results['zero_degraded_after_recovery_ok']}"
+    )
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_serving():
+    """Pytest entry point: sweep, load, kill; assert the gates."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_serving", format_report(results))
+    write_artifact(results)
+    assert results["bit_identical_ok"]
+    assert results["zero_degraded_after_recovery_ok"], results["recovery"]
+    assert results["scaling_ok"], results["scaling"]
+    assert results["tail_ok"], results["tail_latency"]
+    assert results["recovery_ok"], results["recovery"]
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    ok = (
+        results["bit_identical_ok"]
+        and results["zero_degraded_after_recovery_ok"]
+        and results["scaling_ok"]
+        and results["tail_ok"]
+        and results["recovery_ok"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -272,6 +272,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(stream)
 
+    serve = sub.add_parser(
+        "serve",
+        help="drive a sharded serving tier under open-loop load with "
+        "optional injected faults",
+    )
+    serve.add_argument("--kb1", required=True)
+    serve.add_argument("--kb2")
+    serve.add_argument(
+        "--shards", type=_positive_int, default=2,
+        help="worker process count == candidate partition count",
+    )
+    serve.add_argument(
+        "--scenario", choices=registry.names("scenario"), default="uniform",
+        help="arrival/query shape driven through the tier",
+    )
+    serve.add_argument(
+        "--weighting", choices=registry.names("weighting"), default="ARCS",
+    )
+    serve.add_argument(
+        "--pruning", choices=registry.names("pruner") + ["none"], default="CNP",
+    )
+    serve.add_argument("--threshold", type=float, default=0.4)
+    serve.add_argument("--budget", type=int, help="per-query comparison cap")
+    serve.add_argument("--seed", type=int, default=17)
+    serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop arrival rate in events/s (latency is measured "
+        "from the scheduled arrival — coordinated-omission corrected)",
+    )
+    serve.add_argument(
+        "--ramp", type=float, default=0.0,
+        help="ramp-up seconds: the rate grows linearly to --rate",
+    )
+    serve.add_argument(
+        "--max-events", type=_positive_int, default=None,
+        help="truncate the scenario to its first N events",
+    )
+    serve.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="declarative fault, repeatable: kill:1@t=5, kill:1@e=120, "
+        "stall:0@t=2:dur=0.8, freeze:0@t=3, torn:1@spawn:budget=4096",
+    )
+    serve.add_argument(
+        "--durability-root",
+        help="per-shard WAL/snapshot directories under this root: "
+        "respawned shards recover from disk before the re-drive",
+    )
+    serve.add_argument(
+        "--no-failover", action="store_true",
+        help="do not reroute a dead shard's partitions (degraded study)",
+    )
+    serve.add_argument(
+        "--no-respawn", action="store_true",
+        help="leave dead shards dead (degraded study)",
+    )
+    serve.add_argument(
+        "--heartbeat-deadline", type=float, default=1.0,
+        help="seconds of heartbeat silence before a shard is declared "
+        "stuck and respawned",
+    )
+    serve.add_argument(
+        "--verify", type=int, default=25, metavar="N",
+        help="after the run, check N sampled queries for bit-identity "
+        "against a replayed single-store oracle (0 = skip)",
+    )
+    _add_obs_flags(serve)
+
     mapreduce = sub.add_parser(
         "mapreduce", help="parallel meta-blocking worker/executor sweep"
     )
@@ -664,6 +731,8 @@ def _stream_crash_harness(args: argparse.Namespace, kb1, kb2) -> int:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream.workload import graceful_sigterm
+
     if args.crash_at is not None and not args.recover_dir:
         print("--crash-at requires --recover-dir (the durability directory)")
         return 1
@@ -740,38 +809,154 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
     obs = _make_obs(args)
     interrupted = False
-    for interval in intervals:
-        spec = base.with_backend(reconcile_every=interval)
-        # Replay-only execution: the workload statistics are the
-        # subcommand's product; the batch bridge + matching stages are
-        # `repro run --backend stream`'s job.
-        report = Pipeline(spec, obs=obs).execute(kb1, kb2, stream_bridge=False)
-        stats = report.workload
-        title = (
-            f"Streaming workload: {args.scenario} "
-            f"({args.weighting}/{args.pruning})"
-        )
-        if use_view:
-            label = "adaptive" if interval is None else str(interval)
-            title += f" — processed view, reconcile interval {label}"
-        print(
-            format_table(
-                stats.summary_rows(),
-                title=title,
-                first_column="metric",
+    term_signal = None
+    # SIGTERM (systemd stop, Kubernetes eviction, CI cancellation) takes
+    # the same graceful path as Ctrl-C: the driver returns the partial
+    # stats, the WAL is closed cleanly, and the exit code says which
+    # signal it was (143 vs 130).
+    with graceful_sigterm() as term:
+        for interval in intervals:
+            spec = base.with_backend(reconcile_every=interval)
+            # Replay-only execution: the workload statistics are the
+            # subcommand's product; the batch bridge + matching stages
+            # are `repro run --backend stream`'s job.
+            report = Pipeline(spec, obs=obs).execute(
+                kb1, kb2, stream_bridge=False
             )
-        )
-        if stats.interrupted:
-            # SIGINT mid-replay: the table above covers the executed
-            # prefix, the WAL was closed cleanly by the runner, and the
-            # conventional 128+SIGINT exit code reports the interrupt.
-            interrupted = True
-            break
+            stats = report.workload
+            if stats.interrupted and term.name:
+                stats.interrupt_signal = term.name
+            title = (
+                f"Streaming workload: {args.scenario} "
+                f"({args.weighting}/{args.pruning})"
+            )
+            if use_view:
+                label = "adaptive" if interval is None else str(interval)
+                title += f" — processed view, reconcile interval {label}"
+            print(
+                format_table(
+                    stats.summary_rows(),
+                    title=title,
+                    first_column="metric",
+                )
+            )
+            if stats.interrupted:
+                # Signal mid-replay: the table above covers the executed
+                # prefix and the WAL was closed cleanly by the runner.
+                interrupted = True
+                term_signal = term.name
+                break
     # The runner already flushed the telemetry snapshot before closing
     # the WAL, so an interrupted replay reaches this close with its
     # trace and metrics safely on disk.
     _finish_obs(obs, args)
-    return 130 if interrupted else 0
+    if interrupted:
+        return 143 if term_signal == "SIGTERM" else 130
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import Router, verify_equivalence
+    from repro.serving.harness import parse_fault, run_open_loop, spawn_budgets
+
+    try:
+        faults = [parse_fault(spec) for spec in args.fault]
+    except ValueError as error:
+        print(error)
+        return 1
+    for fault in faults:
+        if not 0 <= fault.shard < args.shards:
+            print(f"fault {fault.spec()} targets shard {fault.shard}, "
+                  f"but the tier has shards 0..{args.shards - 1}")
+            return 1
+    if any(f.kind == "torn" for f in faults) and not args.durability_root:
+        print("torn faults need --durability-root (they tear the WAL)")
+        return 1
+
+    kb1 = _load(args.kb1)
+    kb2 = _load(args.kb2) if args.kb2 else None
+    generator = registry.factory("scenario", args.scenario)
+    events = generator(kb1, kb2, seed=args.seed)
+    if args.max_events is not None:
+        events = events[: args.max_events]
+
+    obs = _make_obs(args)
+    router = Router(
+        args.shards,
+        clean_clean=kb2 is not None,
+        threshold=args.threshold,
+        scheme=args.weighting,
+        pruner=args.pruning,
+        budget=args.budget,
+        durability_root=args.durability_root,
+        failover=not args.no_failover,
+        auto_respawn=not args.no_respawn,
+        heartbeat_deadline_s=args.heartbeat_deadline,
+        crash_budgets=spawn_budgets(faults),
+        obs=obs,
+        seed=args.seed,
+    )
+    try:
+        report = run_open_loop(
+            router, events, rate_eps=args.rate, ramp_s=args.ramp,
+            faults=faults,
+        )
+        print(
+            format_table(
+                report.period_rows(),
+                title=(
+                    f"Open-loop load: {args.scenario} @ {args.rate:g} ev/s "
+                    f"over {args.shards} shards "
+                    f"(achieved {report.achieved_eps:.0f} ev/s)"
+                ),
+                first_column="period",
+            )
+        )
+        for spec, at in report.fault_log:
+            print(f"fault fired: {spec} at t={at:.2f}s")
+        for shard_id, event, at in router.supervisor.events:
+            rel = at - report.start_monotonic
+            print(f"shard {shard_id}: {event} at t={rel:.2f}s")
+        print(
+            format_table(
+                router.stats.summary_rows(),
+                title="Serving tier statistics",
+                first_column="metric",
+            )
+        )
+
+        # "After recovery" starts at the last respawned shard's go-live;
+        # with no deaths the whole run counts.
+        recovered_at = max(
+            (at - report.start_monotonic
+             for _, event, at in router.supervisor.events if event == "live"),
+            default=0.0,
+        )
+        degraded_after = report.degraded_after(recovered_at)
+        print(f"degraded queries: {degraded_after} after recovery "
+              f"({report.degraded_queries} total)")
+
+        ok = True
+        if args.verify > 0:
+            sample = [
+                (event.description, event.source)
+                for event in events
+                if event.kind == "query"
+            ][: args.verify] or [
+                (event.description, event.source)
+                for event in events
+                if event.kind == "insert"
+            ][: args.verify]
+            verdict = verify_equivalence(router, sample)
+            print(f"recovery equivalence: {'OK' if verdict.ok else 'FAIL'} "
+                  f"({verdict.checked} queries checked)")
+            for mismatch in verdict.mismatches[:5]:
+                print(f"  mismatch: {mismatch}")
+            ok = verdict.ok
+    finally:
+        router.close()
+    _finish_obs(obs, args)
+    return 0 if ok else 1
 
 
 def cmd_mapreduce(args: argparse.Namespace) -> int:
@@ -958,6 +1143,7 @@ _COMMANDS = {
     "run": cmd_run,
     "components": cmd_components,
     "stream": cmd_stream,
+    "serve": cmd_serve,
     "mapreduce": cmd_mapreduce,
     "obs": cmd_obs,
     "synthesize": cmd_synthesize,

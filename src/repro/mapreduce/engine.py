@@ -132,6 +132,10 @@ def _apply_spec(spec: tuple[Callable, tuple]) -> Any:
     return fn(*args)
 
 
+class _WorkerLoss(Exception):
+    """A pool worker died mid-phase (its in-flight task is lost)."""
+
+
 class ProcessExecutor(Executor):
     """Real ``multiprocessing`` workers (fork start method, POSIX only).
 
@@ -147,9 +151,23 @@ class ProcessExecutor(Executor):
     the job instead of hanging the driver (the CI smoke step relies on
     this).
 
+    A worker *dying* mid-phase (OOM kill, SIGKILL, segfault) is treated
+    as transient, not fatal: ``multiprocessing.Pool`` silently respawns
+    the worker but the task it was running is lost, so the phase would
+    otherwise hang until the timeout.  The wait loop watches the pool's
+    worker PID set; on a change it tears the pool down and re-drives the
+    *whole phase* on a fresh pool, up to ``retry_attempts`` times with
+    backoff, before surfacing a ``RuntimeError``.  Safe because map and
+    reduce tasks are pure functions of their inputs — re-running a phase
+    recomputes identical output.
+
     Args:
         workers: worker process count (also the pool size).
         task_timeout_s: per-phase timeout in seconds.
+        retry_attempts: how many times a phase that lost a worker is
+            re-driven before giving up.
+        retry_backoff_s: base delay between re-drives (doubles per
+            attempt).
 
     Raises:
         RuntimeError: on construction when the platform has no ``fork``
@@ -159,7 +177,11 @@ class ProcessExecutor(Executor):
     name = "process"
 
     def __init__(
-        self, workers: int, task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S
+        self,
+        workers: int,
+        task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
+        retry_attempts: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if not self.available():
             raise RuntimeError(
@@ -168,8 +190,12 @@ class ProcessExecutor(Executor):
             )
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if retry_attempts < 0:
+            raise ValueError("retry_attempts must be >= 0")
         self.workers = workers
         self.task_timeout_s = task_timeout_s
+        self.retry_attempts = retry_attempts
+        self.retry_backoff_s = retry_backoff_s
         self._pool = None
 
     @staticmethod
@@ -184,9 +210,23 @@ class ProcessExecutor(Executor):
     def run_specs(self, specs: list[tuple[Callable, tuple]]) -> list[Any]:
         if len(specs) <= 1 or self.workers <= 1:
             return [fn(*args) for fn, args in specs]
-        pool = self._ensure_pool()
-        result = pool.map_async(_apply_spec, specs, chunksize=1)
-        return self._get(result)
+        last_loss = None
+        for attempt in range(self.retry_attempts + 1):
+            if attempt:
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+            pool = self._ensure_pool()
+            result = pool.map_async(_apply_spec, specs, chunksize=1)
+            try:
+                return self._wait(pool, result)
+            except _WorkerLoss as loss:
+                # The phase's in-flight tasks are gone with the worker;
+                # discard the damaged pool and re-drive from scratch.
+                last_loss = loss
+                self.close()
+        raise RuntimeError(
+            f"MapReduce phase lost workers in {self.retry_attempts + 1} "
+            f"consecutive attempts ({last_loss})"
+        )
 
     def run_tasks(self, tasks: list[Callable[[], Any]]) -> list[Any]:
         if len(tasks) <= 1 or self.workers <= 1:
@@ -196,26 +236,53 @@ class ProcessExecutor(Executor):
 
         ctx = multiprocessing.get_context("fork")
         _FORK_TASK_TABLE = tasks
+        last_loss = None
         try:
-            with ctx.Pool(min(self.workers, len(tasks))) as pool:
-                result = pool.map_async(
-                    _run_fork_task, range(len(tasks)), chunksize=1
-                )
-                return self._get(result)
+            for attempt in range(self.retry_attempts + 1):
+                if attempt:
+                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                with ctx.Pool(min(self.workers, len(tasks))) as pool:
+                    result = pool.map_async(
+                        _run_fork_task, range(len(tasks)), chunksize=1
+                    )
+                    try:
+                        return self._wait(pool, result)
+                    except _WorkerLoss as loss:
+                        last_loss = loss
+            raise RuntimeError(
+                f"MapReduce phase lost workers in {self.retry_attempts + 1} "
+                f"consecutive attempts ({last_loss})"
+            )
         finally:
             _FORK_TASK_TABLE = None
 
-    def _get(self, async_result) -> list[Any]:
-        import multiprocessing
+    def _wait(self, pool, async_result) -> list[Any]:
+        """Wait for a phase; fail fast on deadline or worker loss.
 
-        try:
-            return async_result.get(self.task_timeout_s)
-        except multiprocessing.TimeoutError:
-            self.close()
-            raise RuntimeError(
-                f"MapReduce phase exceeded {self.task_timeout_s:.0f}s "
-                "(deadlocked or stuck worker)"
-            ) from None
+        Polls instead of blocking in ``get`` so a worker death (the
+        pool silently replaces the process but its task is lost and the
+        result would never become ready) is noticed within one poll
+        interval rather than at the phase timeout.
+        """
+        deadline = time.monotonic() + self.task_timeout_s
+        known_pids = {worker.pid for worker in pool._pool}
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RuntimeError(
+                    f"MapReduce phase exceeded {self.task_timeout_s:.0f}s "
+                    "(deadlocked or stuck worker)"
+                )
+            async_result.wait(min(0.05, remaining))
+            if async_result.ready():
+                return async_result.get(0)
+            current_pids = {worker.pid for worker in pool._pool}
+            if current_pids != known_pids:
+                raise _WorkerLoss(
+                    f"worker set changed {sorted(known_pids)} -> "
+                    f"{sorted(current_pids)}"
+                )
 
     def _ensure_pool(self):
         if self._pool is None:

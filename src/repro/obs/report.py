@@ -119,6 +119,48 @@ def render_metric_tables(metrics: dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
+#: serving-tier robustness counters surfaced as a dedicated section
+#: (registered by ServingStats.bind; absent in non-serving runs)
+_SERVING_ROWS: tuple[tuple[str, str], ...] = (
+    ("repro.serving.query.count", "queries served"),
+    ("repro.serving.degraded.count", "degraded responses"),
+    ("repro.serving.retry.count", "retries"),
+    ("repro.serving.hedge.count", "hedged requests"),
+    ("repro.serving.hedge.win.count", "hedge wins"),
+    ("repro.serving.failover.count", "failovers"),
+    ("repro.serving.shard.dead.count", "shard deaths"),
+    ("repro.serving.respawn.count", "respawns"),
+)
+
+
+def render_serving_section(metrics: dict[str, dict]) -> str:
+    """The serving-tier robustness summary, or "" for non-serving runs.
+
+    Pulls the tier's counters plus the time-to-healthy histogram out of
+    the generic tables into one glanceable fault-tolerance section —
+    how often the tier retried, hedged, failed over, degraded, and how
+    long outages lasted.
+    """
+    if "repro.serving.query.count" not in metrics:
+        return ""
+    lines = ["serving tier (fault tolerance)"]
+    for name, label in _SERVING_ROWS:
+        entry = metrics.get(name)
+        if entry is not None and entry["type"] != "histogram":
+            lines.append(f"  {label.ljust(44)}{entry['value']:>14}")
+    healthy = metrics.get("repro.serving.time.to.healthy.seconds")
+    if healthy is not None and healthy["type"] == "histogram":
+        count = healthy["count"]
+        if count:
+            mean_ms = healthy["sum"] / count * 1e3
+            p99_ms = healthy["quantiles"].get(0.99, 0.0) * 1e3
+            lines.append(
+                f"  {'time-to-healthy mean / p99 (ms)'.ljust(44)}"
+                f"{f'{mean_ms:.1f} / {p99_ms:.1f}':>14}"
+            )
+    return "\n".join(lines)
+
+
 def render_report(directory: str) -> str:
     """The full ``repro obs report`` text for one artifact directory.
 
@@ -138,6 +180,10 @@ def render_report(directory: str) -> str:
         with open(metrics_path, "r", encoding="utf-8") as handle:
             metrics = parse_metrics_text(handle.read())
         if metrics:
+            serving = render_serving_section(metrics)
+            if serving:
+                sections.append("")
+                sections.append(serving)
             sections.append("")
             sections.append(render_metric_tables(metrics))
     return "\n".join(sections)

@@ -1,0 +1,40 @@
+"""Entity-id partitioning of the candidate space.
+
+The tier splits query-time work, not state: every shard replicates the
+full streaming state (the six weighting schemes all need global
+statistics — placements, degrees, block activity, TF-IDF mass — so a
+state split would change the weights), and each shard *serves* only the
+candidates whose entity id hashes into its partitions.  The hash is the
+same process-stable splitmix64 the MapReduce layer partitions by, so
+ownership is identical in every process and across runs.
+
+Replication is also what makes failover possible: any live shard can
+serve any partition, because it holds the state for all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.utils.rng import stable_hash_int
+
+
+def owner_of(entity_id: int, n_partitions: int) -> int:
+    """The partition (home shard ordinal) owning *entity_id*."""
+    return stable_hash_int(entity_id, n_partitions)
+
+
+def split_by_owner(
+    candidate_ids: Iterable[int], n_partitions: int
+) -> dict[int, list[int]]:
+    """Group candidate ids by owning partition (order preserved).
+
+    Every partition appears in the result, empty or not — the router's
+    coverage accounting counts partitions, not candidates, so "this
+    partition answered and had nothing" and "this partition is down"
+    must stay distinguishable.
+    """
+    split: dict[int, list[int]] = {p: [] for p in range(n_partitions)}
+    for candidate_id in candidate_ids:
+        split[owner_of(candidate_id, n_partitions)].append(candidate_id)
+    return split

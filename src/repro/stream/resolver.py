@@ -57,6 +57,140 @@ class StreamMatch:
     weight: float
 
 
+# ---------------------------------------------------------------------------
+# The three query phases, as reusable functions.
+#
+# The sharded serving tier (:mod:`repro.serving`) executes the same
+# query pipeline with the phases split across processes: shards weigh
+# their owned candidates, the router prunes the merged neighbourhood
+# and runs the match phase.  Sharing these functions — not copies of
+# them — is what makes the merged results bit-identical to this
+# resolver by construction.
+# ---------------------------------------------------------------------------
+
+
+def weigh_candidates(
+    pair_table,
+    uris: list[str],
+    uri_q: str,
+    entity_id: int,
+    candidate_ids,
+    scheme: str,
+) -> dict[int, float]:
+    """Scheme weights of the (query, candidate) pairs, batch-ordered.
+
+    The pair's endpoints are ordered by URI (lexicographically smaller
+    first) before :meth:`~repro.stream.pairs.PairStatsView.weight_ids`,
+    the float-association order the batch graph uses.
+    """
+    weights: dict[int, float] = {}
+    for candidate_id in candidate_ids:
+        uri_c = uris[candidate_id]
+        if uri_c < uri_q:
+            weight = pair_table.weight_ids(scheme, candidate_id, entity_id)
+        else:
+            weight = pair_table.weight_ids(scheme, entity_id, candidate_id)
+        weights[candidate_id] = weight
+    return weights
+
+
+def prune_neighbourhood(
+    weights: dict[int, float],
+    pruner: str,
+    uris: list[str],
+    entities_placed: int,
+    total_assignments: int,
+) -> list[tuple[int, float]]:
+    """Node-centric pruning of one query neighbourhood.
+
+    Deterministic order everywhere: weight descending, partner URI
+    ascending — the ordering the batch pruners use.  The CNP budget
+    derives from *entities_placed* / *total_assignments* (the pair
+    table's global placement aggregates), matching batch CNP whose k
+    comes from the processed collection.
+    """
+    if not weights:
+        return []
+    items = list(weights.items())
+    name = pruner.lower()
+    if name in ("none", "all", ""):
+        return sorted(items, key=lambda iw: (-iw[1], uris[iw[0]]))
+    if name in ("wnp", "wep"):
+        mean = sum(weights.values()) / len(weights)
+        kept = [iw for iw in items if iw[1] >= mean]
+        return sorted(kept, key=lambda iw: (-iw[1], uris[iw[0]]))
+    if name in ("cnp", "cep"):
+        entities = max(entities_placed, 1)
+        average = total_assignments / entities
+        k = max(1, math.ceil(average) - 1)
+        return heapq.nsmallest(k, items, key=lambda iw: (-iw[1], uris[iw[0]]))
+    raise KeyError(
+        f"unknown stream pruner {pruner!r}; choose CNP, WNP or none"
+    )
+
+
+def run_match_phase(
+    uri_q: str,
+    survivors: list[tuple[int, float]],
+    weights: dict[int, float],
+    budget: int | None,
+    context: ResolutionContext,
+    matcher: Matcher,
+    benefit: BenefitModel,
+    store: StreamingEntityStore,
+) -> tuple[list[StreamMatch], int, int, int]:
+    """Schedule, compare and decide the pruned survivors.
+
+    Returns ``(matches, scheduled, comparisons, skipped_decided)`` —
+    exactly the match section of a single-store
+    :meth:`StreamResolver.resolve`, operating on whichever *context*
+    and *matcher* the caller serves decisions from.
+    """
+    uris = store.interner.uri_table()
+    scheduler = ComparisonScheduler(benefit, context)
+    for candidate_id, weight in survivors:
+        scheduler.schedule(uri_q, uris[candidate_id], weight)
+    scheduled = len(scheduler)
+    ordered: list[tuple[str, str]] = []
+    weight_of: dict[tuple[str, str], float] = {}
+    limit = len(scheduler) if budget is None else max(budget, 0)
+    skipped = 0
+    match_graph = context.match_graph
+    while scheduler and len(ordered) < limit:
+        pair, _priority = scheduler.pop()
+        if pair in match_graph:
+            skipped += 1
+            continue
+        ordered.append(pair)
+        weight_of[pair] = scheduler.base_weight(pair[0], pair[1])
+    decisions = matcher.decide_many(ordered)
+    matches: list[StreamMatch] = []
+    for decision in decisions:
+        match_graph.record(decision)
+        if decision.is_match:
+            other = (
+                decision.right if decision.left == uri_q else decision.left
+            )
+            matches.append(
+                StreamMatch(
+                    other, decision.similarity, weight_of[decision.pair]
+                )
+            )
+    # Matches decided by earlier queries are still matches: a repeat
+    # lookup must report them, not silently skip them as "already
+    # decided".  They follow the fresh decisions, sorted by URI.
+    newly_matched = {match.uri for match in matches}
+    for partner in sorted(match_graph.partners(uri_q) - newly_matched):
+        if store.get(partner) is None:
+            continue  # partner retracted since the decision
+        known = match_graph.decision_for(uri_q, partner)
+        assert known is not None
+        matches.append(StreamMatch(partner, known.similarity, weights.get(
+            store.interner.get(partner), 0.0
+        )))
+    return matches, scheduled, len(ordered), skipped
+
+
 @dataclass
 class StreamQueryResult:
     """Outcome of resolving one description, with latency accounting."""
@@ -335,64 +469,28 @@ class StreamResolver:
         with obs.timed(
             "stream.query.weigh", metric="repro.stream.query.weigh.seconds"
         ) as timer:
-            weights: dict[int, float] = {}
             pair_table = (
                 self.view_pairs if self.view_pairs is not None else self.pairs
             )
-            for candidate_id in candidate_ids:
-                uri_c = uris[candidate_id]
-                if uri_c < uri_q:
-                    weight = pair_table.weight_ids(scheme, candidate_id, entity_id)
-                else:
-                    weight = pair_table.weight_ids(scheme, entity_id, candidate_id)
-                weights[candidate_id] = weight
+            weights = weigh_candidates(
+                pair_table, uris, uri_q, entity_id, candidate_ids, scheme
+            )
             survivors = self._prune_local(weights, pruner, uris)
         latency["weigh_s"] = timer.duration_s
 
         with obs.timed(
             "stream.query.match", metric="repro.stream.query.match.seconds"
         ) as timer:
-            scheduler = ComparisonScheduler(self.benefit, self.context)
-            for candidate_id, weight in survivors:
-                scheduler.schedule(uri_q, uris[candidate_id], weight)
-            scheduled = len(scheduler)
-            ordered: list[tuple[str, str]] = []
-            weight_of: dict[tuple[str, str], float] = {}
-            limit = len(scheduler) if budget is None else max(budget, 0)
-            skipped = 0
-            match_graph = self.context.match_graph
-            while scheduler and len(ordered) < limit:
-                pair, _priority = scheduler.pop()
-                if pair in match_graph:
-                    skipped += 1
-                    continue
-                ordered.append(pair)
-                weight_of[pair] = scheduler.base_weight(pair[0], pair[1])
-            decisions = self.matcher.decide_many(ordered)
-            matches: list[StreamMatch] = []
-            for decision in decisions:
-                match_graph.record(decision)
-                if decision.is_match:
-                    other = (
-                        decision.right if decision.left == uri_q else decision.left
-                    )
-                    matches.append(
-                        StreamMatch(
-                            other, decision.similarity, weight_of[decision.pair]
-                        )
-                    )
-            # Matches decided by earlier queries are still matches: a repeat
-            # lookup must report them, not silently skip them as "already
-            # decided".  They follow the fresh decisions, sorted by URI.
-            newly_matched = {match.uri for match in matches}
-            for partner in sorted(match_graph.partners(uri_q) - newly_matched):
-                if self.store.get(partner) is None:
-                    continue  # partner retracted since the decision
-                known = match_graph.decision_for(uri_q, partner)
-                assert known is not None
-                matches.append(StreamMatch(partner, known.similarity, weights.get(
-                    self.store.interner.get(partner), 0.0
-                )))
+            matches, scheduled, comparisons, skipped = run_match_phase(
+                uri_q,
+                survivors,
+                weights,
+                budget,
+                self.context,
+                self.matcher,
+                self.benefit,
+                self.store,
+            )
         latency["match_s"] = timer.duration_s
         latency["total_s"] = time.perf_counter() - t_total
         latency["serve_s"] = latency["total_s"] - latency["reconcile_s"]
@@ -402,7 +500,7 @@ class StreamResolver:
             matches=matches,
             candidates=len(candidate_ids),
             scheduled=scheduled,
-            comparisons=len(ordered),
+            comparisons=comparisons,
             skipped_decided=skipped,
             latency=latency,
         )
@@ -412,30 +510,13 @@ class StreamResolver:
     ) -> list[tuple[int, float]]:
         """Node-centric pruning of the query neighbourhood.
 
-        Deterministic order everywhere: weight descending, partner URI
-        ascending — the ordering the batch pruners use.
+        With the processed view active, the CNP budget derives from
+        the survivor placements — matching batch CNP, whose k comes
+        from the processed collection.
         """
-        if not weights:
-            return []
-        items = list(weights.items())
-        name = pruner.lower()
-        if name in ("none", "all", ""):
-            return sorted(items, key=lambda iw: (-iw[1], uris[iw[0]]))
-        if name in ("wnp", "wep"):
-            mean = sum(weights.values()) / len(weights)
-            kept = [iw for iw in items if iw[1] >= mean]
-            return sorted(kept, key=lambda iw: (-iw[1], uris[iw[0]]))
-        if name in ("cnp", "cep"):
-            # With the processed view active, the CNP budget derives from
-            # the survivor placements — matching batch CNP, whose k comes
-            # from the processed collection.
-            table = self.view_pairs if self.view_pairs is not None else self.pairs
-            entities = max(table.entities_placed, 1)
-            average = table.total_assignments / entities
-            k = max(1, math.ceil(average) - 1)
-            return heapq.nsmallest(k, items, key=lambda iw: (-iw[1], uris[iw[0]]))
-        raise KeyError(
-            f"unknown stream pruner {pruner!r}; choose CNP, WNP or none"
+        table = self.view_pairs if self.view_pairs is not None else self.pairs
+        return prune_neighbourhood(
+            weights, pruner, uris, table.entities_placed, table.total_assignments
         )
 
     # -- durability ----------------------------------------------------------

@@ -32,7 +32,9 @@ store grows.
 
 from __future__ import annotations
 
+import signal
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.model.collection import EntityCollection
@@ -49,6 +51,49 @@ class WorkloadEvent:
     kind: str
     description: EntityDescription
     source: int = 0
+
+
+class _SignalWitness:
+    """Records which termination signal fired inside the guarded block."""
+
+    __slots__ = ("name",)
+
+    def __init__(self) -> None:
+        self.name: str | None = None
+
+
+@contextmanager
+def graceful_sigterm():
+    """Make SIGTERM behave like SIGINT inside the ``with`` block.
+
+    Orchestrators (systemd, Kubernetes, CI runners) stop processes with
+    SIGTERM, which by default kills the replay mid-write — losing the
+    partial statistics and, worse, leaving the WAL without its final
+    flush.  Inside this context the signal raises ``KeyboardInterrupt``
+    in the main thread instead, so the driver unwinds through its
+    interrupt path exactly like a Ctrl-C: partial stats returned,
+    telemetry flushed, durability closed cleanly.
+
+    Yields a witness whose ``name`` is ``"SIGTERM"`` when that signal
+    fired (callers map it to the conventional exit code 143 vs 130).
+    No-op outside the main thread, where signal handlers cannot be
+    installed.
+    """
+    witness = _SignalWitness()
+
+    def _on_sigterm(_signum, _frame):
+        witness.name = "SIGTERM"
+        raise KeyboardInterrupt()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread
+        yield witness
+        return
+    try:
+        yield witness
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _interleaved(
@@ -271,6 +316,9 @@ class WorkloadStats:
         #: True when the replay was cut short (SIGINT / KeyboardInterrupt);
         #: the stats then cover the prefix actually executed
         self.interrupted = False
+        #: which signal cut the replay short ("SIGINT"/"SIGTERM"), when
+        #: the runner routed it through :func:`graceful_sigterm`
+        self.interrupt_signal: str | None = None
         #: per-event wall-clock histograms (``.values`` is the raw series)
         self.insert_hist = Histogram()
         self.query_hist = Histogram()
@@ -385,7 +433,12 @@ class WorkloadStats:
             if self.deletes
             else []
         ) + (
-            [{"metric": "interrupted", "value": "yes (partial replay)"}]
+            [{"metric": "interrupted",
+              "value": (
+                  f"yes ({self.interrupt_signal}, partial replay)"
+                  if self.interrupt_signal
+                  else "yes (partial replay)"
+              )}]
             if self.interrupted
             else []
         ) + [

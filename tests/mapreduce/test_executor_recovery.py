@@ -1,4 +1,4 @@
-"""ProcessExecutor timeout-path coverage: kill, surface, recover.
+"""ProcessExecutor failure-path coverage: timeouts and worker deaths.
 
 The per-phase hard timeout exists so a deadlocked worker fails the job
 instead of hanging the driver.  These tests pin the whole path on both
@@ -6,10 +6,21 @@ dispatch routes (picklable specs on the persistent pool, closure tasks
 on fork-inherited pools): the stuck phase raises, the stuck pool is
 torn down, and the executor remains usable — the next phase builds a
 fresh pool and completes.
+
+A worker *dying* mid-phase (OOM kill, segfault) is a different failure:
+``multiprocessing.Pool`` silently respawns the process but the task it
+was running is lost, so without intervention the phase hangs until the
+timeout.  The executor treats the death as transient — it re-drives the
+whole phase on a fresh pool with bounded attempts — and these tests
+cover both the recovered case (worker dies once, phase completes on the
+re-drive) and the give-up case (workers keep dying, bounded attempts
+exhaust into a ``RuntimeError``).
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 
 import pytest
@@ -24,6 +35,25 @@ pytestmark = pytest.mark.skipif(
 def _sleep_forever(seconds: float) -> float:
     time.sleep(seconds)
     return seconds
+
+
+def _die_once_then(sentinel: str, value: int) -> int:
+    """SIGKILL the calling worker the first time, succeed afterwards.
+
+    The sentinel file is the cross-attempt memory: the first execution
+    creates it and kills its own process (a real abrupt death, no
+    exception propagation); the re-driven attempt finds it and returns.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _always_die(value: int) -> int:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - never reached
 
 
 class TestSpecPathTimeout:
@@ -71,6 +101,68 @@ class TestClosureTaskPathTimeout:
                     [lambda: time.sleep(30), lambda: time.sleep(30)]
                 )
             assert executor.run_tasks([lambda: 1 + 1, lambda: 2 + 2]) == [2, 4]
+        finally:
+            executor.close()
+
+
+class TestWorkerDeathRecovery:
+    def test_spec_phase_survives_one_worker_death(self, tmp_path):
+        executor = ProcessExecutor(
+            workers=2, task_timeout_s=30.0, retry_backoff_s=0.01
+        )
+        sentinel = str(tmp_path / "died-once")
+        try:
+            results = executor.run_specs(
+                [(_die_once_then, (sentinel, i)) for i in range(4)]
+            )
+            assert results == [0, 1, 2, 3]
+        finally:
+            executor.close()
+
+    def test_closure_phase_survives_one_worker_death(self, tmp_path):
+        executor = ProcessExecutor(
+            workers=2, task_timeout_s=30.0, retry_backoff_s=0.01
+        )
+        sentinel = str(tmp_path / "died-once")
+        try:
+            results = executor.run_tasks(
+                [lambda i=i: _die_once_then(sentinel, i) for i in range(4)]
+            )
+            assert results == [0, 1, 2, 3]
+        finally:
+            executor.close()
+
+    def test_persistent_deaths_exhaust_attempts_and_raise(self):
+        executor = ProcessExecutor(
+            workers=2, task_timeout_s=30.0,
+            retry_attempts=1, retry_backoff_s=0.01,
+        )
+        try:
+            with pytest.raises(RuntimeError, match="lost workers"):
+                executor.run_specs(
+                    [(_always_die, (i,)) for i in range(4)]
+                )
+            # The damaged pool was discarded; the executor still works.
+            assert executor.run_specs(
+                [(len, ("ab",)), (len, ("abc",))]
+            ) == [2, 3]
+        finally:
+            executor.close()
+
+    def test_executor_usable_after_mixed_failures(self, tmp_path):
+        executor = ProcessExecutor(
+            workers=2, task_timeout_s=0.5,
+            retry_attempts=1, retry_backoff_s=0.01,
+        )
+        sentinel = str(tmp_path / "died-once")
+        try:
+            with pytest.raises(RuntimeError, match="exceeded"):
+                executor.run_specs(
+                    [(_sleep_forever, (30.0,)), (_sleep_forever, (30.0,))]
+                )
+            assert executor.run_specs(
+                [(_die_once_then, (sentinel, i)) for i in range(3)]
+            ) == [0, 1, 2]
         finally:
             executor.close()
 

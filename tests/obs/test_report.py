@@ -76,3 +76,39 @@ def test_render_report_end_to_end(tmp_path):
 def test_render_report_without_trace_is_an_error(tmp_path):
     with pytest.raises(FileNotFoundError, match="--trace-dir"):
         render_report(str(tmp_path))
+
+
+class TestServingSection:
+    def _metrics(self):
+        from repro.obs import parse_metrics_text
+        from repro.serving import ServingStats
+
+        stats = ServingStats()
+        registry = MetricsRegistry()
+        stats.bind(registry)
+        stats._queries.inc(10)
+        stats._degraded.inc(1)
+        stats._failovers.inc(2)
+        stats.time_to_healthy_hist.observe(0.006)
+        return parse_metrics_text(prometheus_text(registry))
+
+    def test_absent_without_serving_metrics(self):
+        from repro.obs.report import render_serving_section
+
+        registry = MetricsRegistry()
+        registry.counter("repro.x.count").inc(1)
+        from repro.obs import parse_metrics_text
+
+        metrics = parse_metrics_text(prometheus_text(registry))
+        assert render_serving_section(metrics) == ""
+
+    def test_renders_counters_and_time_to_healthy(self):
+        from repro.obs.report import render_serving_section
+
+        text = render_serving_section(self._metrics())
+        assert "serving tier (fault tolerance)" in text
+        assert "queries served" in text
+        assert "degraded responses" in text
+        assert "failovers" in text
+        assert "time-to-healthy mean / p99 (ms)" in text
+        assert "6.0" in text

@@ -1,0 +1,99 @@
+"""Fault-spec parsing and open-loop report mechanics (no processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import Fault, LoadReport, parse_fault, spawn_budgets
+
+
+class TestParseFault:
+    def test_kill_at_time(self):
+        fault = parse_fault("kill:1@t=5")
+        assert (fault.kind, fault.shard, fault.at_s) == ("kill", 1, 5.0)
+        assert fault.at_event is None and not fault.at_spawn
+
+    def test_kill_at_event(self):
+        fault = parse_fault("kill:2@e=120")
+        assert (fault.kind, fault.shard, fault.at_event) == ("kill", 2, 120)
+
+    def test_stall_with_duration(self):
+        fault = parse_fault("stall:0@t=2:dur=0.8")
+        assert fault.kind == "stall"
+        assert fault.duration_s == pytest.approx(0.8)
+
+    def test_freeze(self):
+        fault = parse_fault("freeze:0@t=3")
+        assert fault.kind == "freeze" and fault.at_s == 3.0
+
+    def test_torn_at_spawn(self):
+        fault = parse_fault("torn:1@spawn:budget=4096")
+        assert fault.kind == "torn" and fault.at_spawn
+        assert fault.budget == 4096
+
+    def test_round_trips_through_spec(self):
+        for spec in (
+            "kill:1@t=5", "kill:1@e=120", "stall:0@t=2:dur=0.8",
+            "freeze:0@t=3", "torn:1@spawn:budget=4096",
+        ):
+            assert parse_fault(spec).spec() == spec
+
+    @pytest.mark.parametrize("bad", [
+        "kill:1",                      # no trigger
+        "explode:1@t=5",               # unknown kind
+        "kill:1@x=5",                  # unknown trigger
+        "stall:0@t=2",                 # stall without duration
+        "torn:1@t=5:budget=10",        # torn must be @spawn
+        "torn:1@spawn",                # torn without budget
+        "kill:1@spawn",                # @spawn is torn-only
+        "kill:1@t=5:volume=11",        # unknown option
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault(bad)
+
+
+class TestSpawnBudgets:
+    def test_collects_only_torn_faults(self):
+        faults = [
+            parse_fault("kill:0@t=1"),
+            parse_fault("torn:1@spawn:budget=512"),
+            parse_fault("torn:2@spawn:budget=1024"),
+        ]
+        assert spawn_budgets(faults) == {1: 512, 2: 1024}
+
+
+class TestLoadReport:
+    def make_report(self):
+        # Three one-second periods; a degraded burst in the second one.
+        samples = [
+            (0, 0.1, 0.002, False),
+            (1, 0.6, 0.004, False),
+            (2, 1.2, 0.250, True),
+            (3, 1.7, 0.180, True),
+            (4, 2.3, 0.003, False),
+            (5, 2.8, 0.005, False),
+        ]
+        return LoadReport(
+            duration_s=3.0, events=6, queries=6, degraded_queries=2,
+            achieved_eps=2.0, target_eps=2.0, samples=samples, fault_log=[],
+        )
+
+    def test_degraded_after_counts_from_cutoff(self):
+        report = self.make_report()
+        assert report.degraded_after(0.0) == 2
+        assert report.degraded_after(1.5) == 1
+        assert report.degraded_after(2.0) == 0
+
+    def test_period_rows_bucket_by_schedule(self):
+        rows = self.make_report().period_rows(period_s=1.0)
+        assert [row["period"] for row in rows] == ["0-1s", "1-2s", "2-3s"]
+        assert [row["ops"] for row in rows] == ["2", "2", "2"]
+        assert [row["degraded"] for row in rows] == ["0", "2", "0"]
+        # The degraded period's tail is visibly worse.
+        assert float(rows[1]["p99_ms"]) > float(rows[0]["p99_ms"])
+
+    def test_latencies_series(self):
+        report = self.make_report()
+        assert len(report.latencies_s()) == 6
+        assert max(report.latencies_s()) == pytest.approx(0.250)

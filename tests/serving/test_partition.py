@@ -1,0 +1,56 @@
+"""Candidate-space partitioning: stability, totality, coverage shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import owner_of, split_by_owner
+from repro.utils.rng import stable_hash_int
+
+
+class TestOwnerOf:
+    def test_matches_stable_hash(self):
+        for entity_id in range(200):
+            assert owner_of(entity_id, 4) == stable_hash_int(entity_id, 4)
+
+    def test_within_range(self):
+        for n in (1, 2, 3, 7, 8):
+            assert all(0 <= owner_of(i, n) < n for i in range(500))
+
+    def test_single_partition_owns_everything(self):
+        assert {owner_of(i, 1) for i in range(100)} == {0}
+
+    def test_spread_is_not_degenerate(self):
+        owners = [owner_of(i, 4) for i in range(400)]
+        counts = [owners.count(p) for p in range(4)]
+        assert all(count > 0 for count in counts)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            owner_of(3, 0)
+
+
+class TestSplitByOwner:
+    def test_every_partition_present_even_when_empty(self):
+        split = split_by_owner([], 5)
+        assert sorted(split) == [0, 1, 2, 3, 4]
+        assert all(ids == [] for ids in split.values())
+
+    def test_partition_of_each_candidate(self):
+        candidates = list(range(123))
+        split = split_by_owner(candidates, 3)
+        for partition, ids in split.items():
+            assert all(owner_of(i, 3) == partition for i in ids)
+
+    def test_disjoint_and_complete(self):
+        candidates = list(range(97))
+        split = split_by_owner(candidates, 4)
+        recombined = [i for ids in split.values() for i in ids]
+        assert sorted(recombined) == candidates
+
+    def test_order_preserved_within_partition(self):
+        candidates = [9, 5, 13, 2, 30, 21, 44]
+        split = split_by_owner(candidates, 2)
+        for ids in split.values():
+            positions = [candidates.index(i) for i in ids]
+            assert positions == sorted(positions)

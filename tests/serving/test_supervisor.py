@@ -1,0 +1,161 @@
+"""Supervisor unit behavior over fake shard handles (no processes)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serving import (
+    DEAD,
+    LIVE,
+    RECOVERING,
+    HedgePolicy,
+    RetryPolicy,
+    ServingStats,
+    Supervisor,
+)
+
+
+class FakeHandle:
+    """A ShardHandle stand-in with scriptable liveness."""
+
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+        self.state = LIVE
+        self.alive = True
+        self.heartbeat_age = 0.0
+        self.spawn_count = 1
+        self.down_since = None
+        self.killed = 0
+
+    def is_alive(self):
+        return self.alive
+
+    def heartbeat_age_s(self, _now=None):
+        return self.heartbeat_age
+
+    def kill(self):
+        self.killed += 1
+        self.alive = False
+
+    def spawn(self, crash_budget=None):
+        self.alive = True
+        self.spawn_count += 1
+        self.state = RECOVERING
+
+
+def make_supervisor(n=3, **kwargs):
+    handles = [FakeHandle(i) for i in range(n)]
+    stats = ServingStats()
+    supervisor = Supervisor(handles, stats=stats, **kwargs)
+    return supervisor, handles, stats
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.3, jitter=0.0)
+        rng = random.Random(1)
+        assert policy.backoff_s(1, rng) == pytest.approx(0.1)
+        assert policy.backoff_s(2, rng) == pytest.approx(0.2)
+        assert policy.backoff_s(3, rng) == pytest.approx(0.3)
+        assert policy.backoff_s(9, rng) == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 6):
+            delay = policy.backoff_s(attempt, rng)
+            base = min(0.1 * 2 ** (attempt - 1), policy.max_delay_s)
+            assert base <= delay <= base * 1.5
+
+
+class TestHedgePolicy:
+    def test_default_delay_before_enough_samples(self):
+        policy = HedgePolicy(min_samples=5, default_delay_s=0.08)
+        assert policy.delay_s([0.01] * 4) == 0.08
+
+    def test_quantile_scaled_after_warmup(self):
+        policy = HedgePolicy(
+            min_samples=5, quantile=0.5, multiplier=2.0, min_delay_s=0.0
+        )
+        latencies = sorted([0.01, 0.02, 0.03, 0.04, 0.05])
+        # index = int(0.5 * 5) = 2 → the 0.03 sample, doubled.
+        assert policy.delay_s(latencies) == pytest.approx(2.0 * 0.03)
+
+    def test_floor_applies(self):
+        policy = HedgePolicy(min_samples=1, multiplier=1.0, min_delay_s=0.5)
+        assert policy.delay_s([0.001]) == 0.5
+
+
+class TestSupervision:
+    def test_dead_shard_respawned_and_counted(self):
+        supervisor, handles, stats = make_supervisor()
+        handles[1].alive = False
+        supervisor.tick(force=True)
+        assert handles[1].state == RECOVERING
+        assert handles[1].spawn_count == 2
+        assert stats.shard_deaths == 1
+        assert stats.respawns == 1
+
+    def test_stale_heartbeat_is_killed_then_respawned(self):
+        supervisor, handles, _ = make_supervisor(heartbeat_deadline_s=1.0)
+        handles[0].heartbeat_age = 5.0
+        supervisor.tick(force=True)
+        assert handles[0].killed == 1
+        assert handles[0].state == RECOVERING
+        assert ("stuck" in [e for _, e, _ in supervisor.events])
+
+    def test_no_respawn_when_disabled(self):
+        supervisor, handles, stats = make_supervisor(auto_respawn=False)
+        handles[2].alive = False
+        supervisor.tick(force=True)
+        assert handles[2].state == DEAD
+        assert stats.respawns == 0
+
+    def test_crash_loop_exhausts_respawn_budget(self):
+        supervisor, handles, _ = make_supervisor(max_respawns=3)
+        handle = handles[0]
+        for _ in range(10):
+            handle.alive = False
+            supervisor.tick(force=True)
+            if handle.state == DEAD:
+                break
+            # Dies again while still RECOVERING (never reaches ready).
+        assert handle.state == DEAD
+        assert handle.spawn_count <= 4
+        assert ("gave-up" in [e for _, e, _ in supervisor.events])
+
+    def test_on_ready_redrives_before_going_live(self):
+        order = []
+        supervisor, handles, stats = make_supervisor()
+        supervisor.on_respawn = lambda shard_id, version: order.append(
+            ("redrive", handles[shard_id].state)
+        )
+        handles[1].alive = False
+        supervisor.tick(force=True)
+        handles[1].down_since = 0.0
+        supervisor.on_ready(1, version=0)
+        # The re-drive callback ran while the shard was still RECOVERING.
+        assert order == [("redrive", RECOVERING)]
+        assert handles[1].state == LIVE
+        assert stats.time_to_healthy_hist.count == 1
+
+    def test_on_ready_ignores_live_shards(self):
+        supervisor, handles, _ = make_supervisor()
+        called = []
+        supervisor.on_respawn = lambda *a: called.append(a)
+        supervisor.on_ready(0, version=3)
+        assert called == []
+
+    def test_pick_other_prefers_lowest_live(self):
+        supervisor, handles, _ = make_supervisor(n=4)
+        handles[0].state = DEAD
+        assert supervisor.pick_other({2}) == 1
+        assert supervisor.pick_other({1, 2, 3}) is None
+
+    def test_all_live(self):
+        supervisor, handles, _ = make_supervisor()
+        assert supervisor.all_live()
+        handles[0].state = RECOVERING
+        assert not supervisor.all_live()

@@ -285,3 +285,75 @@ class TestStatsMetricsAgreement:
         # (driver-side) includes it plus the durability hooks.
         assert view_hist.sum <= stats.reconcile_s
         assert resolver.view.last_report.wall_s in view_hist.values
+
+
+class TestGracefulSigterm:
+    """SIGTERM takes the same graceful path as SIGINT (satellite)."""
+
+    def test_sigterm_becomes_keyboard_interrupt_and_is_witnessed(self):
+        import os
+        import signal
+
+        from repro.stream.workload import graceful_sigterm
+
+        with graceful_sigterm() as witness:
+            with pytest.raises(KeyboardInterrupt):
+                # Delivered synchronously: CPython runs the handler at
+                # the next bytecode boundary after kill() returns.
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert witness.name == "SIGTERM"
+        # The previous disposition is restored on exit.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_driver_returns_partial_stats_on_sigterm(self, corpus):
+        import os
+        import signal
+
+        from repro.stream.workload import graceful_sigterm
+
+        kb1, kb2 = corpus
+        resolver = StreamResolver(clean_clean=True)
+        events = uniform_workload(kb1, kb2, query_every=3)
+        fired = []
+
+        def terminate_once(_result):
+            if not fired:
+                fired.append(True)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        with graceful_sigterm() as witness:
+            stats = WorkloadDriver(resolver).run(
+                events, on_query=terminate_once
+            )
+        assert stats.interrupted
+        assert witness.name == "SIGTERM"
+        # The prefix before the signal was recorded, the suffix was not.
+        assert 0 < stats.events < len(events)
+
+    def test_sigint_path_leaves_witness_empty(self, corpus):
+        from repro.stream.workload import graceful_sigterm
+
+        kb1, kb2 = corpus
+        resolver = StreamResolver(clean_clean=True)
+
+        def interrupt_once(_result):
+            raise KeyboardInterrupt()
+
+        with graceful_sigterm() as witness:
+            stats = WorkloadDriver(resolver).run(
+                uniform_workload(kb1, kb2, query_every=3),
+                on_query=interrupt_once,
+            )
+        assert stats.interrupted
+        assert witness.name is None
+
+    def test_interrupt_signal_shows_in_summary(self, corpus):
+        kb1, kb2 = corpus
+        resolver = StreamResolver(clean_clean=True)
+        stats = WorkloadDriver(resolver).run(
+            uniform_workload(kb1, kb2, query_every=3)
+        )
+        stats.interrupted = True
+        stats.interrupt_signal = "SIGTERM"
+        rows = {row["metric"]: row["value"] for row in stats.summary_rows()}
+        assert rows["interrupted"] == "yes (SIGTERM, partial replay)"

@@ -615,3 +615,85 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    pytestmark = pytest.mark.skipif(
+        os.name != "posix", reason="serving tier needs fork + POSIX signals"
+    )
+
+    def test_kill_fault_run_recovers_and_verifies(self, capsys, movies_paths):
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(
+                [
+                    "serve", "--kb1", kb_a, "--kb2", kb_b,
+                    "--shards", "2", "--rate", "500",
+                    "--fault", "kill:1@e=10",
+                    "--heartbeat-deadline", "0.5",
+                    "--max-events", "40",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault fired: kill:1@e=10" in out
+        assert "degraded queries: 0 after recovery" in out
+        assert "recovery equivalence: OK" in out
+        assert "Serving tier statistics" in out
+
+    def test_malformed_fault_spec_rejected(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert main(["serve", "--kb1", kb_a, "--fault", "explode:0@t=1"]) == 1
+        assert "explode" in capsys.readouterr().out
+
+    def test_fault_on_missing_shard_rejected(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert (
+            main(["serve", "--kb1", kb_a, "--shards", "2",
+                  "--fault", "kill:5@t=1"])
+            == 1
+        )
+        assert "shards 0..1" in capsys.readouterr().out
+
+    def test_torn_fault_requires_durability_root(self, capsys, movies_paths):
+        kb_a, _, _ = movies_paths
+        assert (
+            main(["serve", "--kb1", kb_a,
+                  "--fault", "torn:1@spawn:budget=4096"])
+            == 1
+        )
+        assert "--durability-root" in capsys.readouterr().out
+
+
+class TestStreamSigterm:
+    pytestmark = pytest.mark.skipif(
+        os.name != "posix", reason="needs POSIX signals"
+    )
+
+    def test_sigterm_mid_replay_exits_143_with_partial_stats(
+        self, capsys, movies_paths, monkeypatch
+    ):
+        import signal
+
+        from repro.stream.workload import WorkloadDriver
+
+        original = WorkloadDriver.run
+        fired = []
+
+        def run_with_sigterm(self, events, *args, **kwargs):
+            def terminate(_result):
+                if not fired:
+                    fired.append(True)
+                    os.kill(os.getpid(), signal.SIGTERM)
+
+            kwargs["on_query"] = terminate
+            return original(self, events, *args, **kwargs)
+
+        monkeypatch.setattr(WorkloadDriver, "run", run_with_sigterm)
+        kb_a, kb_b, _ = movies_paths
+        assert (
+            main(["stream", "--kb1", kb_a, "--kb2", kb_b]) == 143
+        )
+        out = capsys.readouterr().out
+        assert "yes (SIGTERM, partial replay)" in out
