@@ -8,11 +8,14 @@ Measures the parallel layer on the center synthetic workload:
   and shuffle bytes.  Gated: the int-ID formulation must win both.
 * **executor sweep** — the int-ID formulation at 1/2/4 workers on the
   ``multiprocessing`` executor, *measured* wall clock (pool warm), on a
-  larger center workload so per-task compute dominates IPC.  The 4-worker
-  speedup is recorded always and gated (> ``SPEEDUP_BAR``×) only when
-  the machine actually has >= 4 CPUs — on fewer cores real parallel
-  speedup is physically impossible and the number documents the
-  overhead instead.
+  larger center workload so per-task compute dominates IPC.  The gate is
+  **hard** whenever the process executor exists: 4-worker wall must beat
+  1-worker wall (the shared-memory data plane makes multi-worker pay for
+  itself even on one core — chunked sorts do less total work and nothing
+  is pickled), per-worker shuffle bytes must strictly shrink as workers
+  are added, and no ``repro_shm_*`` segment may survive the run.  The
+  stronger ``SPEEDUP_BAR``× bar applies additionally when the machine
+  actually has >= 4 CPUs.
 * **equivalence** — parallel CNP edges must equal the sequential
   ``BlockingGraph`` pruning bit for bit (always gated).
 
@@ -39,6 +42,7 @@ from repro.datasets import SyntheticConfig, synthesize_pair
 from repro.mapreduce import (
     MapReduceEngine,
     ProcessExecutor,
+    leaked_segments,
     parallel_metablocking,
     parallel_metablocking_ids,
 )
@@ -52,7 +56,9 @@ CENTER = SyntheticConfig(entities=300, overlap=0.7, seed=42)
 #: executor sweep workload (larger: per-task compute must dominate IPC)
 CENTER_LARGE = SyntheticConfig(entities=2000, overlap=0.7, seed=42)
 WORKER_SWEEP = (1, 2, 4)
-REPEATS = 3
+#: best-of count — the hard 4w-vs-1w gate needs the noise floor below
+#: the single-core win margin, so this errs high
+REPEATS = 5
 
 
 def _blocks(config: SyntheticConfig):
@@ -139,13 +145,32 @@ def run_benchmark() -> dict:
             sweep[str(workers)] = {
                 "wall_ms": round(elapsed * 1e3, 2),
                 "shuffle_bytes": sum(m.shuffle_bytes for m in metrics),
+                "shuffle_bytes_per_worker": sum(
+                    m.shuffle_bytes_per_worker for m in metrics
+                ),
                 "edges": len(edges),
             }
         results["measured_speedup_4w"] = round(
             sweep["1"]["wall_ms"] / sweep["4"]["wall_ms"], 2
         )
+        results["sweep_4w_beats_1w"] = (
+            sweep["4"]["wall_ms"] < sweep["1"]["wall_ms"]
+        )
+        per_worker = [
+            sweep[str(workers)]["shuffle_bytes_per_worker"]
+            for workers in WORKER_SWEEP
+        ]
+        results["shuffle_bytes_per_worker_decreasing"] = all(
+            later < earlier for earlier, later in zip(per_worker, per_worker[1:])
+        )
     results["worker_sweep"] = sweep
-    results["speedup_gated"] = process_available and results["cpu_count"] >= 4
+    # The gate is hard whenever the sweep can run at all: the
+    # shared-memory data plane must make 4 workers beat 1 even on a
+    # single core (less total sort work, zero pickled payload) — the
+    # old >= 4 CPU condition let the regression ship silently on small
+    # runners.  The 1.5x speedup bar additionally applies with >= 4 CPUs.
+    results["speedup_gated"] = process_available
+    results["leaked_shm_segments"] = leaked_segments()
     return results
 
 
@@ -168,16 +193,21 @@ def format_report(results: dict) -> str:
         for workers, entry in results["worker_sweep"].items():
             lines.append(
                 f"[process x{workers}] wall {entry['wall_ms']:8.1f} ms   "
+                f"shuffle/worker {entry['shuffle_bytes_per_worker'] / 1024:7.0f} KiB   "
                 f"{entry['edges']} edges"
             )
         lines.append(
             f"measured 4-worker speedup: {results['measured_speedup_4w']:.2f}x "
-            f"(bar {results['speedup_bar']:.1f}x, gated={results['speedup_gated']}, "
+            f"(4w beats 1w: {results['sweep_4w_beats_1w']}, "
+            f"per-worker shuffle decreasing: "
+            f"{results['shuffle_bytes_per_worker_decreasing']}, "
+            f"bar {results['speedup_bar']:.1f}x, gated={results['speedup_gated']}, "
             f"{results['cpu_count']} cpu(s))"
         )
     else:
         lines.append("process executor unavailable: sweep skipped")
     lines.append(f"parallel == sequential equivalence: {results['equivalence_ok']}")
+    lines.append(f"leaked shm segments: {results['leaked_shm_segments'] or 'none'}")
     return "\n".join(lines)
 
 
@@ -193,9 +223,16 @@ def _passes(results: dict) -> bool:
         results["equivalence_ok"]
         and results["int_beats_string_wall"]
         and results["int_beats_string_shuffle"]
+        and not results["leaked_shm_segments"]
     )
     if results["speedup_gated"]:
-        ok = ok and results["measured_speedup_4w"] >= SPEEDUP_BAR
+        ok = (
+            ok
+            and results["sweep_4w_beats_1w"]
+            and results["shuffle_bytes_per_worker_decreasing"]
+        )
+        if results["cpu_count"] >= 4:
+            ok = ok and results["measured_speedup_4w"] >= SPEEDUP_BAR
     return ok
 
 
@@ -209,8 +246,18 @@ def test_perf_mapreduce():
     assert results["equivalence_ok"]
     assert results["int_beats_string_wall"]
     assert results["int_beats_string_shuffle"]
+    assert results["leaked_shm_segments"] == []
     if results["speedup_gated"]:
-        assert results["measured_speedup_4w"] >= SPEEDUP_BAR
+        assert results["sweep_4w_beats_1w"], (
+            "multi-worker regression: 4-worker wall must beat 1-worker "
+            f"({results['worker_sweep']})"
+        )
+        assert results["shuffle_bytes_per_worker_decreasing"], (
+            "per-worker shuffle bytes must strictly shrink with workers "
+            f"({results['worker_sweep']})"
+        )
+        if results["cpu_count"] >= 4:
+            assert results["measured_speedup_4w"] >= SPEEDUP_BAR
 
 
 def main() -> int:

@@ -21,6 +21,7 @@ production path, bit-identical to the sequential int-ID graph.
 
 * :mod:`repro.mapreduce.engine` — the job runner + executors;
 * :mod:`repro.mapreduce.records` — columnar shuffle batches;
+* :mod:`repro.mapreduce.shm` — the zero-copy shared-memory data plane;
 * :mod:`repro.mapreduce.parallel_blocking` — MapReduce token blocking [5];
 * :mod:`repro.mapreduce.parallel_metablocking` — string-tuple meta-blocking
   [4], edge-centric and entity-centric strategies (reference);
@@ -52,6 +53,13 @@ from repro.mapreduce.parallel_postprocessing import (
     parallel_block_purging,
     parallel_block_filtering,
 )
+from repro.mapreduce.shm import (
+    ArrayRef,
+    SharedBlockStore,
+    attach_array,
+    leaked_segments,
+    shared_memory_available,
+)
 
 __all__ = [
     "ArrayMapReduceJob",
@@ -70,4 +78,9 @@ __all__ = [
     "parallel_pair_table",
     "parallel_block_purging",
     "parallel_block_filtering",
+    "ArrayRef",
+    "SharedBlockStore",
+    "attach_array",
+    "leaked_segments",
+    "shared_memory_available",
 ]

@@ -1,14 +1,24 @@
-"""Int-ID MapReduce meta-blocking: the array-native parallel formulation.
+"""Int-ID MapReduce meta-blocking on the shared-memory data plane.
 
 The retained string-tuple formulation in
 :mod:`repro.mapreduce.parallel_metablocking` ships one Python tuple per
 implied comparison through the shuffle.  This module is the rebuild on
-PR 1's integer backbone: mappers expand each map split's comparison
-cells straight from the collection's CSR id views into flat numpy
-arrays, pack every pair into a single ``a << 32 | b`` int64 key, combine
-with a sort + bincount fold, and route columnar record batches by
-vectorized splitmix64 hashing — no per-record Python objects anywhere
-between map input and reduce output.
+PR 1's integer backbone, now carried end to end by the zero-copy plane
+of :mod:`repro.mapreduce.shm`:
+
+* the driver publishes the collection's CSR id views (and, for pruning,
+  the weighted edge table) **once** into shared segments — map tasks
+  receive only ``(start, stop, arena)`` plus the published
+  :class:`~repro.mapreduce.shm.ArrayRef` descriptors, never pickled
+  arrays;
+* mappers expand their block range straight from the attached CSR,
+  pack every pair into a single ``a << 32 | b`` int64 key, and gather
+  the routed columns into their task arena, so the shuffle moves
+  :class:`~repro.mapreduce.records.DescriptorBatch` descriptors through
+  the queues instead of materialized batches;
+* reducers attach their partition's columns zero-copy and write bulky
+  output (pair statistics, retention votes) into per-partition reduce
+  arenas; only scalar-sized results are pickled back.
 
 **Bit-identity contract.**  Every result — pair statistics, weights,
 surviving edges — is bit-identical to the sequential
@@ -16,11 +26,10 @@ surviving edges — is bit-identical to the sequential
 worker count and either executor.  Floating-point addition is not
 associative, so this needs care at two points:
 
-* **ARCS sums** — map-side combining folds cells per ``(pair, block)``
-  incidence (contributions inside one incidence are equal values of one
-  block, so their fold is order-free *within* the incidence), and the
-  reducer re-expands incidences ordered by each pair's global
-  first-cell index, reproducing the sequential enumeration's value
+* **ARCS sums** — every comparison cell ships with its global cell
+  index; the reducer orders each pair's cells by that index
+  (``lexsort`` keyed on pair then cell) before the sequential
+  ``bincount`` fold, reproducing the sequential enumeration's value
   sequence exactly;
 * **global/neighbourhood means** — the WEP threshold is folded
   driver-side in pair-table row order (first-seen order, recovered from
@@ -28,9 +37,12 @@ associative, so this needs care at two points:
   entity-centric reducers fold each node's weights in the interleaved
   directed-edge order the sequential pruners use.
 
-Everything a worker touches is a module-level function over arrays, so
-the multiprocessing executor ships tasks by pickle with no fork
-inheritance tricks.
+Everything a worker touches is a module-level function over arrays and
+descriptors, so the multiprocessing executor ships tasks by pickle with
+no fork inheritance tricks; segment lifecycle is the drivers'
+responsibility — create and publish before the phase, guaranteed
+``destroy()`` in a ``finally`` (also registered with the engine as a
+safety net), so crashes and re-driven phases leak nothing.
 """
 
 from __future__ import annotations
@@ -44,7 +56,13 @@ except ImportError:  # pragma: no cover - the container ships numpy
 
 from repro.blocking.block import BlockCollection
 from repro.mapreduce.engine import ArrayMapReduceJob, JobMetrics, MapReduceEngine
-from repro.mapreduce.records import RecordBatch, concat_batches, partition_batch
+from repro.mapreduce.records import DescriptorBatch, concat_batches, partition_batch_into
+from repro.mapreduce.shm import (
+    ArenaWriter,
+    SharedBlockStore,
+    arena_capacity,
+    attach_array,
+)
 from repro.metablocking.graph import (
     PairTable,
     WeightedEdge,
@@ -65,18 +83,18 @@ def _require_numpy() -> None:
 
 
 # ---------------------------------------------------------------------------
-# Input splits: contiguous block ranges, balanced by implied comparisons
+# Input splits: contiguous ranges over the published arrays
 # ---------------------------------------------------------------------------
 
 
 @dataclass
-class _ChunkCSR:
-    """A self-contained CSR slice of one map split's blocks.
+class _AttachedCSR:
+    """The published CSR arrays, re-attached in a worker.
 
     Shaped exactly like :class:`~repro.blocking.block.BlockIdArrays` as
-    far as :func:`expand_comparison_cells` is concerned, but carrying
-    only the split's spans — what crosses the process boundary is the
-    split, not the collection.
+    far as :func:`expand_comparison_cells` is concerned — the full
+    collection, zero-copy; each map task works its ``[start, stop)``
+    block range against it.
     """
 
     cardinality: "np.ndarray"
@@ -86,32 +104,17 @@ class _ChunkCSR:
     sides: "np.ndarray"
 
 
-def _slice_csr(csr, start: int, stop: int) -> _ChunkCSR:
-    side1_lo = int(csr.offsets1[start])
-    side1_hi = int(csr.offsets1[stop])
-    side2_lo = int(csr.offsets2_abs[start])
-    side2_hi = int(csr.offsets2_abs[stop])
-    side1_span = side1_hi - side1_lo
-    return _ChunkCSR(
-        cardinality=csr.cardinality[start:stop],
-        offsets1=csr.offsets1[start : stop + 1] - side1_lo,
-        offsets2_abs=csr.offsets2_abs[start : stop + 1] - side2_lo + side1_span,
-        bipartite=csr.bipartite[start:stop],
-        sides=np.concatenate(
-            [csr.sides[side1_lo:side1_hi], csr.sides[side2_lo:side2_hi]]
-        ),
-    )
+def _attach_csr(refs: tuple) -> _AttachedCSR:
+    return _AttachedCSR(*(attach_array(ref) for ref in refs))
 
 
-def _block_chunks(blocks: BlockCollection, workers: int) -> list[tuple]:
-    """Contiguous block-range splits, work-balanced by comparison count.
+def _block_ranges(csr, workers: int) -> list[tuple[int, int, int]]:
+    """Contiguous ``(start, stop, cells)`` splits, balanced by cell count.
 
     Token frequencies are Zipfian, so splitting by block *count* leaves
     one mapper holding the stop-word blocks; splitting on the cumulative
     cardinality curve keeps map tasks within one cell-count of even.
     """
-    csr = blocks.id_arrays()
-    assert csr is not None
     count = len(csr.cardinality)
     if count == 0:
         return []
@@ -119,107 +122,101 @@ def _block_chunks(blocks: BlockCollection, workers: int) -> list[tuple]:
     total = int(cumulative[-1])
     targets = [(total * (i + 1)) // workers for i in range(workers)]
     boundaries = np.searchsorted(cumulative, targets, side="left") + 1
-    chunks: list[tuple] = []
+    ranges: list[tuple[int, int, int]] = []
     start = 0
     for boundary in boundaries.tolist():
         stop = min(max(boundary, start), count)
         if stop == start:
             continue
-        cell_base = int(cumulative[start - 1]) if start else 0
-        chunks.append((_slice_csr(csr, start, stop), start, cell_base))
+        cells_before = int(cumulative[start - 1]) if start else 0
+        ranges.append((start, stop, int(cumulative[stop - 1]) - cells_before))
         start = stop
-    return chunks
+    return ranges
 
 
-def _row_chunks(arrays: tuple, workers: int) -> list[tuple]:
-    """Even contiguous row-range splits of parallel edge arrays."""
-    rows = len(arrays[0])
-    if rows == 0:
-        return []
+def _row_ranges(rows: int, workers: int) -> list[tuple[int, int]]:
+    """Even contiguous ``(start, stop)`` splits of an edge-table row span."""
     size, remainder = divmod(rows, workers)
-    chunks: list[tuple] = []
+    ranges: list[tuple[int, int]] = []
     start = 0
     for worker in range(workers):
         length = size + (1 if worker < remainder else 0)
         if length == 0:
             continue
-        chunks.append((start, *(a[start : start + length] for a in arrays)))
+        ranges.append((start, start + length))
         start += length
-    return chunks
+    return ranges
 
 
 # ---------------------------------------------------------------------------
 # Job 1 — pair statistics (edge-centric aggregation)
 # ---------------------------------------------------------------------------
 
+#: per-cell shuffle row: packed key + global cell index + contribution
+_CELL_ROW_BYTES = 24
+#: pair-statistics reduce row: key + common + arcs + first-cell
+_STATS_ROW_BYTES = 32
+
 
 def _map_pair_cells(chunk, partitions: int, params: dict):
-    """Expand one split's cells; combine per (pair, block); route by pair.
+    """Expand one block range's cells from the attached CSR; route by pair.
 
-    Batch columns: packed key, block ordinal, cell count, first global
-    cell index, per-cell contribution (``1/‖b‖``).
+    Batch columns: packed key, global cell index, per-cell contribution
+    (``1/‖b‖``).  No map-side fold: each ``(pair, block)`` incidence is
+    a single cell, so shipping cells raw is smaller than shipping folded
+    incidences with their provenance — and the reducer's sort restores
+    the exact sequential enumeration order from the cell index alone.
     """
-    chunk_csr, ordinal_base, cell_base = chunk
-    expanded = expand_comparison_cells(chunk_csr, with_provenance=True)
-    left, right, contribution, ordinals, cell_index = expanded
+    start, stop, arena = chunk
+    csr = _attach_csr(params["csr"])
+    left, right, contribution, _ordinals, cell_index = expand_comparison_cells(
+        csr, start, stop, with_provenance=True
+    )
     rows = len(left)
     if not rows:
         return [], 0
     keys = pack_pair_arrays(left, right)
-    ordinals = ordinals + ordinal_base
-    cell_index = cell_index + cell_base
-    # Sort + fold (the PairTable aggregation, scoped to this task): a
-    # stable lexsort groups cells by (pair, block); the group's first row
-    # keeps the earliest cell index, its size is the cell count.
-    order = np.lexsort((ordinals, keys))
-    keys_s = keys[order]
-    ordinals_s = ordinals[order]
-    new_group = np.concatenate(
-        ([True], (keys_s[1:] != keys_s[:-1]) | (ordinals_s[1:] != ordinals_s[:-1]))
+    writer = ArenaWriter(arena)
+    routed = partition_batch_into(
+        (keys, cell_index, contribution), keys, partitions, writer
     )
-    starts = np.flatnonzero(new_group)
-    cells = np.diff(np.append(starts, rows))
-    columns = (
-        keys_s[starts],
-        ordinals_s[starts],
-        cells.astype(np.int64),
-        cell_index[order][starts],
-        contribution[order][starts],
-    )
-    return partition_batch(columns, columns[0], partitions), rows
+    return routed, rows
 
 
-def _reduce_pair_stats(batches: list[RecordBatch], params: dict):
-    """Fold one partition's (pair, block) incidences into exact statistics.
+def _reduce_pair_stats(batches: list[DescriptorBatch], params: dict, arena):
+    """Fold one partition's cells into exact per-pair statistics.
 
-    Incidences are ordered by each pair's first-cell index and re-expanded
-    to per-cell contributions, so the bincount accumulates every pair's
-    ARCS terms in the sequential enumeration order — bit-identical floats.
+    Cells are sorted by (pair, global cell index), so the bincount
+    accumulates every pair's ARCS terms in the sequential enumeration
+    order — bit-identical floats.  Output columns (key, common, arcs,
+    first-cell) go into the partition's reduce arena; only descriptors
+    travel back to the driver.
     """
-    keys, ordinals, cells, first_cell, contribution = concat_batches(batches, 5)
-    rows = len(keys)
-    empty = (
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.float64),
-        np.empty(0, dtype=np.int64),
-    )
-    if not rows:
-        return empty, 0
-    order = np.lexsort((first_cell, keys))
+    if not batches:
+        return None, 0
+    keys, cell_index, contribution = concat_batches(batches, 3)
+    order = np.lexsort((cell_index, keys))
     keys_s = keys[order]
-    first_s = first_cell[order]
-    cells_s = cells[order]
     contrib_s = contribution[order]
     new_pair = np.concatenate(([True], keys_s[1:] != keys_s[:-1]))
     group = np.cumsum(new_pair) - 1
     groups = int(group[-1]) + 1
     starts = np.flatnonzero(new_pair)
-    per_cell_group = np.repeat(group, cells_s)
-    per_cell_contrib = np.repeat(contrib_s, cells_s)
-    arcs = np.bincount(per_cell_group, weights=per_cell_contrib, minlength=groups)
-    common = np.bincount(group, weights=cells_s, minlength=groups).astype(np.int64)
-    return (keys_s[starts], common, arcs, first_s[starts]), groups
+    arcs = np.bincount(group, weights=contrib_s, minlength=groups)
+    common = np.diff(np.append(starts, len(keys_s))).astype(np.int64)
+    writer = ArenaWriter(arena)
+    refs = (
+        writer.write(keys_s[starts]),
+        writer.write(common),
+        writer.write(arcs),
+        writer.write(cell_index[order][starts]),
+    )
+    return DescriptorBatch(refs, groups), groups
+
+
+def _empty_pair_table() -> PairTable:
+    empty = np.empty(0, dtype=np.int64)
+    return PairTable([], empty, empty, empty, np.empty(0, dtype=np.float64), empty)
 
 
 def parallel_pair_table(
@@ -233,19 +230,53 @@ def parallel_pair_table(
     restore first-seen enumeration order after the shuffle scattered it.
     """
     _require_numpy()
-    job = ArrayMapReduceJob(
-        name="pair-statistics-ids",
-        mapper=_map_pair_cells,
-        reducer=_reduce_pair_stats,
-    )
-    outputs, metrics = engine.run_array(job, _block_chunks(blocks, engine.workers))
-    parts = [out for out in outputs if out is not None and len(out[0])]
-    if not parts:
-        empty = np.empty(0, dtype=np.int64)
-        table = PairTable(
-            [], empty, empty, empty, np.empty(0, dtype=np.float64), empty
+    csr = blocks.id_arrays()
+    assert csr is not None
+    ranges = _block_ranges(csr, engine.workers)
+    total_cells = int(csr.cardinality.sum()) if len(csr.cardinality) else 0
+    if not ranges or not total_cells:
+        metrics = JobMetrics(
+            job_name="pair-statistics-ids",
+            workers=engine.workers,
+            executor=engine.executor.name,
         )
-        return table, metrics
+        return _empty_pair_table(), metrics
+
+    workers = engine.workers
+    store = SharedBlockStore()
+    engine.adopt_store(store)
+    try:
+        csr_refs = store.publish_arrays(
+            csr.cardinality, csr.offsets1, csr.offsets2_abs, csr.bipartite, csr.sides
+        )
+        chunks = [
+            (
+                start,
+                stop,
+                store.allocate(arena_capacity(cells, _CELL_ROW_BYTES, workers, 3)),
+            )
+            for start, stop, cells in ranges
+        ]
+        job = ArrayMapReduceJob(
+            name="pair-statistics-ids",
+            mapper=_map_pair_cells,
+            reducer=_reduce_pair_stats,
+            params={"csr": csr_refs},
+            reduce_extras=[
+                store.allocate(arena_capacity(total_cells, _STATS_ROW_BYTES, 1, 4))
+                for _ in range(workers)
+            ],
+        )
+        outputs, metrics = engine.run_array(job, chunks)
+        parts = [
+            tuple(store.fetch(ref) for ref in out.refs)
+            for out in outputs
+            if out is not None and len(out)
+        ]
+    finally:
+        engine.release_store(store)
+    if not parts:
+        return _empty_pair_table(), metrics
     keys = np.concatenate([p[0] for p in parts])
     common = np.concatenate([p[1] for p in parts])
     arcs = np.concatenate([p[2] for p in parts])
@@ -261,35 +292,48 @@ def parallel_pair_table(
 
 def _map_weight_filter(chunk, partitions: int, params: dict):
     """WEP map: keep rows at or above the global mean threshold."""
-    rows_base, keys, weights = chunk
+    start, stop, arena = chunk
+    keys_all, weights_all = (attach_array(ref) for ref in params["edges"])
+    weights = weights_all[start:stop]
     mask = weights >= params["threshold"]
-    kept = np.flatnonzero(mask)
-    columns = ((kept + rows_base).astype(np.int64), keys[mask])
-    return partition_batch(columns, columns[1], partitions), len(weights)
+    rows = (np.flatnonzero(mask) + start).astype(np.int64)
+    columns = (rows, keys_all[start:stop][mask])
+    writer = ArenaWriter(arena)
+    return partition_batch_into(columns, columns[1], partitions, writer), stop - start
 
 
-def _reduce_row_identity(batches: list[RecordBatch], params: dict):
+def _reduce_row_identity(batches: list[DescriptorBatch], params: dict):
     rows, _keys = concat_batches(batches, 2)
     return rows, len(rows)
 
 
 def _map_topk(chunk, partitions: int, params: dict):
     """CEP map: local top-K pre-selection (the distributed top-K trick)."""
-    rows_base, weights, rank_a, rank_b = chunk
+    start, stop, arena = chunk
+    weights_all, rank_a_all, rank_b_all = (
+        attach_array(ref) for ref in params["edges"]
+    )
+    weights = weights_all[start:stop]
+    rank_a = rank_a_all[start:stop]
+    rank_b = rank_b_all[start:stop]
     top = np.lexsort((rank_b, rank_a, -weights))[: params["k"]]
     columns = (
-        (top + rows_base).astype(np.int64),
+        (top + start).astype(np.int64),
         weights[top],
         rank_a[top],
         rank_b[top],
     )
+    writer = ArenaWriter(arena)
     # One logical reduce group, like the string formulation's "topk" key.
-    return partition_batch(columns, np.zeros(len(top), dtype=np.int64), partitions), len(
-        weights
+    return (
+        partition_batch_into(
+            columns, np.zeros(len(top), dtype=np.int64), partitions, writer
+        ),
+        stop - start,
     )
 
 
-def _reduce_topk(batches: list[RecordBatch], params: dict):
+def _reduce_topk(batches: list[DescriptorBatch], params: dict):
     rows, weights, rank_a, rank_b = concat_batches(batches, 4)
     if not len(rows):
         return np.empty(0, dtype=np.int64), 0
@@ -301,6 +345,9 @@ def _reduce_topk(batches: list[RecordBatch], params: dict):
 # Job 2b — entity-centric node retention + vote merge (WNP/CNP)
 # ---------------------------------------------------------------------------
 
+#: routed directed-edge row: node + directed index + rank + weight + edge
+_EDGE_ROW_BYTES = 40
+
 
 def _map_route_edges(chunk, partitions: int, params: dict):
     """Route every weighted edge to both endpoints (entity-centric map).
@@ -310,27 +357,36 @@ def _map_route_edges(chunk, partitions: int, params: dict):
     pruners' fold order), the *other* endpoint's URI rank, the weight and
     the edge row index.
     """
-    rows_base, ids_a, ids_b, rank_a, rank_b, weights = chunk
-    edge = np.arange(len(ids_a), dtype=np.int64) + rows_base
+    start, stop, arena = chunk
+    ids_a_all, ids_b_all, rank_a_all, rank_b_all, weights_all = (
+        attach_array(ref) for ref in params["edges"]
+    )
+    ids_a = ids_a_all[start:stop]
+    ids_b = ids_b_all[start:stop]
+    weights = weights_all[start:stop]
+    edge = np.arange(start, stop, dtype=np.int64)
     node = np.concatenate([ids_a, ids_b])
     directed = np.concatenate([2 * edge, 2 * edge + 1])
-    neighbor_rank = np.concatenate([rank_b, rank_a])
+    neighbor_rank = np.concatenate([rank_b_all[start:stop], rank_a_all[start:stop]])
     weight = np.concatenate([weights, weights])
     edges = np.concatenate([edge, edge])
     columns = (node, directed, neighbor_rank, weight, edges)
-    return partition_batch(columns, node, partitions), len(ids_a)
+    writer = ArenaWriter(arena)
+    return partition_batch_into(columns, node, partitions, writer), stop - start
 
 
-def _reduce_node_retention(batches: list[RecordBatch], params: dict):
+def _reduce_node_retention(batches: list[DescriptorBatch], params: dict, arena):
     """Apply the node-local retention rule to each complete neighbourhood.
 
     Emits one retention vote (the edge row index) per kept directed
     entry; WNP folds each node's weights in directed order so the mean
     threshold is bit-identical to the sequential vectorized pruner.
+    Votes stay in shared memory — the vote-merge job consumes the
+    returned descriptors without the driver ever materializing them.
     """
+    if not batches:
+        return None, 0
     node, directed, neighbor_rank, weight, edges = concat_batches(batches, 5)
-    if not len(node):
-        return np.empty(0, dtype=np.int64), 0
     weight = weight.astype(np.float64, copy=False)
     if params["mode"] == "CNP":
         order = np.lexsort((neighbor_rank, -weight, node))
@@ -352,15 +408,18 @@ def _reduce_node_retention(batches: list[RecordBatch], params: dict):
         counts = np.bincount(group, minlength=groups)
         kept = weight_s >= (sums / counts)[group]
     votes = edges[order][kept]
-    return votes, len(votes)
+    writer = ArenaWriter(arena)
+    return DescriptorBatch((writer.write(votes),), len(votes)), len(votes)
 
 
 def _map_votes(chunk, partitions: int, params: dict):
-    (votes,) = chunk
-    return partition_batch((votes,), votes, partitions), len(votes)
+    ref, arena = chunk
+    votes = attach_array(ref)
+    writer = ArenaWriter(arena)
+    return partition_batch_into((votes,), votes, partitions, writer), len(votes)
 
 
-def _reduce_votes(batches: list[RecordBatch], params: dict):
+def _reduce_votes(batches: list[DescriptorBatch], params: dict):
     """Union/reciprocal merge: count endpoint votes per edge."""
     (votes,) = concat_batches(batches, 1)
     if not len(votes):
@@ -390,6 +449,69 @@ def _ranked_edges(table: PairTable, weights, rows) -> list[WeightedEdge]:
         WeightedEdge(pairs[row_list[i]][0], pairs[row_list[i]][1], weight_list[i])
         for i in order.tolist()
     ]
+
+
+def _node_pruning_survivors(
+    engine: MapReduceEngine,
+    table: PairTable,
+    weights,
+    rank_a,
+    rank_b,
+    params: dict,
+) -> tuple["np.ndarray", list[JobMetrics]]:
+    """The WNP/CNP retention + vote-merge chain on one shared store."""
+    workers = engine.workers
+    row_count = len(weights)
+    store = SharedBlockStore()
+    engine.adopt_store(store)
+    try:
+        edge_refs = store.publish_arrays(
+            table.ids_a, table.ids_b, rank_a, rank_b, weights
+        )
+        chunks = [
+            (
+                start,
+                stop,
+                store.allocate(
+                    arena_capacity(2 * (stop - start), _EDGE_ROW_BYTES, workers, 5)
+                ),
+            )
+            for start, stop in _row_ranges(row_count, workers)
+        ]
+        retention_job = ArrayMapReduceJob(
+            name="node-retention-ids",
+            mapper=_map_route_edges,
+            reducer=_reduce_node_retention,
+            params={"edges": edge_refs, **params},
+            reduce_extras=[
+                store.allocate(arena_capacity(2 * row_count, 8, 1, 1))
+                for _ in range(workers)
+            ],
+        )
+        vote_batches, retention_metrics = engine.run_array(retention_job, chunks)
+        vote_chunks = [
+            (
+                batch.refs[0],
+                store.allocate(arena_capacity(len(batch), 8, workers, 1)),
+            )
+            for batch in vote_batches
+            if batch is not None and len(batch)
+        ]
+        vote_job = ArrayMapReduceJob(
+            name="vote-merge-ids",
+            mapper=_map_votes,
+            reducer=_reduce_votes,
+            params={"required": params["required"]},
+        )
+        survivor_parts, vote_metrics = engine.run_array(vote_job, vote_chunks)
+    finally:
+        engine.release_store(store)
+    survivors = (
+        np.concatenate(survivor_parts)
+        if survivor_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return survivors, [retention_metrics, vote_metrics]
 
 
 def parallel_metablocking_ids(
@@ -423,6 +545,7 @@ def parallel_metablocking_ids(
     weights = weight_pair_table(scheme, blocks, table)
     row_count = len(weights)
     rank = table.uri_rank
+    workers = engine.workers
 
     if isinstance(pruner, (WNP, CNP)):
         if isinstance(pruner, CNP):
@@ -435,33 +558,10 @@ def parallel_metablocking_ids(
             params = {"mode": "WNP", "required": pruner.required_votes}
         rank_a = rank[table.ids_a] if row_count else np.empty(0, dtype=np.int64)
         rank_b = rank[table.ids_b] if row_count else np.empty(0, dtype=np.int64)
-        retention_job = ArrayMapReduceJob(
-            name="node-retention-ids",
-            mapper=_map_route_edges,
-            reducer=_reduce_node_retention,
-            params=params,
+        survivors, prune_metrics = _node_pruning_survivors(
+            engine, table, weights, rank_a, rank_b, params
         )
-        vote_chunks, retention_metrics = engine.run_array(
-            retention_job,
-            _row_chunks(
-                (table.ids_a, table.ids_b, rank_a, rank_b, weights), engine.workers
-            ),
-        )
-        vote_job = ArrayMapReduceJob(
-            name="vote-merge-ids",
-            mapper=_map_votes,
-            reducer=_reduce_votes,
-            params={"required": pruner.required_votes},
-        )
-        survivor_parts, vote_metrics = engine.run_array(
-            vote_job, [(votes,) for votes in vote_chunks if len(votes)]
-        )
-        metrics.extend([retention_metrics, vote_metrics])
-        survivors = (
-            np.concatenate([part for part in survivor_parts])
-            if survivor_parts
-            else np.empty(0, dtype=np.int64)
-        )
+        metrics.extend(prune_metrics)
         return _ranked_edges(table, weights, survivors), metrics
 
     if isinstance(pruner, WEP):
@@ -469,18 +569,33 @@ def parallel_metablocking_ids(
         # left-to-right Python fold over table-row (first-seen) order.
         weight_list = weights.tolist()
         mean = sum(weight_list) / len(weight_list) if weight_list else 0.0
-        job = ArrayMapReduceJob(
-            name="wep-pruning-ids",
-            mapper=_map_weight_filter,
-            reducer=_reduce_row_identity,
-            params={"threshold": mean * pruner.threshold_factor},
-        )
         keys = (table.ids_a << 32) | table.ids_b if row_count else np.empty(
             0, dtype=np.int64
         )
-        outputs, prune_metrics = engine.run_array(
-            job, _row_chunks((keys, weights), engine.workers)
-        )
+        store = SharedBlockStore()
+        engine.adopt_store(store)
+        try:
+            edge_refs = store.publish_arrays(keys, weights)
+            chunks = [
+                (
+                    start,
+                    stop,
+                    store.allocate(arena_capacity(stop - start, 16, workers, 2)),
+                )
+                for start, stop in _row_ranges(row_count, workers)
+            ]
+            job = ArrayMapReduceJob(
+                name="wep-pruning-ids",
+                mapper=_map_weight_filter,
+                reducer=_reduce_row_identity,
+                params={
+                    "edges": edge_refs,
+                    "threshold": mean * pruner.threshold_factor,
+                },
+            )
+            outputs, prune_metrics = engine.run_array(job, chunks)
+        finally:
+            engine.release_store(store)
         metrics.append(prune_metrics)
         survivors = (
             np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
@@ -491,15 +606,29 @@ def parallel_metablocking_ids(
         k = pruner.budget_from_blocks(blocks)
         rank_a = rank[table.ids_a] if row_count else np.empty(0, dtype=np.int64)
         rank_b = rank[table.ids_b] if row_count else np.empty(0, dtype=np.int64)
-        job = ArrayMapReduceJob(
-            name="cep-pruning-ids",
-            mapper=_map_topk,
-            reducer=_reduce_topk,
-            params={"k": k},
-        )
-        outputs, prune_metrics = engine.run_array(
-            job, _row_chunks((weights, rank_a, rank_b), engine.workers)
-        )
+        store = SharedBlockStore()
+        engine.adopt_store(store)
+        try:
+            edge_refs = store.publish_arrays(weights, rank_a, rank_b)
+            chunks = [
+                (
+                    start,
+                    stop,
+                    store.allocate(
+                        arena_capacity(min(stop - start, k), 32, workers, 4)
+                    ),
+                )
+                for start, stop in _row_ranges(row_count, workers)
+            ]
+            job = ArrayMapReduceJob(
+                name="cep-pruning-ids",
+                mapper=_map_topk,
+                reducer=_reduce_topk,
+                params={"edges": edge_refs, "k": k},
+            )
+            outputs, prune_metrics = engine.run_array(job, chunks)
+        finally:
+            engine.release_store(store)
         metrics.append(prune_metrics)
         survivors = (
             np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)

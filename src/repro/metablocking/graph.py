@@ -95,7 +95,7 @@ def expand_comparison_cells(
     left = csr.sides[off1[cell_block] + row]
     right = csr.sides[right_off[cell_block] + col]
     keep = np.where(bipartite[cell_block], left != right, row < col)
-    contribution = np.repeat(1.0 / card[active], cells)
+    contribution = np.repeat(1.0 / csr.cardinality[active], cells)
     if not with_provenance:
         return left[keep], right[keep], contribution[keep]
     ordinals = active[cell_block][keep]

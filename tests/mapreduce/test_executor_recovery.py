@@ -25,7 +25,16 @@ import time
 
 import pytest
 
-from repro.mapreduce import MapReduceEngine, MapReduceJob, ProcessExecutor
+import numpy as np
+
+from repro.mapreduce import (
+    MapReduceEngine,
+    MapReduceJob,
+    ProcessExecutor,
+    SharedBlockStore,
+    attach_array,
+    leaked_segments,
+)
 
 pytestmark = pytest.mark.skipif(
     not ProcessExecutor.available(), reason="fork start method unavailable"
@@ -54,6 +63,21 @@ def _die_once_then(sentinel: str, value: int) -> int:
 def _always_die(value: int) -> int:
     os.kill(os.getpid(), signal.SIGKILL)
     return value  # pragma: no cover - never reached
+
+
+def _attach_sum_die_once(sentinel: str, ref) -> float:
+    """Attach a published array, then die the first time around.
+
+    The shared-memory analogue of :func:`_die_once_then`: proves a
+    re-driven phase re-attaches the driver's segments on the fresh pool
+    and reads the same bytes.
+    """
+    total = float(attach_array(ref).sum())
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return total
 
 
 class TestSpecPathTimeout:
@@ -165,6 +189,74 @@ class TestWorkerDeathRecovery:
             ) == [0, 1, 2]
         finally:
             executor.close()
+
+
+class TestSegmentCleanupOnFailure:
+    """No failure mode may leave a ``repro_shm_*`` segment behind.
+
+    The lifecycle contract says success, crash and re-drive all converge
+    to zero surviving segments: the driver's ``finally`` (here played by
+    the engine-adoption safety net) unlinks whatever was published, no
+    matter how the phase using it died.
+    """
+
+    def test_timeout_mid_phase_leaves_no_segments(self):
+        engine = MapReduceEngine(
+            workers=2, executor=ProcessExecutor(workers=2, task_timeout_s=0.2)
+        )
+        store = SharedBlockStore()
+        engine.adopt_store(store)
+        try:
+            store.publish_arrays(np.arange(128, dtype=np.int64))
+            with pytest.raises(RuntimeError, match="exceeded"):
+                engine.executor.run_specs(
+                    [(_sleep_forever, (30.0,)), (_sleep_forever, (30.0,))]
+                )
+        finally:
+            engine.close()
+        assert leaked_segments() == []
+
+    def test_worker_death_redrives_attachments_and_cleans_up(self, tmp_path):
+        """A killed worker's phase re-drives, re-attaches the same
+        segments on the fresh pool, and produces the right answer — and
+        nothing survives in ``/dev/shm`` afterwards."""
+        engine = MapReduceEngine(
+            workers=2,
+            executor=ProcessExecutor(
+                workers=2, task_timeout_s=30.0, retry_backoff_s=0.01
+            ),
+        )
+        store = SharedBlockStore()
+        engine.adopt_store(store)
+        sentinel = str(tmp_path / "died-once")
+        data = np.arange(100, dtype=np.int64)
+        try:
+            (ref,) = store.publish_arrays(data)
+            results = engine.executor.run_specs(
+                [(_attach_sum_die_once, (sentinel, ref)) for _ in range(4)]
+            )
+            assert results == [float(data.sum())] * 4
+        finally:
+            engine.close()
+        assert leaked_segments() == []
+
+    def test_exhausted_attempts_leave_no_segments(self):
+        engine = MapReduceEngine(
+            workers=2,
+            executor=ProcessExecutor(
+                workers=2, task_timeout_s=30.0,
+                retry_attempts=1, retry_backoff_s=0.01,
+            ),
+        )
+        store = SharedBlockStore()
+        engine.adopt_store(store)
+        try:
+            store.publish_arrays(np.ones(32))
+            with pytest.raises(RuntimeError, match="lost workers"):
+                engine.executor.run_specs([(_always_die, (i,)) for i in range(4)])
+        finally:
+            engine.close()
+        assert leaked_segments() == []
 
 
 class TestEngineLevelTimeout:
