@@ -1,0 +1,174 @@
+"""Perf — relational backend vs the in-memory sequential reference.
+
+The SQL backend (:mod:`repro.sqlbackend`) compiles purging, filtering,
+pair enumeration, weighting and pruning to SQL over sqlite (and DuckDB
+when installed).  Two properties per engine:
+
+* **bit-identity** (gating) — the pruned edge list equals the
+  sequential reference float-for-float on the synthetic center
+  workload, for every weighting scheme swept;
+* **stage walls** (non-gating, trajectory only) — per-stage wall times
+  for load+postprocess, weighting and pruning, against the python
+  pipeline's equivalents.  Shared runners are too noisy for a hard
+  wall bar; the artifact tracks the trend.
+
+Results are printed and written as a ``BENCH_sql.json`` artifact at the
+repository root (CI uploads it per run).  Run either way::
+
+    pytest benchmarks/bench_sql.py -s
+    PYTHONPATH=src python benchmarks/bench_sql.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_sql.json")
+
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.datasets import SyntheticConfig, synthesize_pair
+from repro.metablocking import BlockingGraph, make_pruner, make_scheme
+from repro.sqlbackend import SqlMetaBlocker, duckdb_available
+
+CENTER = SyntheticConfig(entities=400, overlap=0.7, seed=42)
+#: schemes swept for the bit-identity gate (pruner fixed to CNP)
+SCHEMES = ("ARCS", "CBS", "ECBS", "EJS", "JS", "X2")
+PRUNER = "CNP"
+
+
+def _triples(edges):
+    return [(e.left, e.right, e.weight) for e in edges]
+
+
+def _python_reference(raw):
+    """The sequential pipeline, timed per stage."""
+    t0 = time.perf_counter()
+    processed = BlockFiltering().process(BlockPurging().process(raw))
+    postprocess_s = time.perf_counter() - t0
+    out = {"postprocess_ms": round(postprocess_s * 1e3, 3), "schemes": {}}
+    reference = {}
+    for scheme_name in SCHEMES:
+        t0 = time.perf_counter()
+        graph = BlockingGraph(processed, make_scheme(scheme_name))
+        edges = make_pruner(PRUNER).prune(graph)
+        out["schemes"][scheme_name] = {
+            "wall_ms": round((time.perf_counter() - t0) * 1e3, 3),
+            "edges": len(edges),
+        }
+        reference[scheme_name] = _triples(edges)
+    return out, reference
+
+
+def _sql_run(raw, engine, reference):
+    """One engine: load once, sweep every scheme, gate on bit-identity."""
+    out = {"schemes": {}}
+    with SqlMetaBlocker(engine=engine) as mb:
+        t0 = time.perf_counter()
+        mb.prepare(raw, BlockPurging(), BlockFiltering())
+        out["load_postprocess_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+        t0 = time.perf_counter()
+        mb.build_pairs()
+        out["pairs_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+        for scheme_name in SCHEMES:
+            t0 = time.perf_counter()
+            mb.weight(make_scheme(scheme_name))
+            weight_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            edges = mb.prune(make_pruner(PRUNER))
+            prune_s = time.perf_counter() - t0
+            out["schemes"][scheme_name] = {
+                "weight_ms": round(weight_s * 1e3, 3),
+                "prune_ms": round(prune_s * 1e3, 3),
+                "edges": len(edges),
+                "bit_identical": _triples(edges) == reference[scheme_name],
+            }
+    out["bit_identical"] = all(
+        entry["bit_identical"] for entry in out["schemes"].values()
+    )
+    return out
+
+
+def run_benchmark() -> dict:
+    dataset = synthesize_pair(CENTER)
+    raw = TokenBlocking().build(dataset.kb1, dataset.kb2)
+    python, reference = _python_reference(raw)
+    results = {
+        "workload": {
+            "profile": "center",
+            "entities": len(dataset.kb1) + len(dataset.kb2),
+            "blocks": len(raw),
+            "pruner": PRUNER,
+        },
+        "python": python,
+        "engines": {"sqlite": _sql_run(raw, "sqlite", reference)},
+    }
+    if duckdb_available():
+        results["engines"]["duckdb"] = _sql_run(raw, "duckdb", reference)
+    results["bit_identical"] = all(
+        entry["bit_identical"] for entry in results["engines"].values()
+    )
+    return results
+
+
+def gates_ok(results: dict) -> bool:
+    return results["bit_identical"]
+
+
+def format_report(results: dict) -> str:
+    workload = results["workload"]
+    lines = [
+        "sql backend: per-stage walls + bit-identity (center workload)",
+        "",
+        f"[workload] {workload['entities']} entities, "
+        f"{workload['blocks']} raw blocks, pruner {workload['pruner']}",
+        f"[python] postprocess {results['python']['postprocess_ms']:.2f} ms",
+    ]
+    for engine_name, engine in sorted(results["engines"].items()):
+        lines.append(
+            f"[{engine_name}] load+postprocess "
+            f"{engine['load_postprocess_ms']:.2f} ms, "
+            f"pairs {engine['pairs_ms']:.2f} ms"
+        )
+        for scheme_name in SCHEMES:
+            sql = engine["schemes"][scheme_name]
+            ref = results["python"]["schemes"][scheme_name]
+            status = "identical" if sql["bit_identical"] else "DIVERGED"
+            lines.append(
+                f"  [{scheme_name}] python {ref['wall_ms']:.2f} ms vs "
+                f"weight {sql['weight_ms']:.2f} + prune "
+                f"{sql['prune_ms']:.2f} ms, {sql['edges']} edges: {status}"
+            )
+    return "\n".join(lines)
+
+
+def write_artifact(results: dict, path: str = ARTIFACT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_perf_sql():
+    """Pytest entry point: assert the bit-identity gate per engine."""
+    from conftest import report
+
+    results = run_benchmark()
+    report("perf_sql", format_report(results))
+    write_artifact(results)
+    assert results["bit_identical"], results["engines"]
+
+
+def main() -> int:
+    results = run_benchmark()
+    print(format_report(results))
+    path = write_artifact(results)
+    print(f"\n[artifact written to {path}]")
+    return 0 if gates_ok(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

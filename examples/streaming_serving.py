@@ -70,12 +70,16 @@ def main() -> None:
         scenario="bursty",
     )
     report = view_resolver.view.reconcile()
-    assert view_resolver.view.materialize() is view_resolver.index.snapshot_processed()
+    exact = view_resolver.index.snapshot_processed()
+    view = view_resolver.view.materialize()
+    assert view.keys() == exact.keys()
+    assert view.id_blocks() == exact.id_blocks()
     print(
         f"\nprocessed view: {view_stats.reconciles} auto-reconciles during replay "
         f"({view_stats.reconcile_s * 1e3:.2f} ms repair vs "
-        f"{view_stats.serve_s * 1e3:.2f} ms serve); final reconcile repaired "
-        f"{report.drift} drifted placements/blocks -> bit-identical to "
+        f"{view_stats.serve_s * 1e3:.2f} ms serve); final {report.mode} "
+        f"reconcile repaired {report.drift} drifted placements/blocks over "
+        f"{report.entities_repaired} entities -> bit-identical to "
         f"snapshot_processed() ({report.exact_blocks} surviving blocks)"
     )
 

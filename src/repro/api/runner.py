@@ -4,8 +4,9 @@
 workflows and the benchmarks drive: it compiles the spec's components
 through the registry, produces the pruned candidate edges on the
 selected backend — sequential :class:`~repro.metablocking.graph.
-BlockingGraph`, parallel MapReduce jobs, or the streaming resolver's
-batch bridge — then runs the shared progressive matching and evaluation
+BlockingGraph`, parallel MapReduce jobs, the streaming resolver's
+batch bridge, or the relational (SQL-compiled) meta-blocker — then
+runs the shared progressive matching and evaluation
 stages, returning one :class:`RunReport` regardless of backend.
 
 The backend contract (gated in ``tests/api/``): the same spec produces
@@ -366,6 +367,82 @@ class Pipeline:
         )
         return edges
 
+    def _edges_sql(
+        self, kb1, kb2, report: RunReport, processed=None
+    ) -> list[WeightedEdge]:
+        from repro.blocking.filtering import BlockFiltering
+        from repro.blocking.purging import BlockPurging
+        from repro.sqlbackend import SqlBackendError, SqlMetaBlocker
+
+        backend = self.spec.backend
+        obs = self.obs
+        # Only the built-in purging/filtering operators compile to SQL;
+        # custom registry operators run in python and their output is
+        # loaded as-is (weighting/pruning still execute relationally).
+        compilable = (
+            self.purging is None or type(self.purging) is BlockPurging
+        ) and (self.filtering is None or type(self.filtering) is BlockFiltering)
+        try:
+            mb = SqlMetaBlocker(
+                engine=backend.engine,
+                db_path=backend.db_path,
+                workers=backend.workers,
+                obs=obs,
+            )
+        except SqlBackendError as exc:
+            raise SpecError(str(exc)) from exc
+        try:
+            with mb:
+                if processed is not None or not compilable:
+                    self._record_blocks(kb1, kb2, report, processed)
+                    mb.load_blocks(report.processed_blocks)
+                    mb.purge(None)
+                    mb.filter(None)
+                else:
+                    t0 = time.perf_counter()
+                    entities = len(kb1) + (len(kb2) if kb2 is not None else 0)
+                    with obs.span("pipeline.blocking", entities=entities) as span:
+                        blocks = self.blocker.build(kb1, kb2)
+                        span.set(blocks=len(blocks))
+                    report.blocks = blocks
+                    mb.load_blocks(blocks)
+                    with obs.span("pipeline.purging") as span:
+                        threshold = mb.purge(self.purging)
+                        span.set(
+                            blocks=mb.stats["purged_blocks"],
+                            skipped=self.purging is None,
+                            threshold=threshold,
+                        )
+                    with obs.span("pipeline.filtering") as span:
+                        mb.filter(self.filtering)
+                        span.set(
+                            blocks=mb.stats["filtered_blocks"],
+                            skipped=self.filtering is None,
+                        )
+                    report.processed_blocks = mb.processed_collection()
+                    report.phase_seconds["block_s"] = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                with obs.span("pipeline.weighting") as span:
+                    mb.weight(self.scheme)
+                    span.set(pairs=mb.stats["pairs"])
+                with obs.span("pipeline.pruning") as span:
+                    edges = mb.prune(self.pruner)
+                    span.set(edges=len(edges))
+                report.phase_seconds["metablock_s"] = time.perf_counter() - t0
+                report.backend.update(
+                    {
+                        "kind": "sql",
+                        "engine": backend.engine,
+                        "db_path": backend.db_path,
+                        "workers": backend.workers,
+                        "pairs": mb.stats.get("pairs"),
+                        "purge_threshold": mb.stats.get("purge_threshold"),
+                    }
+                )
+        except SqlBackendError as exc:
+            raise SpecError(str(exc)) from exc
+        return edges
+
     def _edges_stream(
         self, kb1, kb2, report: RunReport, bridge: bool = True
     ) -> list[WeightedEdge]:
@@ -497,6 +574,8 @@ class Pipeline:
                 edges = self._edges_sequential(kb1, kb2, report, processed_blocks)
             elif kind == "mapreduce":
                 edges = self._edges_mapreduce(kb1, kb2, report, processed_blocks)
+            elif kind == "sql":
+                edges = self._edges_sql(kb1, kb2, report, processed_blocks)
             else:
                 edges = self._edges_stream(kb1, kb2, report, bridge=stream_bridge)
                 match = match and stream_bridge

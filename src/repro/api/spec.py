@@ -254,9 +254,10 @@ class EvaluationSpec:
         return cls(**data)
 
 
-BACKEND_KINDS = ("sequential", "mapreduce", "stream")
+BACKEND_KINDS = ("sequential", "mapreduce", "stream", "sql")
 MAPREDUCE_EXECUTORS = ("serial", "process")
 MAPREDUCE_FORMULATIONS = ("int", "string")
+SQL_ENGINES = ("sqlite", "duckdb")
 
 
 @dataclass(frozen=True)
@@ -267,8 +268,11 @@ class BackendSpec:
     produces the pruned edges through the parallel int-ID (or reference
     string-tuple) MapReduce jobs on *workers* workers; ``stream``
     replays a workload *scenario* through the streaming resolver and
-    takes the edges from the batch bridge.  All three produce
-    bit-identical pruned edges and match decisions for the same spec.
+    takes the edges from the batch bridge; ``sql`` compiles purging,
+    filtering, weighting and pruning to SQL on *engine* (stdlib sqlite,
+    or DuckDB when installed), optionally out of core via *db_path*.
+    All four produce bit-identical pruned edges and match decisions for
+    the same spec.
     """
 
     kind: str = "sequential"
@@ -292,6 +296,12 @@ class BackendSpec:
     durability_dir: str | None = None
     #: snapshot cadence in WAL records (``None`` = WAL only, no snapshots)
     snapshot_every: int | None = None
+    # -- sql ----------------------------------------------------------------
+    #: relational engine for the ``sql`` backend
+    engine: str = "sqlite"
+    #: database file for the ``sql`` backend (``None`` = in-memory);
+    #: pointing this at disk moves the whole computation out of core
+    db_path: str | None = None
 
     def validated(self) -> "BackendSpec":
         if self.kind not in BACKEND_KINDS:
@@ -310,6 +320,11 @@ class BackendSpec:
             raise SpecError(
                 f"unknown mapreduce formulation {self.formulation!r}; "
                 f"choose from {', '.join(MAPREDUCE_FORMULATIONS)}"
+            )
+        if self.engine not in SQL_ENGINES:
+            raise SpecError(
+                f"unknown sql engine {self.engine!r}; "
+                f"choose from {', '.join(SQL_ENGINES)}"
             )
         if self.reconcile_every is not None and self.reconcile_every < 1:
             raise SpecError(
@@ -351,6 +366,8 @@ class BackendSpec:
             "query_pruner": self.query_pruner,
             "durability_dir": self.durability_dir,
             "snapshot_every": self.snapshot_every,
+            "engine": self.engine,
+            "db_path": self.db_path,
         }
 
     @classmethod

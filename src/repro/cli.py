@@ -17,7 +17,9 @@ Subcommands::
     python -m repro resolve    --kb1 A.nt [--kb2 B.nt] [--gold G.csv]
                                [--budget N] [--benefit MODEL] [--out M.csv]
     python -m repro run        --spec SPEC.json [--kb1 A.nt ...]
-                               [--backend sequential|mapreduce|stream]
+                               [--backend sequential|mapreduce|stream|sql]
+                               [--engine sqlite|duckdb] [--db-path FILE]
+    python -m repro sql        explain --spec SPEC.json [--kb1 A.nt ...]
     python -m repro stream     --kb1 A.nt [--kb2 B.nt]
                                [--scenario uniform|bursty|skewed]
                                [--processed-view]
@@ -47,7 +49,7 @@ from typing import Sequence
 
 from repro.analysis import interlinking_density, match_regime, vocabulary_overlap
 from repro.api import Pipeline, PipelineSpec, registry
-from repro.api.spec import BACKEND_KINDS
+from repro.api.spec import BACKEND_KINDS, SQL_ENGINES
 from repro.datasets.gold import GoldStandard, load_gold_csv, save_gold_csv
 from repro.datasets.synthetic import (
     CENTER_PROFILE,
@@ -164,17 +166,45 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--kb2")
     run.add_argument("--gold")
     run.add_argument(
-        "--backend", choices=BACKEND_KINDS,
-        help="override the spec's backend kind",
+        "--backend", metavar="KIND",
+        help="override the spec's backend kind "
+        f"({'|'.join(BACKEND_KINDS)})",
+    )
+    run.add_argument(
+        "--engine", metavar="ENGINE",
+        help="sql backend only: override the relational engine "
+        f"({'|'.join(SQL_ENGINES)})",
+    )
+    run.add_argument(
+        "--db-path", metavar="FILE",
+        help="sql backend only: database file (default in-memory); "
+        "a disk path runs the pipeline out of core",
     )
     run.add_argument("--out", help="write matched pairs to this CSV")
     _add_obs_flags(run)
+
+    sql = sub.add_parser(
+        "sql", help="inspect the relational (SQL-compiled) backend"
+    )
+    sql_sub = sql.add_subparsers(dest="sql_command", required=True)
+    explain = sql_sub.add_parser(
+        "explain",
+        help="compile a spec to SQL and print the per-stage query plans",
+    )
+    explain.add_argument("--spec", required=True, help="PipelineSpec JSON file")
+    explain.add_argument("--kb1", help="override the spec's data node")
+    explain.add_argument("--kb2")
+    explain.add_argument(
+        "--engine", metavar="ENGINE",
+        help=f"override the spec's sql engine ({'|'.join(SQL_ENGINES)})",
+    )
 
     components = sub.add_parser(
         "components", help="list every registered component and its parameters"
     )
     components.add_argument(
-        "--kind", choices=registry.kinds(), help="restrict to one component kind"
+        "--kind", choices=tuple(registry.kinds()) + ("backends",),
+        help="restrict to one component kind (or the backends section)",
     )
 
     workflow = sub.add_parser(
@@ -535,15 +565,46 @@ def cmd_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_overrides(args: argparse.Namespace) -> dict | None:
+    """--backend/--engine/--db-path → ``with_backend`` changes.
+
+    Unknown names are reported here (exit 2, valid list) instead of
+    argparse's usage error, mirroring the unknown-component style.
+    """
+    if getattr(args, "backend", None) and args.backend not in BACKEND_KINDS:
+        print(
+            f"unknown backend {args.backend!r}; "
+            f"choose from: {', '.join(BACKEND_KINDS)}"
+        )
+        return None
+    if getattr(args, "engine", None) and args.engine not in SQL_ENGINES:
+        print(
+            f"unknown sql engine {args.engine!r}; "
+            f"choose from: {', '.join(SQL_ENGINES)}"
+        )
+        return None
+    overrides = {}
+    if getattr(args, "backend", None):
+        overrides["kind"] = args.backend
+    if getattr(args, "engine", None):
+        overrides["engine"] = args.engine
+    if getattr(args, "db_path", None):
+        overrides["db_path"] = args.db_path
+    return overrides
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     import json
 
     from repro.api import SpecError
 
+    overrides = _backend_overrides(args)
+    if overrides is None:
+        return 2
     try:
         spec = PipelineSpec.load(args.spec)
-        if args.backend:
-            spec = spec.with_backend(kind=args.backend)
+        if overrides:
+            spec = spec.with_backend(**overrides)
     except FileNotFoundError:
         print(f"spec file not found: {args.spec}")
         return 2
@@ -568,15 +629,119 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: the execution backends with their BackendSpec knobs — not registry
+#: components (they have no factory), so ``components`` lists them as
+#: their own section
+_BACKEND_ROWS = [
+    {
+        "backend": "sequential",
+        "spec knobs": "—",
+        "description": "in-process batch pipeline (the reference path)",
+    },
+    {
+        "backend": "mapreduce",
+        "spec knobs": "workers, executor, formulation",
+        "description": "parallel meta-blocking via MapReduce jobs",
+    },
+    {
+        "backend": "stream",
+        "spec knobs": "scenario, processed_view, reconcile_every, seed, "
+        "query_budget, query_pruner, durability_dir, snapshot_every",
+        "description": "workload replay through the streaming resolver",
+    },
+    {
+        "backend": "sql",
+        "spec knobs": "engine, db_path, workers",
+        "description": "pipeline compiled to SQL (sqlite or DuckDB), "
+        "optionally out of core via db_path",
+    },
+]
+
+
 def cmd_components(args: argparse.Namespace) -> int:
-    rows = registry.describe(args.kind)
-    print(
-        format_table(
-            rows,
-            title="Registered components" + (f": {args.kind}" if args.kind else ""),
-            first_column="kind",
+    if args.kind != "backends":
+        rows = registry.describe(args.kind)
+        print(
+            format_table(
+                rows,
+                title="Registered components"
+                + (f": {args.kind}" if args.kind else ""),
+                first_column="kind",
+            )
         )
+    if args.kind in (None, "backends"):
+        if args.kind is None:
+            print()
+        print(
+            format_table(
+                _BACKEND_ROWS,
+                title="Execution backends (PipelineSpec `backend` node)",
+                first_column="backend",
+            )
+        )
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """`repro sql explain`: print the compiled plans, stage by stage."""
+    import json
+
+    from repro.api import SpecError
+    from repro.sqlbackend import SqlBackendError, SqlMetaBlocker
+
+    overrides = _backend_overrides(args)
+    if overrides is None:
+        return 2
+    overrides["kind"] = "sql"
+    try:
+        spec = PipelineSpec.load(args.spec).with_backend(**overrides)
+    except FileNotFoundError:
+        print(f"spec file not found: {args.spec}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"spec file {args.spec} is not valid JSON: {exc}")
+        return 2
+    except SpecError as exc:
+        print(f"invalid spec {args.spec}: {exc}")
+        return 2
+    kb1 = _load(args.kb1) if args.kb1 else None
+    kb2 = _load(args.kb2) if args.kb2 else None
+    if kb1 is None:
+        if spec.data is None:
+            print("no input data: pass --kb1 or give the spec a data node")
+            return 2
+        kb1, kb2, _ = spec.data.resolve()
+    backend = spec.backend
+    pipeline = Pipeline(spec)
+    blocks = pipeline.blocker.build(kb1, kb2)
+    try:
+        with SqlMetaBlocker(
+            engine=backend.engine,
+            db_path=backend.db_path,
+            workers=backend.workers,
+        ) as blocker:
+            blocker.prepare(blocks, pipeline.purging, pipeline.filtering)
+            blocker.weight(pipeline.scheme)
+            blocker.prune(pipeline.pruner)
+            plans = blocker.plans
+            stats = dict(blocker.stats)
+    except SqlBackendError as exc:
+        print(f"cannot compile spec to SQL: {exc}")
+        return 2
+    print(
+        f"spec {os.path.basename(args.spec)} on engine {backend.engine}: "
+        f"{stats.get('blocks', 0)} blocks, {stats.get('placements', 0)} "
+        f"placements, {stats.get('pairs', 0)} pairs"
     )
+    for stage, entries in plans.items():
+        print(f"\n== stage: {stage} ({len(entries)} statement(s)) ==")
+        for sql_text, plan_lines in entries:
+            summary = " ".join(sql_text.split())
+            if len(summary) > 100:
+                summary = summary[:97] + "..."
+            print(f"\n  {summary}")
+            for line in plan_lines:
+                print(f"    | {line}")
     return 0
 
 
@@ -1141,6 +1306,7 @@ _COMMANDS = {
     "block": cmd_block,
     "resolve": cmd_resolve,
     "run": cmd_run,
+    "sql": cmd_sql,
     "components": cmd_components,
     "stream": cmd_stream,
     "serve": cmd_serve,

@@ -33,11 +33,14 @@ Every scheme supports two evaluation paths with bit-identical results:
 sorts first, mirroring the canonical argument order of ``weight`` — float
 products associate left-to-right, so argument order is part of the
 bit-identity contract.
+
+The formulas themselves live in :mod:`repro.metablocking.scheme_defs`
+(shared with the SQL compiler); the classes here only orchestrate the
+"prepare globals, then weight each pair" dance around those kernels.
 """
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 
 try:  # pragma: no cover - exercised through the array fast path
@@ -46,6 +49,7 @@ except ImportError:  # pragma: no cover - the container ships numpy
     _np = None
 
 from repro.blocking.block import BlockCollection
+from repro.metablocking import scheme_defs
 from repro.model.interner import PAIR_MASK, PAIR_SHIFT
 
 
@@ -153,16 +157,16 @@ class CBS(WeightingScheme):
         return True
 
     def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
-        return float(common_blocks)
+        return scheme_defs.cbs_weight(common_blocks)
 
     def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
         return _np is not None
 
     def weight_array(self, ids_a, ids_b, common, arcs):
-        return common.astype(_np.float64)
+        return scheme_defs.cbs_weights(common)
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
-        return float(common_blocks)
+        return scheme_defs.cbs_weight(common_blocks)
 
 
 class ECBS(WeightingScheme):
@@ -190,15 +194,15 @@ class ECBS(WeightingScheme):
     def prepare_ids(self, blocks, pair_common) -> bool:
         total = max(len(blocks), 1)
         self._total_blocks = total
-        # +1 smoothing as in weight(); one log per entity, not per edge.
-        self._log_factor = [
-            math.log((total + 1) / count) for count in _blocks_per_entity_ids(blocks)
-        ]
+        # one log per entity, not per edge
+        self._log_factor = scheme_defs.ecbs_log_factors(
+            total, _blocks_per_entity_ids(blocks)
+        )
         return True
 
     def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
         factor = self._log_factor
-        return common_blocks * factor[id_a] * factor[id_b]
+        return scheme_defs.factor_product(common_blocks, factor[id_a], factor[id_b])
 
     def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
         if _np is None:
@@ -210,22 +214,20 @@ class ECBS(WeightingScheme):
         # from the reference's math.log) — still once per entity, not per
         # edge endpoint.
         self._log_factor_array = _np.array(
-            [math.log((total + 1) / count) for count in counts.tolist()]
+            scheme_defs.ecbs_log_factors(total, counts.tolist())
         )
         return True
 
     def weight_array(self, ids_a, ids_b, common, arcs):
         factor = self._log_factor_array
-        return common * factor[ids_a] * factor[ids_b]
+        return scheme_defs.factor_product(common, factor[ids_a], factor[ids_b])
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         blocks_a = self._blocks_per_entity.get(uri_a, 1)
         blocks_b = self._blocks_per_entity.get(uri_b, 1)
-        # +1 smoothing keeps entities present in *every* block from zeroing
-        # the weight outright while preserving the discount's ordering.
-        idf_a = math.log((self._total_blocks + 1) / blocks_a)
-        idf_b = math.log((self._total_blocks + 1) / blocks_b)
-        return common_blocks * idf_a * idf_b
+        idf_a = scheme_defs.ecbs_log_factor(self._total_blocks, blocks_a)
+        idf_b = scheme_defs.ecbs_log_factor(self._total_blocks, blocks_b)
+        return scheme_defs.factor_product(common_blocks, idf_a, idf_b)
 
 
 class JS(WeightingScheme):
@@ -249,10 +251,8 @@ class JS(WeightingScheme):
 
     def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
         counts = self._block_counts
-        union = counts[id_a] + counts[id_b] - common_blocks
-        if union <= 0:
-            return 0.0
-        return common_blocks / union
+        union = scheme_defs.js_union(counts[id_a], counts[id_b], common_blocks)
+        return scheme_defs.js_weight(common_blocks, union)
 
     def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
         if _np is None:
@@ -262,20 +262,16 @@ class JS(WeightingScheme):
 
     def weight_array(self, ids_a, ids_b, common, arcs):
         counts = self._block_counts_array
-        union = counts[ids_a] + counts[ids_b] - common
-        weights = _np.zeros(len(common), dtype=_np.float64)
-        _np.divide(common, union, out=weights, where=union > 0)
-        return weights
+        union = scheme_defs.js_union(counts[ids_a], counts[ids_b], common)
+        return scheme_defs.js_weights(common, union)
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
-        union = (
-            self._blocks_per_entity.get(uri_a, 0)
-            + self._blocks_per_entity.get(uri_b, 0)
-            - common_blocks
+        union = scheme_defs.js_union(
+            self._blocks_per_entity.get(uri_a, 0),
+            self._blocks_per_entity.get(uri_b, 0),
+            common_blocks,
         )
-        if union <= 0:
-            return 0.0
-        return common_blocks / union
+        return scheme_defs.js_weight(common_blocks, union)
 
 
 class EJS(WeightingScheme):
@@ -315,17 +311,13 @@ class EJS(WeightingScheme):
         return True
 
     def _set_log_factor(self, edge_count: int, degrees) -> None:
-        # Same smoothing as weight(): isolated entities fall back to deg 1.
         self._edge_count = edge_count
-        self._log_factor = [
-            math.log((edge_count + 1) / (degree if degree else 1))
-            for degree in degrees
-        ]
+        self._log_factor = scheme_defs.ejs_log_factors(edge_count, degrees)
 
     def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
         js = self._js.weight_ids(id_a, id_b, common_blocks, arcs)
         factor = self._log_factor
-        return js * factor[id_a] * factor[id_b]
+        return scheme_defs.factor_product(js, factor[id_a], factor[id_b])
 
     def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
         if _np is None:
@@ -342,15 +334,13 @@ class EJS(WeightingScheme):
     def weight_array(self, ids_a, ids_b, common, arcs):
         js = self._js.weight_array(ids_a, ids_b, common, arcs)
         factor = self._log_factor_array
-        return js * factor[ids_a] * factor[ids_b]
+        return scheme_defs.factor_product(js, factor[ids_a], factor[ids_b])
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         js = self._js.weight(uri_a, uri_b, common_blocks, arcs)
-        deg_a = self._degrees.get(uri_a, 1)
-        deg_b = self._degrees.get(uri_b, 1)
-        idf_a = math.log((self._edge_count + 1) / deg_a)
-        idf_b = math.log((self._edge_count + 1) / deg_b)
-        return js * idf_a * idf_b
+        idf_a = scheme_defs.ejs_log_factor(self._edge_count, self._degrees.get(uri_a, 1))
+        idf_b = scheme_defs.ejs_log_factor(self._edge_count, self._degrees.get(uri_b, 1))
+        return scheme_defs.factor_product(js, idf_a, idf_b)
 
 
 class ARCS(WeightingScheme):
@@ -367,16 +357,16 @@ class ARCS(WeightingScheme):
         return True
 
     def weight_ids(self, id_a, id_b, common_blocks, arcs) -> float:
-        return arcs
+        return scheme_defs.arcs_weight(arcs)
 
     def prepare_arrays(self, blocks, ids_a, ids_b, common) -> bool:
         return _np is not None
 
     def weight_array(self, ids_a, ids_b, common, arcs):
-        return arcs
+        return scheme_defs.arcs_weight(arcs)
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
-        return arcs
+        return scheme_defs.arcs_weight(arcs)
 
 
 class ChiSquare(WeightingScheme):
@@ -423,26 +413,10 @@ class ChiSquare(WeightingScheme):
         return True
 
     def weight_array(self, ids_a, ids_b, common, arcs):
-        np = _np
         counts = self._block_counts_array
-        total = self._total_blocks
-        in_a = counts[ids_a]
-        in_b = counts[ids_b]
-        # The four contingency cells, accumulated in the same (row, col)
-        # order — and with the same expression shapes — as _statistic().
-        statistic = np.zeros(len(common), dtype=np.float64)
-        for row, col, observed in (
-            (in_a, in_b, common),
-            (in_a, total - in_b, in_a - common),
-            (total - in_a, in_b, in_b - common),
-            (total - in_a, total - in_b, total - in_a - in_b + common),
-        ):
-            expected = row * col / total
-            term = np.zeros_like(statistic)
-            deviation = observed - expected
-            np.divide(deviation * deviation, expected, out=term, where=expected > 0)
-            statistic = statistic + term
-        return statistic
+        return scheme_defs.chi_square_weights(
+            common, counts[ids_a], counts[ids_b], self._total_blocks
+        )
 
     def weight(self, uri_a: str, uri_b: str, common_blocks: int, arcs: float) -> float:
         in_a = self._blocks_per_entity.get(uri_a, 0)
@@ -450,21 +424,9 @@ class ChiSquare(WeightingScheme):
         return self._statistic(common_blocks, in_a, in_b)
 
     def _statistic(self, common_blocks: int, in_a: int, in_b: int) -> float:
-        total = self._total_blocks
-        observed = [
-            [common_blocks, in_a - common_blocks],
-            [in_b - common_blocks, total - in_a - in_b + common_blocks],
-        ]
-        row_sums = [in_a, total - in_a]
-        col_sums = [in_b, total - in_b]
-        statistic = 0.0
-        for i in range(2):
-            for j in range(2):
-                expected = row_sums[i] * col_sums[j] / total
-                if expected > 0:
-                    deviation = observed[i][j] - expected
-                    statistic += deviation * deviation / expected
-        return statistic
+        return scheme_defs.chi_square_statistic(
+            common_blocks, in_a, in_b, self._total_blocks
+        )
 
 
 def weight_pair_table(scheme: WeightingScheme, blocks: BlockCollection, table):

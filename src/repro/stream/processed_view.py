@@ -81,6 +81,11 @@ class ReconcileReport:
     placements_removed: int
     #: surviving blocks after the repair
     exact_blocks: int
+    #: ``"full"`` (snapshot diff over every block) or ``"partial"``
+    #: (key-partitioned repair over the dirty blocks/entities only)
+    mode: str = "full"
+    #: entities whose retained sets the pass recomputed
+    entities_repaired: int = 0
 
     @property
     def drift(self) -> int:
@@ -154,6 +159,15 @@ class IncrementalProcessedView(DeltaConsumer):
         self._present: set[str] = set()
         #: entity id → {key: side bitmask} over present blocks only
         self._entity_keys: dict[int, dict[str, int]] = {}
+        #: keys whose cardinality or purge-eligibility may have changed
+        #: since the last reconciliation (drives the partial repair)
+        self._dirty_keys: set[str] = set()
+        #: entities touched (inserted/deleted under any key) since the
+        #: last reconciliation
+        self._dirty_entities: set[int] = set()
+        #: the first reconcile must be full — before it, untouched
+        #: entities have never had their retained sets computed at all
+        self._reconciled_once = False
         self._consumers: list[ViewConsumer] = []
         #: notified when a non-empty pending buffer is about to drain
         #: (the durability layer's write-ahead hook)
@@ -367,10 +381,34 @@ class IncrementalProcessedView(DeltaConsumer):
         # 3. retained-set recompute for touched entities → membership deltas
         affected: dict[str, None] = dict.fromkeys(pending_keys)
         affected.update(dict.fromkeys(crossing))
+        mem_delta = self._retained_deltas(pending_entities, new_threshold, affected)
+
+        # 4. presence transitions, key by key, in deterministic order
+        self._apply_transitions(affected, mem_delta)
+
+        # Partial-reconcile bookkeeping: everything whose survivor
+        # inputs this drain may have shifted stays dirty until the next
+        # exact repair.
+        self._dirty_keys.update(affected)
+        self._dirty_entities.update(pending_entities)
+
+    def _retained_deltas(
+        self,
+        entities,
+        threshold: int,
+        affected: dict[str, None],
+    ) -> dict[str, list[tuple[int, int, int]]]:
+        """Recompute *entities*' retained sets; collect membership deltas.
+
+        Updates ``_retained`` in place, marks every key whose candidate
+        membership changed in *affected*, and returns the per-key
+        placement deltas to feed :meth:`_apply_transitions`.
+        """
+        index = self.index
         mem_delta: dict[str, list[tuple[int, int, int]]] = {}
-        for entity_id in pending_entities:
+        for entity_id in entities:
             old_r = self._retained.get(entity_id, frozenset())
-            new_r = frozenset(self._retained_for(entity_id, new_threshold))
+            new_r = frozenset(self._retained_for(entity_id, threshold))
             self._retained[entity_id] = new_r
             masks = index.keys_of(entity_id)
             for key in old_r | new_r:
@@ -389,8 +427,21 @@ class IncrementalProcessedView(DeltaConsumer):
                             (entity_id, source, -1)
                         )
                 affected[key] = None
+        return mem_delta
 
-        # 4. presence transitions, key by key, in deterministic order
+    def _apply_transitions(
+        self,
+        affected: dict[str, None],
+        mem_delta: dict[str, list[tuple[int, int, int]]],
+    ) -> tuple[int, int, int, int]:
+        """Fold membership deltas and re-evaluate presence per key.
+
+        Keys are visited in sorted order (deterministic delta stream for
+        the attached consumers).  Returns ``(blocks_added,
+        blocks_removed, placements_added, placements_removed)``.
+        """
+        blocks_added = blocks_removed = 0
+        placements_added = placements_removed = 0
         for key in sorted(affected):
             old_view = self._view_of(key)
             for entity_id, source, delta in mem_delta.get(key, ()):
@@ -405,7 +456,14 @@ class IncrementalProcessedView(DeltaConsumer):
             new_view = (
                 self._view_of_members(key) if self._present_now(key) else None
             )
-            self._transition(key, old_view, new_view)
+            if old_view is None and new_view is not None:
+                blocks_added += 1
+            elif old_view is not None and new_view is None:
+                blocks_removed += 1
+            added, removed = self._transition(key, old_view, new_view)
+            placements_added += added
+            placements_removed += removed
+        return blocks_added, blocks_removed, placements_added, placements_removed
 
     def _view_of_members(self, key: str) -> tuple[frozenset, frozenset]:
         sides = self._members[key]
@@ -595,14 +653,29 @@ class IncrementalProcessedView(DeltaConsumer):
 
     # -- reconciliation ------------------------------------------------------
 
-    def reconcile(self) -> ReconcileReport:
-        """Diff the view against the exact processed snapshot; repair drift.
+    def reconcile(self, full: bool = False) -> ReconcileReport:
+        """Repair the view's drift; leave it exact for the current version.
+
+        Two repair strategies behind the same contract (the view is
+        bit-identical to ``snapshot_processed`` afterwards):
+
+        * **full** — diff the view against the exact processed snapshot
+          and rebuild every retained set.  Cost is proportional to the
+          whole corpus.  Forced on the first reconciliation (and the
+          first after a durability restore), when no dirty bookkeeping
+          exists yet, or when *full* is passed.
+        * **partial** — key-partitioned repair.  Between reconciles the
+          only entities whose retained sets can have drifted are those
+          touched directly or sharing a key whose cardinality or
+          threshold-eligibility changed (the drains keep everything
+          else exact).  Recompute just that dirty closure and
+          re-transition the affected keys.  Cost is proportional to the
+          churn, not the corpus.
 
         Emits corrective deltas to attached consumers for every block
-        and placement the approximation got wrong, recomputes every
-        entity's retained set from the now-exact threshold, and caches
-        the exact collection so :meth:`materialize` returns it
-        bit-identically until the next insert.
+        and placement the approximation got wrong, and caches the exact
+        collection so :meth:`materialize` returns it bit-identically
+        until the next insert.
         """
         # Metric-only timing (no span: the resolver's query path owns the
         # reconcile span); the measured wall feeds both the report and
@@ -612,6 +685,40 @@ class IncrementalProcessedView(DeltaConsumer):
         self._apply_pending()
         index = self.index
         staleness = self.staleness
+        if full or not self._reconciled_once:
+            mode = "full"
+            exact, counts, entities_repaired = self._reconcile_full()
+        else:
+            mode = "partial"
+            exact, counts, entities_repaired = self._reconcile_partial()
+        blocks_added, blocks_removed, placements_added, placements_removed = counts
+
+        version = index.store.version
+        self._exact = (version, exact)
+        self._approx = None
+        self._reconciled_version = version
+        self._reconciled_once = True
+        self._dirty_keys.clear()
+        self._dirty_entities.clear()
+        self.reconcile_count += 1
+        timer.__exit__(None, None, None)
+        report = ReconcileReport(
+            staleness=staleness,
+            wall_s=timer.duration_s,
+            blocks_added=blocks_added,
+            blocks_removed=blocks_removed,
+            placements_added=placements_added,
+            placements_removed=placements_removed,
+            exact_blocks=len(exact),
+            mode=mode,
+            entities_repaired=entities_repaired,
+        )
+        self.last_report = report
+        return report
+
+    def _reconcile_full(self):
+        """Snapshot-diff repair over the whole corpus."""
+        index = self.index
         exact = index.snapshot_processed(self.purging, self.filtering)
         interner = index.store.interner
         exact_members: dict[str, tuple[frozenset, frozenset]] = {}
@@ -643,7 +750,9 @@ class IncrementalProcessedView(DeltaConsumer):
         threshold = self._current_threshold()
         self._retained = {}
         self._members = {}
+        entities_repaired = 0
         for entity_id in index.entity_ids():
+            entities_repaired += 1
             new_r = frozenset(self._retained_for(entity_id, threshold))
             self._retained[entity_id] = new_r
             masks = index.keys_of(entity_id)
@@ -657,24 +766,36 @@ class IncrementalProcessedView(DeltaConsumer):
                     sides[0].add(entity_id)
                 if mask & 2:
                     sides[1].add(entity_id)
-
-        version = index.store.version
-        self._exact = (version, exact)
-        self._approx = None
-        self._reconciled_version = version
-        self.reconcile_count += 1
-        timer.__exit__(None, None, None)
-        report = ReconcileReport(
-            staleness=staleness,
-            wall_s=timer.duration_s,
-            blocks_added=blocks_added,
-            blocks_removed=blocks_removed,
-            placements_added=placements_added,
-            placements_removed=placements_removed,
-            exact_blocks=len(exact),
+        counts = (
+            blocks_added,
+            blocks_removed,
+            placements_added,
+            placements_removed,
         )
-        self.last_report = report
-        return report
+        return exact, counts, entities_repaired
+
+    def _reconcile_partial(self):
+        """Key-partitioned repair over the dirty closure only.
+
+        The dirty closure: entities touched since the last reconcile,
+        plus the current members (posting lists) of every key whose
+        cardinality or threshold-eligibility changed.  Only those
+        entities' per-entity filtering rankings can have drifted, so
+        recomputing exactly them restores the batch-exact state.
+        """
+        index = self.index
+        threshold = self._current_threshold()
+        dirty_entities = set(self._dirty_entities)
+        for key in self._dirty_keys:
+            side0, side1 = index.postings(key)
+            dirty_entities.update(int(e) for e in side0)
+            dirty_entities.update(int(e) for e in side1)
+        affected: dict[str, None] = dict.fromkeys(sorted(self._dirty_keys))
+        mem_delta = self._retained_deltas(
+            sorted(dirty_entities), threshold, affected
+        )
+        counts = self._apply_transitions(affected, mem_delta)
+        return self._build_collection(), counts, len(dirty_entities)
 
 
 class SurvivorPairTable(PairStatsView, ViewConsumer):

@@ -3,7 +3,7 @@
 The facade's contract: a spec-driven run is bit-identical to the direct
 construction path it replaces, and the **same** spec produces
 bit-identical pruned edges and match decisions on the sequential,
-mapreduce and stream backends — on all three sample corpora.
+mapreduce, stream and sql backends — on all three sample corpora.
 """
 
 from __future__ import annotations
@@ -80,7 +80,7 @@ class TestSpecEqualsDirectConstruction:
 
 
 class TestCrossBackendEquivalence:
-    """One spec JSON, three backends, bit-identical candidates+decisions."""
+    """One spec JSON, four backends, bit-identical candidates+decisions."""
 
     @pytest.mark.parametrize("corpus", sorted(CORPORA), indirect=True)
     def test_backends_bit_identical(self, corpus):
@@ -95,15 +95,18 @@ class TestCrossBackendEquivalence:
         stream = Pipeline.run(
             spec.with_backend(kind="stream", scenario="bursty"), kb1, kb2, gold=gold
         )
+        sql = Pipeline.run(spec.with_backend(kind="sql"), kb1, kb2, gold=gold)
         assert (
             edge_triples(sequential.edges)
             == edge_triples(mapreduce.edges)
             == edge_triples(stream.edges)
+            == edge_triples(sql.edges)
         )
         assert (
             sequential.matched_pairs()
             == mapreduce.matched_pairs()
             == stream.matched_pairs()
+            == sql.matched_pairs()
         )
         # Decisions, not just matched pairs: similarity values align too.
         seq_decisions = {

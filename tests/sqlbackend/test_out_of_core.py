@@ -1,0 +1,141 @@
+"""Out-of-core gate: the SQL backend must scale past its page cache.
+
+The point of ``db_path`` is working sets larger than memory: the pair
+enumeration and weighting run as sqlite streams over an on-disk
+database whose page cache is deliberately tiny, so correctness cannot
+depend on the whole working set being resident.  The test
+
+* synthesizes a corpus whose database comfortably exceeds the
+  configured page cache,
+* runs purge → filter → weight → prune in a **subprocess** with
+  ``db_path`` on disk and ``cache_kib`` pinned low, recording the edge
+  digest, peak RSS and final database size,
+* and asserts the digest matches the in-memory run bit-for-bit, the
+  database really outgrew the cache, and the subprocess RSS stayed
+  bounded (no accidental full materialization).
+
+Marked ``slow``: minutes-scale, runs in the CI nightly job.  Deselect
+locally with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: deliberately tiny sqlite page cache (KiB) — the database must not fit
+CACHE_KIB = 256
+
+#: generous ceiling on subprocess peak RSS (KiB).  The streamed folds
+#: keep per-stage state proportional to entities, not pairs; a full
+#: materialization of the pair table would blow well past this.
+MAX_RSS_KIB = 400 * 1024
+
+
+def synthetic_blocks(entities_per_side=4000, keys=6000, keys_per_entity=4):
+    """A deterministic two-source corpus bigger than the page cache.
+
+    An LCG assigns each entity a handful of keys; a skewed tail of hub
+    keys yields a realistic cardinality histogram (so purging actually
+    trims something).  No randomness module: reruns and the subprocess
+    see byte-identical blocks.
+    """
+    from repro.blocking.block import Block, BlockCollection
+
+    members: dict[int, tuple[list[str], list[str]]] = {}
+    state = 0x2545F4914F6CDD1D
+    for side in range(2):
+        prefix = "ab"[side]
+        for index in range(entities_per_side):
+            uri = f"http://example.org/{prefix}{index:05d}"
+            for _ in range(keys_per_entity):
+                state = (state * 6364136223846793005 + 1442695040888963407) % (
+                    1 << 64
+                )
+                # square the draw to skew low: a few hub keys, many rare
+                draw = (state >> 16) % (keys * keys)
+                key = int(draw**0.5) % keys
+                sides = members.setdefault(key, ([], []))
+                if uri not in sides[side]:
+                    sides[side].append(uri)
+    collection = BlockCollection(name="synthetic")
+    for key in sorted(members):
+        side0, side1 = members[key]
+        if side0 and side1:
+            collection.add(Block(f"k{key:05d}", side0, side1))
+    return collection
+
+
+def run_pipeline(db_path=None, cache_kib=None):
+    """Purge → filter → weight(ECBS) → prune(CNP); digest of the edges."""
+    from repro.blocking import BlockFiltering, BlockPurging
+    from repro.metablocking import CNP, ECBS
+    from repro.sqlbackend import SqlMetaBlocker
+
+    blocks = synthetic_blocks()
+    with SqlMetaBlocker(db_path=db_path, cache_kib=cache_kib) as mb:
+        mb.prepare(blocks, BlockPurging(), BlockFiltering())
+        mb.weight(ECBS())
+        edges = mb.prune(CNP())
+    text = ";".join(f"{e.left}|{e.right}|{e.weight!r}" for e in edges)
+    return len(edges), hashlib.sha256(text.encode()).hexdigest()
+
+
+def child_main(db_path: str) -> None:
+    """Subprocess body: run on disk, report digest + RSS + db size."""
+    import resource
+
+    count, digest = run_pipeline(db_path=db_path, cache_kib=CACHE_KIB)
+    print(
+        json.dumps(
+            {
+                "edges": count,
+                "digest": digest,
+                "maxrss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                "db_bytes": os.path.getsize(db_path),
+            }
+        )
+    )
+
+
+@pytest.mark.slow
+def test_on_disk_run_matches_memory_with_bounded_rss(tmp_path):
+    db_path = tmp_path / "out_of_core.db"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    child = subprocess.run(
+        [sys.executable, __file__, "--child", str(db_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert child.returncode == 0, child.stderr
+    result = json.loads(child.stdout.strip().splitlines()[-1])
+
+    count, digest = run_pipeline()
+    assert result["edges"] == count
+    assert result["digest"] == digest, "on-disk edges diverged from in-memory"
+    # the database must genuinely outgrow the page cache it was given
+    assert result["db_bytes"] > 4 * CACHE_KIB * 1024, result["db_bytes"]
+    assert result["maxrss_kib"] < MAX_RSS_KIB, (
+        f"subprocess peaked at {result['maxrss_kib']} KiB — the streamed "
+        "folds are materializing the working set"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        child_main(sys.argv[2])
+    else:
+        sys.exit("usage: test_out_of_core.py --child DB_PATH")

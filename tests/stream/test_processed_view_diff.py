@@ -8,6 +8,9 @@ it against the exact ``snapshot_processed()`` oracle:
 * after **every** reconciliation the view is bit-identical to the
   oracle (keys, members, cardinalities), and an immediate second
   reconciliation repairs nothing (drift 0);
+* the **key-partitioned partial** repair (the default after the first
+  pass) lands on the same exact state as a forced full snapshot-diff
+  pass, at every reconcile point of the same interleaving;
 * **between** reconciliations the drift is bounded by the staleness
   contract: the purge layer (histogram → threshold) is exact at all
   times, the staleness counter never exceeds the reconcile interval
@@ -313,6 +316,69 @@ def test_tombstoned_entities_never_resolve(data):
     assert not placed & tombstoned
 
 
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_partial_repair_equals_full_repair(data):
+    """Partial repair == forced full repair, at every reconcile point.
+
+    Two views replay the same insert/delete interleaving; one
+    reconciles with the default strategy (key-partitioned partial after
+    the first pass), the other forces the full snapshot diff each time.
+    Both must be bit-identical to the oracle — and to each other — at
+    every reconcile point.
+    """
+    corpus_name, two_sources, ops = _draw_ops(data)
+    interval = data.draw(st.integers(1, 9))
+    sources = ("kb1", "kb2") if two_sources else ("kb1",)
+    purging, filtering = BlockPurging(), BlockFiltering()
+
+    def build():
+        store = StreamingEntityStore(sources=sources)
+        index = IncrementalBlockIndex(store)
+        view = IncrementalProcessedView(
+            index, purging, filtering, reconcile_every=interval
+        )
+        return store, index, view
+
+    store_p, index_p, view_p = build()
+    store_f, _index_f, view_f = build()
+    first = True
+    for op in ops:
+        for store in (store_p, store_f):
+            if op[0] == "insert":
+                store.insert(op[1].copy(), op[2])
+            else:
+                assert store.delete(op[1])
+        if view_p.due:
+            partial = view_p.reconcile()
+            forced = view_f.reconcile(full=True)
+            assert forced.mode == "full"
+            assert partial.mode == ("full" if first else "partial")
+            first = False
+            _assert_view_exact(
+                view_p, index_p, purging, filtering, f"{corpus_name}@partial"
+            )
+            assert (
+                view_p._build_collection().id_blocks()
+                == view_f._build_collection().id_blocks()
+            )
+    partial = view_p.reconcile()
+    view_f.reconcile(full=True)
+    assert partial.mode == ("full" if first else "partial")
+    _assert_view_exact(
+        view_p, index_p, purging, filtering, f"{corpus_name}@partial-final"
+    )
+    assert (
+        view_p._build_collection().id_blocks()
+        == view_f._build_collection().id_blocks()
+    )
+    # Nothing dirty ⇒ an immediate partial pass repairs nothing.
+    again = view_p.reconcile()
+    assert again.mode == "partial"
+    assert again.drift == 0
+    assert again.entities_repaired == 0
+
+
 @pytest.mark.parametrize("corpus_name", sorted(_LOADERS))
 def test_full_corpus_reconciles_exactly(corpus_name):
     """Deterministic end-to-end check per corpus (no hypothesis)."""
@@ -324,5 +390,13 @@ def test_full_corpus_reconciles_exactly(corpus_name):
     for source, kb in enumerate([kb1, kb2]):
         for description in kb:
             store.insert(description.copy(), source)
-    view.reconcile()
+    # The very first pass is always the full snapshot diff...
+    report = view.reconcile()
+    assert report.mode == "full"
+    assert report.entities_repaired == len(kb1) + len(kb2)
     _assert_view_exact(view, index, purging, filtering, corpus_name)
+    # ...and a quiet follow-up is a partial no-op.
+    again = view.reconcile()
+    assert again.mode == "partial"
+    assert again.drift == 0
+    assert again.entities_repaired == 0

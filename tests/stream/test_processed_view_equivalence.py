@@ -52,13 +52,14 @@ def replayed(request, corpus):
 
 def test_reconciled_view_bit_identical(corpus, replayed):
     resolver, _stats = replayed
-    resolver.view.reconcile()
+    # The replay auto-reconciled at least once, so this pass takes the
+    # key-partitioned partial path...
+    report = resolver.view.reconcile()
+    assert report.mode == "partial"
     exact = resolver.index.snapshot_processed()
-    # materialize() hands back the exact snapshot itself...
-    assert resolver.view.materialize() is exact
-    # ...and the repaired internal state rebuilds to the same collection:
-    # keys, per-side members, cardinalities, id views, name.
-    rebuilt = resolver.view._build_collection()
+    # ...whose repaired state rebuilds to the same collection: keys,
+    # per-side members, cardinalities, id views, name.
+    rebuilt = resolver.view.materialize()
     assert rebuilt.name == exact.name
     assert rebuilt.keys() == exact.keys()
     for key in exact.keys():
@@ -67,6 +68,9 @@ def test_reconciled_view_bit_identical(corpus, replayed):
         assert rebuilt[key].cardinality() == exact[key].cardinality(), key
     assert rebuilt.id_blocks() == exact.id_blocks()
     assert rebuilt.interner().uris() == exact.interner().uris()
+    # A forced full pass hands back the exact snapshot itself.
+    assert resolver.view.reconcile(full=True).mode == "full"
+    assert resolver.view.materialize() is exact
 
 
 def test_view_matches_batch_pipeline(corpus, replayed):
